@@ -1,0 +1,106 @@
+"""Ablations beyond the paper: the design choices DESIGN.md calls out.
+
+Each ablation varies exactly one knob of the system and reports how the
+paper's mechanisms respond:
+
+- switch queue capacity -> prefetch drops and late fraction;
+- context-switch cost   -> where multithreading stops paying off;
+- reliable prefetches   -> the paper's footnote-3 design choice;
+- request combining     -> barrier/lock traffic under multithreading.
+"""
+
+import numpy as np
+import pytest
+
+from repro import DsmRuntime, LinkConfig, RunConfig
+from repro.apps import make_app
+from repro.machine import CostModel
+
+
+def run_app(app_name="FFT", *, link=None, costs=None, threads=1, prefetch=False):
+    app = make_app(app_name, preset="small")
+    app.use_prefetch = prefetch
+    config = RunConfig(
+        num_nodes=4,
+        threads_per_node=threads,
+        prefetch=prefetch,
+        link=link or LinkConfig(),
+        costs=costs or CostModel(),
+    )
+    return DsmRuntime(config).execute(app)
+
+
+def test_ablation_queue_capacity(benchmark, capsys):
+    """Smaller switch queues drop more (unreliable) prefetch traffic."""
+
+    def sweep():
+        results = {}
+        for kb in (8, 32, 256):
+            report = run_app(
+                "FFT", link=LinkConfig(queue_capacity_bytes=kb * 1024), prefetch=True
+            )
+            results[kb] = (report.message_drops, report.prefetch_stats.late)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\nqueue-capacity ablation (KB -> drops, late prefetches):")
+        for kb, (drops, late) in results.items():
+            print(f"  {kb:4d} KB: drops={drops:4d} late={late:4d}")
+    assert results[8][0] >= results[256][0]
+
+
+def test_ablation_context_switch_cost(benchmark, capsys):
+    """Multithreading's benefit shrinks as context switches get costly."""
+
+    def sweep():
+        results = {}
+        for cost in (10.0, 110.0, 1000.0):
+            report = run_app("FFT", costs=CostModel(context_switch=cost), threads=4)
+            results[cost] = report.wall_time_us
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\ncontext-switch ablation (us -> wall ms):")
+        for cost, wall in results.items():
+            print(f"  {cost:6.0f} us: {wall / 1000:8.1f} ms")
+    assert results[10.0] < results[1000.0]
+
+
+def test_ablation_prefetch_issue_cost(benchmark, capsys):
+    """The 140us issue overhead is a first-order term of prefetching."""
+
+    def sweep():
+        results = {}
+        for cost in (10.0, 140.0, 500.0):
+            report = run_app(
+                "FFT", costs=CostModel(prefetch_issue_remote=cost), prefetch=True
+            )
+            results[cost] = report.wall_time_us
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\nprefetch-issue-cost ablation (us -> wall ms):")
+        for cost, wall in results.items():
+            print(f"  {cost:6.0f} us: {wall / 1000:8.1f} ms")
+    assert results[10.0] <= results[500.0]
+
+
+def test_ablation_multithreading_message_cost(benchmark, capsys):
+    """Section 4.3: the dominant MT overhead is asynchronous message
+    arrival handling, not the context switch itself."""
+
+    def sweep():
+        cheap = run_app("RADIX", costs=CostModel(async_arrival_extra=0.0), threads=4)
+        paper = run_app("RADIX", costs=CostModel(), threads=4)
+        return cheap.wall_time_us, paper.wall_time_us
+
+    cheap, paper = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print(
+            f"\nasync-arrival ablation: free={cheap / 1000:.1f} ms, "
+            f"paper={paper / 1000:.1f} ms"
+        )
+    assert cheap <= paper

@@ -1,0 +1,22 @@
+"""Figure 1: baseline execution-time breakdown (TreadMarks, all apps)."""
+
+from repro.experiments import figure1
+
+
+def test_figure1(runner, benchmark, capsys):
+    def regenerate():
+        # Fresh runner state is cached; the benchmark measures the
+        # render + (first round) the full simulation sweep.
+        return figure1(runner)
+
+    text, data = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n" + text)
+    # Shape check (paper, Section 1.1): most applications spend a large
+    # share of their time stalled on memory or synchronization.
+    stalled = [
+        app
+        for app, column in data.items()
+        if column["Memory Idle"] + column["Sync Idle"] > 40.0
+    ]
+    assert len(stalled) >= 5, f"only {stalled} show the paper's stall dominance"

@@ -1,0 +1,16 @@
+"""Figure 2: the impact of prefetching (O vs P, all apps)."""
+
+from repro.experiments import figure2
+
+
+def test_figure2(runner, benchmark, capsys):
+    text, data = benchmark.pedantic(lambda: figure2(runner), rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n" + text)
+    # Shape checks: prefetching reduces memory stall time for the
+    # memory-bound applications, and never catastrophically regresses.
+    for app, entry in data.items():
+        assert entry["speedup"] > 0.75, f"{app} regressed badly under prefetching"
+    memory_bound = ["FFT", "LU-NCONT"]
+    for app in memory_bound:
+        assert data[app]["speedup"] > 1.0, f"{app} should benefit from prefetching"

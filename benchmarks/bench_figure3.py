@@ -1,0 +1,15 @@
+"""Figure 3: breakdown of the original remote misses under prefetching."""
+
+from repro.experiments import figure3
+
+
+def test_figure3(runner, benchmark, capsys):
+    text, data = benchmark.pedantic(lambda: figure3(runner), rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n" + text)
+    # Paper shape: pf-hit is a major category for the array apps, and
+    # RADIX has a pronounced "too late" fraction (its loop structure
+    # leaves no lead time).
+    covered_apps = [a for a, s in data.items() if s["hit"] > 0]
+    assert len(covered_apps) >= 4
+    assert data["RADIX"]["late"] >= 25.0

@@ -1,0 +1,15 @@
+"""Figure 4: the impact of multithreading (O, 2T, 4T, 8T)."""
+
+from repro.experiments import figure4
+
+
+def test_figure4(runner, benchmark, capsys):
+    text, data = benchmark.pedantic(lambda: figure4(runner), rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n" + text)
+    # Paper shape (as reproduced at scaled sizes — see EXPERIMENTS.md):
+    # multithreading helps the locality-friendly LU-NCONT, and the
+    # optimal thread count varies across applications.
+    assert data["LU-NCONT"]["best"] != "O", "LU-NCONT should gain from MT"
+    bests = {d["best"] for d in data.values()}
+    assert len(bests) >= 2, "the optimal thread count should vary"

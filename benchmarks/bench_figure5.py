@@ -1,0 +1,21 @@
+"""Figure 5: combining prefetching and multithreading (8 configurations)."""
+
+from repro.experiments import figure5
+
+
+def test_figure5(runner, benchmark, capsys):
+    text, data = benchmark.pedantic(lambda: figure5(runner), rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n" + text)
+    # Paper shape: no single configuration wins everywhere — some apps
+    # prefer prefetching, some multithreading, some the combination.
+    bests = {d["best"] for d in data.values()}
+    assert len(bests) >= 2, f"a single configuration won everywhere: {bests}"
+    # The combined configurations must be competitive: for each app the
+    # best combined run should be within 2x of the best overall.
+    for app, d in data.items():
+        combined = min(
+            d["columns"][label]["Total"] for label in ("2TP", "4TP", "8TP")
+        )
+        best = d["columns"][d["best"]]["Total"]
+        assert combined < 2.0 * best, app

@@ -1,0 +1,64 @@
+"""Multithreading mechanism validation (beyond the paper's figures).
+
+At the scaled problem sizes, most applications are miss-dense enough
+that multithreading's switch/async overheads outweigh its latency
+overlap (EXPERIMENTS.md documents this as the main deviation from
+Figure 4).  This benchmark isolates the *mechanism*: a pure remote-miss
+storm where threads overlap each other's stalls — wall time must drop
+substantially going from 1 to 4 threads per node, and per-miss latency
+must rise (more outstanding requests share the same links), exactly the
+trade the paper describes.
+"""
+
+import numpy as np
+
+from repro import Barrier, DsmRuntime, Program, RunConfig
+
+
+class MissStorm(Program):
+    """Non-initializing nodes read 32 distinct remote pages."""
+
+    name = "miss-storm"
+
+    PAGES = 32
+    CELLS = 512  # one 4 KB page of float64
+
+    def setup(self, runtime):
+        self.vec = runtime.alloc_vector("v", np.float64, self.PAGES * self.CELLS)
+
+    def thread_body(self, runtime, tid):
+        tpn = runtime.config.threads_per_node
+        if tid == 0:
+            yield self.vec.write(0, np.ones(self.PAGES * self.CELLS))
+        yield Barrier(0)
+        if tid // tpn != 0:
+            for page in range(tid % tpn, self.PAGES, tpn):
+                _ = yield self.vec.read(page * self.CELLS, self.CELLS)
+        yield Barrier(0)
+
+    def verify(self, runtime):
+        assert np.all(runtime.read_vector(self.vec) == 1.0)
+
+
+def test_mt_overlaps_independent_misses(benchmark, capsys):
+    def sweep():
+        walls = {}
+        latencies = {}
+        for tpn in (1, 2, 4):
+            report = DsmRuntime(
+                RunConfig(num_nodes=2, threads_per_node=tpn)
+            ).execute(MissStorm())
+            walls[tpn] = report.wall_time_us
+            latencies[tpn] = report.events.avg_miss_stall
+        return walls, latencies
+
+    walls, latencies = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\nmiss-storm: threads -> wall ms (avg miss us):")
+        for tpn in (1, 2, 4):
+            print(f"  {tpn}T: {walls[tpn] / 1000:7.2f} ms  ({latencies[tpn]:.0f} us)")
+    # The paper's core multithreading trade: wall time shrinks while
+    # per-miss latency grows.
+    assert walls[2] < 0.8 * walls[1]
+    assert walls[4] < 0.6 * walls[1]
+    assert latencies[4] > latencies[1]

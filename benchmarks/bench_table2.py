@@ -1,0 +1,18 @@
+"""Table 2: multithreading statistics (stalls, run lengths, traffic)."""
+
+from repro.experiments import table2
+
+
+def test_table2(runner, benchmark, capsys):
+    text, data = benchmark.pedantic(lambda: table2(runner), rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n" + text)
+    for app, by_config in data.items():
+        # Per-miss stall shrinks (or at least does not explode) as
+        # threads overlap each other's latencies; run lengths stay in
+        # the hundreds-of-microseconds range the paper reports.
+        assert by_config["O"]["avg_run_length"] > 0
+        # Context-switch-based combining keeps message counts bounded:
+        # going multithreaded must not multiply traffic by the thread
+        # count (barrier combining sends ONE arrival per node).
+        assert by_config["8T"]["messages"] < 4 * by_config["O"]["messages"], app

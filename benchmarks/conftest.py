@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark harness.
+
+Every paper artifact (Figures 1-5, Tables 1-2) has a benchmark that
+regenerates it and prints the rows/series.  Benchmarks default to the
+``small`` preset on 4 nodes so the whole suite runs in a couple of
+minutes; set ``REPRO_BENCH_PRESET=default`` / ``REPRO_BENCH_NODES=8``
+for the paper-shaped runs used in EXPERIMENTS.md.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentRunner
+
+BENCH_PRESET = os.environ.get("REPRO_BENCH_PRESET", "small")
+BENCH_NODES = int(os.environ.get("REPRO_BENCH_NODES", "4"))
+
+
+@pytest.fixture(scope="session")
+def runner():
+    """One shared runner so figures/tables reuse cached runs."""
+    return ExperimentRunner(
+        num_nodes=BENCH_NODES, preset=BENCH_PRESET, verify=True, verbose=False
+    )

@@ -1,0 +1,54 @@
+"""repro — reproduction of "Comparative Evaluation of Latency Tolerance
+Techniques for Software Distributed Shared Memory" (HPCA-4, 1998).
+
+The package simulates a TreadMarks-style page-based software DSM running
+on a cluster of workstations over an ATM switch, and implements the
+paper's two latency-tolerance techniques — software-controlled
+non-binding prefetching and user-level multithreading — individually and
+combined.
+
+Quick start::
+
+    from repro import DsmRuntime, RunConfig
+    from repro.apps import Sor
+
+    report = DsmRuntime(RunConfig(num_nodes=8)).execute(Sor())
+    print(report.summary())
+"""
+
+from repro.api import (
+    Acquire,
+    Barrier,
+    Compute,
+    DsmRuntime,
+    Prefetch,
+    Program,
+    Read,
+    Release,
+    RunConfig,
+    SharedMatrix,
+    SharedVector,
+    Write,
+)
+from repro.machine import CostModel
+from repro.network import LinkConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Acquire",
+    "Barrier",
+    "Compute",
+    "CostModel",
+    "DsmRuntime",
+    "LinkConfig",
+    "Prefetch",
+    "Program",
+    "Read",
+    "Release",
+    "RunConfig",
+    "SharedMatrix",
+    "SharedVector",
+    "Write",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Public programming API: ops, shared arrays, programs, the runtime."""
+
+from repro.api.ops import Acquire, Barrier, Compute, Prefetch, Read, Release, Write
+from repro.api.program import Program
+from repro.api.runtime import DsmRuntime, RunConfig
+from repro.api.shared import SharedMatrix, SharedVector
+
+__all__ = [
+    "Acquire",
+    "Barrier",
+    "Compute",
+    "DsmRuntime",
+    "Prefetch",
+    "Program",
+    "Read",
+    "Release",
+    "RunConfig",
+    "SharedMatrix",
+    "SharedVector",
+    "Write",
+]

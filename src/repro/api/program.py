@@ -1,0 +1,43 @@
+"""The application programming model.
+
+A :class:`Program` is what runs on the DSM: it allocates shared data in
+``setup``, provides one generator per thread in ``thread_body``, and
+checks its own results in ``verify`` against a sequential computation.
+
+Convention (SPLASH-2 style): thread 0 initializes shared data and all
+threads meet at a barrier before the parallel phase — which is what
+makes node 0 the hot spot during startup, as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from repro.errors import ProgramError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.api.runtime import DsmRuntime
+
+__all__ = ["Program"]
+
+
+class Program:
+    """Base class for DSM applications."""
+
+    #: Short identifier used in reports and experiment tables.
+    name: str = "program"
+
+    def setup(self, runtime: "DsmRuntime") -> None:
+        """Allocate shared segments; runs before any thread starts."""
+        raise NotImplementedError
+
+    def thread_body(self, runtime: "DsmRuntime", tid: int) -> Generator:
+        """The generator executed by thread ``tid`` (yields Ops)."""
+        raise NotImplementedError
+
+    def verify(self, runtime: "DsmRuntime") -> None:
+        """Check final shared memory against a sequential computation.
+
+        Raise :class:`AssertionError` (or any exception) on mismatch.
+        """
+        raise ProgramError(f"program {self.name!r} provides no verifier")

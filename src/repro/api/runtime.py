@@ -1,0 +1,252 @@
+"""The DSM runtime: build a cluster, run a program, report results.
+
+This is the library's main entry point::
+
+    from repro import DsmRuntime, RunConfig
+    from repro.apps import Sor
+
+    report = DsmRuntime(RunConfig(num_nodes=8)).execute(Sor(rows=128, cols=128))
+    print(report.summary())
+
+Configurations map onto the paper's labels:
+
+- ``O``   — ``RunConfig(threads_per_node=1)``
+- ``P``   — ``RunConfig(threads_per_node=1, prefetch=True)``
+- ``nT``  — ``RunConfig(threads_per_node=n)``
+- ``nTP`` — ``RunConfig(threads_per_node=n, prefetch=True)`` (combined:
+  threads switch on synchronization only; prefetching owns memory
+  latency — the winning split of Section 5)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.api.program import Program
+from repro.api.shared import SharedMatrix, SharedVector
+from repro.dsm.protocol import DsmNode
+from repro.errors import ConfigError
+from repro.machine import Cluster, CostModel
+from repro.memory import SharedAddressSpace, Segment, apply_diff
+from repro.metrics.report import RunReport
+from repro.network import LinkConfig
+from repro.prefetch.engine import PrefetchEngine, PrefetchStats
+from repro.sim import RandomSource
+from repro.threads import DsmThread, NodeScheduler, SchedulingPolicy
+
+__all__ = ["RunConfig", "DsmRuntime"]
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Everything that defines one experimental configuration."""
+
+    num_nodes: int = 8
+    threads_per_node: int = 1
+    prefetch: bool = False
+    #: Extension (related work, Bianchini et al.): let the DSM runtime
+    #: issue prefetches automatically from per-synchronization fault
+    #: histories, instead of explicit program insertion.
+    history_prefetch: bool = False
+    page_size: int = 4096
+    seed: int = 42
+    costs: CostModel = field(default_factory=CostModel)
+    link: LinkConfig = field(default_factory=LinkConfig)
+    compute_quantum: float = 250.0
+    #: Safety valve for runaway simulations (events, not microseconds).
+    max_events: Optional[int] = 50_000_000
+
+    def __post_init__(self) -> None:
+        if self.threads_per_node < 1:
+            raise ConfigError("threads_per_node must be >= 1")
+        if self.num_nodes < 2:
+            raise ConfigError("num_nodes must be >= 2")
+
+    @property
+    def total_threads(self) -> int:
+        return self.num_nodes * self.threads_per_node
+
+    @property
+    def label(self) -> str:
+        """The paper's configuration label (O, P, nT, nTP)."""
+        if self.threads_per_node == 1:
+            return "P" if self.prefetch else "O"
+        suffix = "TP" if self.prefetch else "T"
+        return f"{self.threads_per_node}{suffix}"
+
+    @property
+    def policy(self) -> SchedulingPolicy:
+        if self.threads_per_node == 1:
+            return SchedulingPolicy.single_threaded()
+        if self.prefetch:
+            # Combined scheme: multithreading only hides synchronization.
+            return SchedulingPolicy.sync_only()
+        return SchedulingPolicy.multithreaded()
+
+
+class DsmRuntime:
+    """Owns one cluster and runs one program on it."""
+
+    def __init__(self, config: RunConfig) -> None:
+        self.config = config
+        self.cluster = Cluster(
+            num_nodes=config.num_nodes,
+            page_size=config.page_size,
+            costs=config.costs,
+            link_config=config.link,
+        )
+        self.space = SharedAddressSpace(config.page_size)
+        self.random = RandomSource(config.seed)
+        self.dsm_nodes: list[DsmNode] = [
+            DsmNode(node, config.num_nodes) for node in self.cluster.nodes
+        ]
+        self.prefetch_engines: list[PrefetchEngine] = []
+        if config.prefetch or config.history_prefetch:
+            self.prefetch_engines = [PrefetchEngine(dsm) for dsm in self.dsm_nodes]
+        self.schedulers: list[NodeScheduler] = [
+            NodeScheduler(
+                node,
+                dsm,
+                policy=config.policy,
+                compute_quantum=config.compute_quantum,
+            )
+            for node, dsm in zip(self.cluster.nodes, self.dsm_nodes)
+        ]
+        for scheduler, engine in zip(self.schedulers, self.prefetch_engines):
+            scheduler.prefetch = engine
+        if config.history_prefetch:
+            from repro.prefetch.history import HistoryPrefetcher
+
+            for scheduler, engine in zip(self.schedulers, self.prefetch_engines):
+                scheduler.history = HistoryPrefetcher(engine, config.page_size)
+
+    # -- allocation helpers -------------------------------------------------
+
+    def alloc(self, name: str, nbytes: int, page_aligned: bool = True) -> Segment:
+        return self.space.alloc(name, nbytes, page_aligned=page_aligned)
+
+    def alloc_vector(
+        self, name: str, dtype: np.dtype, length: int, page_aligned: bool = True
+    ) -> SharedVector:
+        dtype = np.dtype(dtype)
+        segment = self.alloc(name, length * dtype.itemsize, page_aligned=page_aligned)
+        return SharedVector(segment, dtype, length)
+
+    def alloc_matrix(
+        self, name: str, dtype: np.dtype, rows: int, cols: int, page_aligned: bool = True
+    ) -> SharedMatrix:
+        dtype = np.dtype(dtype)
+        segment = self.alloc(name, rows * cols * dtype.itemsize, page_aligned=page_aligned)
+        return SharedMatrix(segment, dtype, rows, cols)
+
+    # -- execution -------------------------------------------------------------
+
+    def execute(self, program: Program, verify: bool = True) -> RunReport:
+        """Run the program to completion and return its report."""
+        program.setup(self)
+        tpn = self.config.threads_per_node
+        for tid in range(self.config.total_threads):
+            node_id = tid // tpn
+            thread = DsmThread(tid, node_id, program.thread_body(self, tid))
+            self.schedulers[node_id].add_thread(thread)
+        done_events = [scheduler.start() for scheduler in self.schedulers]
+        self.cluster.run(max_events=self.config.max_events)
+        for scheduler, done in zip(self.schedulers, done_events):
+            if not done.triggered:
+                raise ConfigError(
+                    f"node {scheduler.node.node_id} never finished — deadlock?"
+                )
+            done.value  # re-raise any thread exception
+        wall = max(s.finished_at for s in self.schedulers if s.finished_at is not None)
+        report = self._build_report(program, wall)
+        if verify:
+            program.verify(self)
+        return report
+
+    def _build_report(self, program: Program, wall: float) -> RunReport:
+        stats = self.cluster.network.stats
+        prefetch_stats: Optional[PrefetchStats] = None
+        if self.prefetch_engines:
+            prefetch_stats = PrefetchStats()
+            for engine in self.prefetch_engines:
+                for name in vars(engine.stats):
+                    setattr(
+                        prefetch_stats,
+                        name,
+                        getattr(prefetch_stats, name) + getattr(engine.stats, name),
+                    )
+        return RunReport(
+            app_name=program.name,
+            config_label=self.config.label,
+            num_nodes=self.config.num_nodes,
+            threads_per_node=self.config.threads_per_node,
+            wall_time_us=wall,
+            node_breakdowns=[node.breakdown for node in self.cluster.nodes],
+            node_events=[node.events for node in self.cluster.nodes],
+            total_messages=stats.total_messages,
+            total_kbytes=stats.total_bytes / 1024.0,
+            message_drops=stats.total_drops,
+            prefetch_stats=prefetch_stats,
+        )
+
+    # -- verification support ------------------------------------------------------
+
+    def global_page(self, page_id: int) -> np.ndarray:
+        """The authoritative final contents of a page.
+
+        Reconstructed by replaying every flushed diff — plus each node's
+        still-unflushed dirty modifications — in happened-before order,
+        starting from the demand-zero page.  This is exactly the value
+        any node would observe after synchronizing with everyone.
+        """
+        from repro.dsm.interval import StoredDiff
+        from repro.memory import make_diff
+
+        page = np.zeros(self.config.page_size, dtype=np.uint8)
+        deltas: list[StoredDiff] = []
+        for dsm in self.dsm_nodes:
+            deltas.extend(dsm.diff_store.diffs_after(page_id, 0))
+            coherence = dsm._coherence.get(page_id)
+            if coherence is not None and coherence.dirty and coherence.twin is not None:
+                virtual = make_diff(
+                    page_id, coherence.twin, dsm.node.pages.page(page_id)
+                )
+                deltas.append(
+                    StoredDiff(
+                        proc=dsm.node_id,
+                        covers_through=dsm.vc[dsm.node_id] + 1,
+                        lamport=dsm.intervals.lamport + 1,
+                        diff=virtual,
+                    )
+                )
+        for item in sorted(deltas, key=lambda s: (s.lamport, s.proc)):
+            apply_diff(page, item.diff)
+        return page
+
+    def read_global(self, addr: int, nbytes: int, dtype: np.dtype = np.uint8) -> np.ndarray:
+        """Authoritative bytes for a region (for verifiers)."""
+        page_size = self.config.page_size
+        out = np.empty(nbytes, dtype=np.uint8)
+        copied = 0
+        while copied < nbytes:
+            page_id, offset = divmod(addr + copied, page_size)
+            chunk = min(nbytes - copied, page_size - offset)
+            out[copied : copied + chunk] = self.global_page(page_id)[offset : offset + chunk]
+            copied += chunk
+        return out.view(dtype)
+
+    def read_vector(self, vector: SharedVector) -> np.ndarray:
+        return self.read_global(
+            vector.segment.base, vector.length * vector.dtype.itemsize, vector.dtype
+        )
+
+    def read_matrix(self, matrix: SharedMatrix) -> np.ndarray:
+        flat = self.read_global(
+            matrix.segment.base,
+            matrix.rows * matrix.cols * matrix.dtype.itemsize,
+            matrix.dtype,
+        )
+        return flat.reshape(matrix.rows, matrix.cols)

@@ -1,0 +1,137 @@
+"""Typed views over the shared address space.
+
+Applications allocate :class:`SharedVector` / :class:`SharedMatrix`
+objects at setup time and use them inside thread bodies to build
+``Read``/``Write``/``Prefetch`` operations without raw address
+arithmetic::
+
+    grid = runtime.alloc_matrix("grid", np.float64, rows, cols)
+    row = yield grid.read_row(5)          # -> np.ndarray of float64
+    yield grid.write_row(5, row * 0.5)
+    yield grid.prefetch_rows(6, 8)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.api.ops import Prefetch, Read, Write
+from repro.errors import ProgramError
+from repro.memory import Segment
+
+__all__ = ["SharedVector", "SharedMatrix"]
+
+
+class SharedVector:
+    """A 1-D typed array living in the shared segment."""
+
+    def __init__(self, segment: Segment, dtype: np.dtype, length: int) -> None:
+        self.segment = segment
+        self.dtype = np.dtype(dtype)
+        self.length = length
+        if length * self.dtype.itemsize > segment.nbytes:
+            raise ProgramError(
+                f"vector {segment.name!r}: {length} x {self.dtype} exceeds segment size"
+            )
+
+    def addr(self, index: int) -> int:
+        if not 0 <= index < self.length:
+            raise ProgramError(f"index {index} outside vector {self.segment.name!r}")
+        return self.segment.base + index * self.dtype.itemsize
+
+    def region(self, start: int, count: int) -> tuple[int, int]:
+        """(addr, nbytes) covering elements [start, start+count)."""
+        if count < 0 or start < 0 or start + count > self.length:
+            raise ProgramError(
+                f"range [{start}, {start + count}) outside vector {self.segment.name!r}"
+            )
+        return self.addr(start) if count else self.segment.base, count * self.dtype.itemsize
+
+    def read(self, start: int, count: int) -> Read:
+        addr, nbytes = self.region(start, count)
+        return Read(addr, nbytes, dtype=self.dtype)
+
+    def write(self, start: int, values: np.ndarray) -> Write:
+        values = np.ascontiguousarray(values, dtype=self.dtype)
+        addr, nbytes = self.region(start, values.size)
+        return Write(addr, values)
+
+    def prefetch(self, start: int, count: int, dedup_key: Optional[str] = None) -> Prefetch:
+        return Prefetch.of([self.region(start, count)], dedup_key)
+
+
+class SharedMatrix:
+    """A 2-D row-major typed array living in the shared segment."""
+
+    def __init__(self, segment: Segment, dtype: np.dtype, rows: int, cols: int) -> None:
+        self.segment = segment
+        self.dtype = np.dtype(dtype)
+        self.rows = rows
+        self.cols = cols
+        if rows * cols * self.dtype.itemsize > segment.nbytes:
+            raise ProgramError(
+                f"matrix {segment.name!r}: {rows}x{cols} x {self.dtype} exceeds segment size"
+            )
+
+    @property
+    def row_bytes(self) -> int:
+        return self.cols * self.dtype.itemsize
+
+    def addr(self, row: int, col: int = 0) -> int:
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise ProgramError(f"({row},{col}) outside matrix {self.segment.name!r}")
+        return self.segment.base + (row * self.cols + col) * self.dtype.itemsize
+
+    def row_region(self, row: int, row_count: int = 1) -> tuple[int, int]:
+        if row_count < 0 or row < 0 or row + row_count > self.rows:
+            raise ProgramError(
+                f"rows [{row}, {row + row_count}) outside matrix {self.segment.name!r}"
+            )
+        return self.addr(row), row_count * self.row_bytes
+
+    def read_row(self, row: int) -> Read:
+        addr, nbytes = self.row_region(row)
+        return Read(addr, nbytes, dtype=self.dtype)
+
+    def read_rows(self, row: int, row_count: int) -> Read:
+        addr, nbytes = self.row_region(row, row_count)
+        return Read(addr, nbytes, dtype=self.dtype)
+
+    def write_row(self, row: int, values: np.ndarray) -> Write:
+        values = np.ascontiguousarray(values, dtype=self.dtype).ravel()
+        if values.size != self.cols:
+            raise ProgramError(f"row write needs {self.cols} values, got {values.size}")
+        return Write(self.addr(row), values)
+
+    def write_rows(self, row: int, values: np.ndarray) -> Write:
+        values = np.ascontiguousarray(values, dtype=self.dtype)
+        if values.ndim != 2 or values.shape[1] != self.cols:
+            raise ProgramError(f"expected (k, {self.cols}) block, got {values.shape}")
+        addr, nbytes = self.row_region(row, values.shape[0])
+        if values.nbytes != nbytes:
+            raise ProgramError("block size mismatch")
+        return Write(addr, values)
+
+    def read_cell_span(self, row: int, col: int, count: int) -> Read:
+        """Read ``count`` consecutive cells starting at (row, col)."""
+        if col + count > self.cols:
+            raise ProgramError("cell span crosses a row boundary")
+        return Read(self.addr(row, col), count * self.dtype.itemsize, dtype=self.dtype)
+
+    def write_cell_span(self, row: int, col: int, values: np.ndarray) -> Write:
+        values = np.ascontiguousarray(values, dtype=self.dtype).ravel()
+        if col + values.size > self.cols:
+            raise ProgramError("cell span crosses a row boundary")
+        return Write(self.addr(row, col), values)
+
+    def prefetch_rows(
+        self, row: int, row_count: int, dedup_key: Optional[str] = None
+    ) -> Prefetch:
+        return Prefetch.of([self.row_region(row, row_count)], dedup_key)
+
+    def prefetch_row_list(
+        self, rows: Sequence[int], dedup_key: Optional[str] = None
+    ) -> Prefetch:
+        return Prefetch.of([self.row_region(r) for r in rows], dedup_key)

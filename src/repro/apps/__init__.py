@@ -1,0 +1,27 @@
+"""The paper's eight benchmark applications over the software DSM."""
+
+from repro.apps.base import AppBase, block_range
+from repro.apps.fft import Fft
+from repro.apps.lu import Lu, LuContiguous, LuNonContiguous
+from repro.apps.ocean import Ocean
+from repro.apps.radix import Radix
+from repro.apps.registry import APP_ORDER, available_apps, make_app
+from repro.apps.sor import Sor
+from repro.apps.water import WaterNsquared, WaterSpatial
+
+__all__ = [
+    "APP_ORDER",
+    "AppBase",
+    "Fft",
+    "Lu",
+    "LuContiguous",
+    "LuNonContiguous",
+    "Ocean",
+    "Radix",
+    "Sor",
+    "WaterNsquared",
+    "WaterSpatial",
+    "available_apps",
+    "block_range",
+    "make_app",
+]

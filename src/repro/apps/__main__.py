@@ -1,0 +1,95 @@
+"""Command-line entry: run one benchmark application.
+
+Examples::
+
+    python -m repro.apps SOR
+    python -m repro.apps RADIX --config 4T --nodes 8
+    python -m repro.apps FFT --config P --preset small --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.api.runtime import DsmRuntime, RunConfig
+from repro.apps.registry import APP_ORDER, make_app
+from repro.experiments.runner import parse_label
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.apps",
+        description="Run one application on the simulated software DSM.",
+    )
+    parser.add_argument("app", choices=APP_ORDER)
+    parser.add_argument(
+        "--config",
+        default="O",
+        help="paper configuration label: O, P, 2T, 4T, 8T, 2TP, 4TP, 8TP",
+    )
+    parser.add_argument("--nodes", type=int, default=8)
+    parser.add_argument(
+        "--preset", default="default", choices=["small", "default", "paper"]
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--no-verify", action="store_true")
+    parser.add_argument(
+        "--history-prefetch",
+        action="store_true",
+        help="runtime-driven prefetching instead of explicit insertion",
+    )
+    args = parser.parse_args(argv)
+
+    threads_per_node, prefetch = parse_label(args.config)
+    app = make_app(args.app, args.preset)
+    app.use_prefetch = prefetch
+    if prefetch and threads_per_node > 1:
+        app.prefetch_dedup = True
+        if args.app == "RADIX":
+            app.throttle_prefetch = True
+    config = RunConfig(
+        num_nodes=args.nodes,
+        threads_per_node=threads_per_node,
+        prefetch=prefetch,
+        history_prefetch=args.history_prefetch,
+        seed=args.seed,
+    )
+
+    started = time.time()
+    report = DsmRuntime(config).execute(app, verify=not args.no_verify)
+    elapsed = time.time() - started
+
+    verified = "skipped" if args.no_verify else "passed"
+    print(f"{args.app} [{args.config}] on {args.nodes} nodes ({args.preset} preset)")
+    print(f"  verification: {verified}   (simulated in {elapsed:.1f}s real time)")
+    print(f"  wall time:    {report.wall_time_us / 1000:.2f} ms simulated")
+    print("  breakdown (% of wall x nodes):")
+    for category, pct in report.normalized_breakdown().items():
+        if pct > 0.05:
+            print(f"    {category:18s} {pct:6.1f}")
+    events = report.events
+    print(
+        f"  remote misses {events.remote_misses} (avg {events.avg_miss_stall:.0f} us), "
+        f"lock stalls {events.remote_lock_misses}, "
+        f"barrier waits {events.barrier_waits}"
+    )
+    print(
+        f"  traffic: {report.total_messages} messages, "
+        f"{report.total_kbytes:.0f} KB, {report.message_drops} drops"
+    )
+    if report.prefetch_stats is not None:
+        stats = report.prefetch_stats
+        print(
+            f"  prefetch: issued {stats.issued}, "
+            f"{100 * stats.unnecessary_fraction:.0f}% unnecessary, "
+            f"coverage {100 * stats.coverage_factor:.0f}% "
+            f"(hits {stats.hits}, late {stats.late}, "
+            f"invalidated {stats.invalidated})"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

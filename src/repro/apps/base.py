@@ -1,0 +1,71 @@
+"""Shared machinery for the benchmark applications.
+
+All eight applications follow the SPLASH-2 conventions:
+
+- thread 0 initializes shared data, then everyone meets at barrier 0
+  (this makes node 0 the startup hot spot, as in the paper);
+- work is block-partitioned over the *global* thread count, so the same
+  program runs single-threaded or multithreaded per node;
+- computation is charged through :func:`AppBase.flops_us`, calibrated to
+  a 133 MHz PowerPC 604-class machine.
+
+Each application also knows how to insert its own prefetches (Section
+3.2): bodies yield :class:`~repro.api.ops.Prefetch` operations, which
+are free no-ops when the runtime has prefetching disabled — so one body
+serves the O/P/nT/nTP configurations.
+"""
+
+from __future__ import annotations
+
+from repro.api.program import Program
+
+__all__ = ["AppBase", "block_range", "BARRIER_MAIN"]
+
+#: The global barrier id every app uses for phase synchronization.
+BARRIER_MAIN = 0
+
+
+def block_range(total: int, parts: int, index: int) -> tuple[int, int]:
+    """Contiguous block decomposition: [lo, hi) for block ``index``.
+
+    Remainders are spread over the leading blocks, so sizes differ by at
+    most one.
+    """
+    if parts <= 0 or not 0 <= index < parts:
+        raise ValueError(f"bad partition {index}/{parts}")
+    base, extra = divmod(total, parts)
+    lo = index * base + min(index, extra)
+    hi = lo + base + (1 if index < extra else 0)
+    return lo, hi
+
+
+class AppBase(Program):
+    """Base class adding compute-cost accounting and prefetch gating."""
+
+    #: Effective floating-point throughput used to convert work into
+    #: simulated microseconds (133 MHz PowerPC 604 class, ~0.5 flop/cycle).
+    mflops: float = 66.0
+
+    def __init__(self) -> None:
+        #: Set by experiment configs: issue prefetch ops from the body.
+        self.use_prefetch = False
+        #: RADIX's combined-scheme throttling (Section 5.1) and the
+        #: redundant-prefetch flag optimization are driven from here.
+        self.throttle_prefetch = False
+        self.prefetch_dedup = False
+
+    def flops_us(self, flops: float) -> float:
+        """Microseconds of CPU time for ``flops`` floating-point ops."""
+        return flops / self.mflops
+
+    def total_threads(self, runtime) -> int:
+        return runtime.config.total_threads
+
+    def force_partitions(self, runtime) -> int:
+        """Lock-partition count for shared accumulation structures.
+
+        A property of the data decomposition (one per processor), NOT of
+        the thread count — the paper's Table 2 shows total lock
+        operations unchanged as threads per processor grow.
+        """
+        return runtime.config.num_nodes

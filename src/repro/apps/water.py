@@ -1,0 +1,428 @@
+"""WATER-NSQ and WATER-SP: molecular dynamics (SPLASH-2).
+
+Both simulate forces among water molecules over a few timesteps; they
+differ in how interaction partners are found, which completely changes
+the sharing pattern:
+
+- **WATER-NSQ** (O(n^2)): every molecule interacts with the next n/2
+  molecules (cyclically), so each thread scatters force contributions
+  into every other thread's partition, accumulating under per-partition
+  locks — the paper's prototypical lock-bound application ("the major
+  misses occur when updating shared locations protected by locks").
+- **WATER-SP** (O(n)): molecules live in a uniform grid of cells and
+  interact only with neighbouring cells.  Molecule records are chased
+  through per-cell linked lists (head/next pointers embedded in the
+  records), which defeats address prediction; the prefetch strategy is
+  the paper's history scheme — record the traversal order once, then
+  prefetch through the recorded list.
+
+Substitution note (DESIGN.md): the intra-molecule potentials of the
+original are replaced by a soft pairwise central force on point
+molecules; the interaction structure (who reads/writes whom, under
+which lock, between which barriers) is preserved and all forces are
+verified against a sequential reference.
+
+Paper parameters: NSQ 512 molecules / 9 steps; SP 4096 molecules.
+Scaled defaults: NSQ 192 molecules / 2 steps; SP 512 molecules / 2 steps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api.ops import Acquire, Barrier, Compute, Prefetch, Read, Release, Write
+from repro.apps.base import BARRIER_MAIN, AppBase, block_range
+
+__all__ = ["WaterNsquared", "WaterSpatial", "pair_force"]
+
+#: Lock ids 8.. are partition locks (0..7 reserved for app scalars).
+PARTITION_LOCK_BASE = 8
+
+#: Flops charged per pairwise interaction (distance, force, accumulate).
+PAIR_FLOPS = 30
+
+
+def pair_force(pos_i: np.ndarray, pos_j: np.ndarray) -> np.ndarray:
+    """Soft central force between two molecules (no singularity)."""
+    delta = pos_i - pos_j
+    r2 = float(delta @ delta) + 0.05
+    return delta / (r2 * r2)
+
+
+def nsq_pairs(n: int):
+    """The SPLASH-2 NSQ pair enumeration: i with the next n//2 molecules."""
+    half = n // 2
+    for i in range(n):
+        for step in range(1, half + 1):
+            j = (i + step) % n
+            if step == half and n % 2 == 0 and i >= j:
+                continue  # each diametrical pair once
+            yield i, j
+
+
+def nsq_reference(positions: np.ndarray) -> np.ndarray:
+    """Sequential force computation for WATER-NSQ."""
+    n = positions.shape[0]
+    forces = np.zeros((n, 3))
+    for i, j in nsq_pairs(n):
+        f = pair_force(positions[i], positions[j])
+        forces[i] += f
+        forces[j] -= f
+    return forces
+
+
+class WaterNsquared(AppBase):
+    """WATER-NSQ over the software DSM."""
+
+    name = "WATER-NSQ"
+    #: Calibrated (DESIGN.md).
+    mflops = 7.6
+
+    def __init__(self, num_molecules: int = 192, steps: int = 2, dt: float = 1e-4) -> None:
+        super().__init__()
+        if num_molecules < 16:
+            raise ValueError("need at least 16 molecules")
+        self.n = num_molecules
+        self.steps = steps
+        self.dt = dt
+        self._initial: np.ndarray | None = None
+
+    def setup(self, runtime) -> None:
+        # positions[i] = (x, y, z); forces likewise.
+        self.pos = runtime.alloc_matrix("water.pos", np.float64, self.n, 3)
+        self.force = runtime.alloc_matrix("water.force", np.float64, self.n, 3)
+        rng = runtime.random.stream("water.init")
+        self._initial = rng.random((self.n, 3))
+        #: per-processor shared accumulation buffers (Section 4.2: the
+        #: paper modified WATER-NSQ to keep one shared copy of the data
+        #: structure per processor, merging co-located threads' work
+        #: before touching remote memory).
+        self._node_acc: dict[tuple[int, int], np.ndarray] = {}
+
+    def thread_body(self, runtime, tid: int):
+        threads = self.total_threads(runtime)
+        if tid == 0:
+            yield Compute(self.flops_us(self.n * 3))
+            yield self.pos.write_rows(0, self._initial)
+            yield self.force.write_rows(0, np.zeros((self.n, 3)))
+        yield Barrier(BARRIER_MAIN)
+
+        lo, hi = block_range(self.n, threads, tid)
+        for _step in range(self.steps):
+            # Read all positions (the n^2 algorithm touches everyone).
+            if self.use_prefetch:
+                # Hand-tuned insertion (Section 3.2): the position array
+                # is written only at barriers, so its write notices are
+                # fully known here and the prefetch covers every miss.
+                # The loop below is reordered so locally available pairs
+                # compute first — that computation is the lead time.
+                yield self.pos.prefetch_rows(0, self.n)
+            own = np.asarray(
+                (yield self.pos.read_rows(lo, hi - lo))
+            ).reshape(hi - lo, 3)
+            local = np.zeros((self.n, 3))
+            half = self.n // 2
+
+            def in_window(i, j):
+                step_ = (j - i) % self.n
+                if not 1 <= step_ <= half:
+                    return False
+                if step_ == half and self.n % 2 == 0 and i >= j:
+                    return False
+                return True
+
+            # Phase A: pairs fully inside the thread's own block (the
+            # position rows are local — written here last step).
+            pair_count = 0
+            for i in range(lo, hi):
+                for j in range(lo, hi):
+                    if not in_window(i, j):
+                        continue
+                    f = pair_force(own[i - lo], own[j - lo])
+                    local[i] += f
+                    local[j] -= f
+                    pair_count += 1
+            yield Compute(self.flops_us(PAIR_FLOPS * pair_count))
+
+            # Phase B: cross-block pairs; by now the prefetched remote
+            # position pages have had phase A as lead time.
+            positions = np.asarray(
+                (yield self.pos.read_rows(0, self.n))
+            ).reshape(self.n, 3)
+            pair_count = 0
+            for i in range(lo, hi):
+                for step_ in range(1, half + 1):
+                    j = (i + step_) % self.n
+                    if lo <= j < hi:
+                        continue  # handled in phase A
+                    if step_ == half and self.n % 2 == 0 and i >= j:
+                        continue
+                    f = pair_force(positions[i], positions[j])
+                    local[i] += f
+                    local[j] -= f
+                    pair_count += 1
+            yield Compute(self.flops_us(PAIR_FLOPS * pair_count))
+
+            # Merge into the per-processor shared buffer (Section 4.2's
+            # optimization: co-located threads combine their work before
+            # any remote accumulation), then one thread per node scatters
+            # into the force partitions under their locks.  Lock
+            # operations therefore do not grow with the thread count
+            # (the paper's Table 2 shows exactly that for WATER-NSQ).
+            tpn = runtime.config.threads_per_node
+            node_id = tid // tpn
+            acc = self._node_acc.setdefault(
+                (node_id, _step), np.zeros((self.n, 3))
+            )
+            acc += local
+            yield Compute(self.flops_us(3 * self.n))
+            yield Barrier(BARRIER_MAIN)
+            if tid % tpn == 0:
+                num_parts = self.force_partitions(runtime)
+                part_bounds = [
+                    block_range(self.n, num_parts, p) for p in range(num_parts)
+                ]
+                for step_offset in range(num_parts):
+                    target = (node_id + step_offset) % num_parts  # stagger
+                    plo, phi = part_bounds[target]
+                    if not np.any(acc[plo:phi]):
+                        continue
+                    yield Acquire(PARTITION_LOCK_BASE + target)
+                    current = np.asarray(
+                        (yield self.force.read_rows(plo, phi - plo))
+                    ).reshape(phi - plo, 3)
+                    yield Compute(self.flops_us(3 * (phi - plo)))
+                    yield self.force.write_rows(plo, current + acc[plo:phi])
+                    yield Release(PARTITION_LOCK_BASE + target)
+            yield Barrier(BARRIER_MAIN)
+
+            # Advance own molecules, reset own forces.
+            my_forces = np.asarray(
+                (yield self.force.read_rows(lo, hi - lo))
+            ).reshape(hi - lo, 3)
+            yield Compute(self.flops_us(6 * (hi - lo)))
+            yield self.pos.write_rows(lo, positions[lo:hi] + self.dt * my_forces)
+            yield self.force.write_rows(lo, np.zeros((hi - lo, 3)))
+            yield Barrier(BARRIER_MAIN)
+
+    def verify(self, runtime) -> None:
+        positions = self._initial.copy()
+        for _ in range(self.steps):
+            forces = nsq_reference(positions)
+            positions = positions + self.dt * forces
+        actual = runtime.read_matrix(self.pos)
+        if not np.allclose(actual, positions, rtol=1e-8, atol=1e-10):
+            worst = np.abs(actual - positions).max()
+            raise AssertionError(f"WATER-NSQ position mismatch: {worst}")
+
+
+# ---------------------------------------------------------------------------
+
+
+def spatial_cells(positions: np.ndarray, cells_per_dim: int):
+    """Assign each molecule to a cell of the unit cube."""
+    index = np.minimum((positions * cells_per_dim).astype(int), cells_per_dim - 1)
+    return index[:, 0] * cells_per_dim**2 + index[:, 1] * cells_per_dim + index[:, 2]
+
+
+def sp_reference(positions: np.ndarray, cells_per_dim: int) -> np.ndarray:
+    """Sequential force computation for WATER-SP (neighbour cells only)."""
+    n = positions.shape[0]
+    cell_of = spatial_cells(positions, cells_per_dim)
+    members: dict[int, list[int]] = {}
+    for mol in range(n):
+        members.setdefault(int(cell_of[mol]), []).append(mol)
+    forces = np.zeros((n, 3))
+    c = cells_per_dim
+    for i in range(n):
+        ci = int(cell_of[i])
+        cx, cy, cz = ci // c**2, (ci // c) % c, ci % c
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                for dz in (-1, 0, 1):
+                    nx, ny, nz = cx + dx, cy + dy, cz + dz
+                    if not (0 <= nx < c and 0 <= ny < c and 0 <= nz < c):
+                        continue
+                    for j in members.get(nx * c**2 + ny * c + nz, ()):
+                        if j <= i:
+                            continue
+                        f = pair_force(positions[i], positions[j])
+                        forces[i] += f
+                        forces[j] -= f
+    return forces
+
+
+class WaterSpatial(AppBase):
+    """WATER-SP over the software DSM (cell lists, pointer chasing)."""
+
+    name = "WATER-SP"
+    #: Calibrated (DESIGN.md).
+    mflops = 3.05
+
+    #: doubles per molecule record: x y z fx fy fz next pad
+    RECORD_DOUBLES = 8
+
+    def __init__(self, num_molecules: int = 512, steps: int = 2, cells_per_dim: int = 4) -> None:
+        super().__init__()
+        if num_molecules < 32:
+            raise ValueError("need at least 32 molecules")
+        self.n = num_molecules
+        self.steps = steps
+        self.c = cells_per_dim
+        self.num_cells = cells_per_dim**3
+        self._initial: np.ndarray | None = None
+
+    def setup(self, runtime) -> None:
+        # Molecule records scattered across pages; traversal chases the
+        # embedded 'next' field, so addresses are unpredictable.
+        self.mol = runtime.alloc_matrix(
+            "sp.molecules", np.float64, self.n, self.RECORD_DOUBLES
+        )
+        self.head = runtime.alloc_vector("sp.head", np.float64, self.num_cells)
+        self.force = runtime.alloc_matrix("sp.force", np.float64, self.n, 3)
+        rng = runtime.random.stream("watersp.init")
+        self._initial = rng.random((self.n, 3))
+        # Per-node traversal history for the paper's history-based
+        # prefetching of recursive structures (Luk & Mowry).
+        self._history: dict[int, list[int]] = {}
+        #: per-processor shared accumulation buffers (see WATER-NSQ).
+        self._node_acc: dict[tuple[int, int], dict] = {}
+
+    def thread_body(self, runtime, tid: int):
+        threads = self.total_threads(runtime)
+        c = self.c
+        if tid == 0:
+            yield Compute(self.flops_us(self.n * 8))
+            cell_of = spatial_cells(self._initial, c)
+            heads = np.full(self.num_cells, -1.0)
+            records = np.zeros((self.n, self.RECORD_DOUBLES))
+            records[:, :3] = self._initial
+            # Build the linked lists: newest-first per cell.
+            for mol in range(self.n):
+                cell = int(cell_of[mol])
+                records[mol, 6] = heads[cell]
+                heads[cell] = mol
+            yield self.mol.write_rows(0, records)
+            yield self.head.write(0, heads)
+            yield self.force.write_rows(0, np.zeros((self.n, 3)))
+        yield Barrier(BARRIER_MAIN)
+
+        cell_lo, cell_hi = block_range(self.num_cells, threads, tid)
+        for step in range(self.steps):
+            heads = np.asarray((yield self.head.read(0, self.num_cells)))
+            # Gather the molecules of our cells and their neighbours by
+            # chasing the linked lists (pointer-chasing reads).
+            history_key = tid
+            recorded = self._history.get(history_key)
+            if self.use_prefetch and recorded:
+                # History-based prefetching: we know the traversal order
+                # from the previous step — prefetch straight through it.
+                yield self.mol.prefetch_row_list(recorded)
+            needed_cells: set[int] = set()
+            for cell in range(cell_lo, cell_hi):
+                cx, cy, cz = cell // c**2, (cell // c) % c, cell % c
+                for dx in (-1, 0, 1):
+                    for dy in (-1, 0, 1):
+                        for dz in (-1, 0, 1):
+                            nx, ny, nz = cx + dx, cy + dy, cz + dz
+                            if 0 <= nx < c and 0 <= ny < c and 0 <= nz < c:
+                                needed_cells.add(nx * c**2 + ny * c + nz)
+            visited: list[int] = []
+            records: dict[int, np.ndarray] = {}
+            for cell in sorted(needed_cells):
+                mol = int(heads[cell])
+                while mol >= 0:
+                    row = np.asarray((yield self.mol.read_row(mol)))
+                    records[mol] = row.copy()
+                    visited.append(mol)
+                    yield Compute(self.flops_us(4))
+                    mol = int(row[6])
+            self._history[history_key] = visited
+
+            # Compute pair forces: each unordered pair (i, j>i) is
+            # handled exactly once, by the thread owning cell(i), and
+            # only across neighbouring cells — mirroring sp_reference.
+            local: dict[int, np.ndarray] = {}
+            pair_count = 0
+            for cell in range(cell_lo, cell_hi):
+                cx, cy, cz = cell // c**2, (cell // c) % c, cell % c
+                neighbours = [
+                    nx * c**2 + ny * c + nz
+                    for dx in (-1, 0, 1)
+                    for dy in (-1, 0, 1)
+                    for dz in (-1, 0, 1)
+                    if 0 <= (nx := cx + dx) < c
+                    and 0 <= (ny := cy + dy) < c
+                    and 0 <= (nz := cz + dz) < c
+                ]
+                for i in self._chain(records, heads, cell):
+                    pos_i = records[i][:3]
+                    for ncell in neighbours:
+                        for j in self._chain(records, heads, ncell):
+                            if j <= i:
+                                continue
+                            f = pair_force(pos_i, records[j][:3])
+                            local[i] = local.get(i, np.zeros(3)) + f
+                            local[j] = local.get(j, np.zeros(3)) - f
+                            pair_count += 1
+            yield Compute(self.flops_us(PAIR_FLOPS * pair_count))
+
+            # Merge into the per-processor shared buffer, then one
+            # thread per node accumulates into the shared force array
+            # under partition locks (fixed partition count and
+            # per-processor combining — see WATER-NSQ).
+            tpn = runtime.config.threads_per_node
+            node_id = tid // tpn
+            acc = self._node_acc.setdefault((node_id, step), {})
+            for mol, contribution in local.items():
+                if mol in acc:
+                    acc[mol] = acc[mol] + contribution
+                else:
+                    acc[mol] = contribution
+            yield Compute(self.flops_us(3 * len(local)))
+            yield Barrier(BARRIER_MAIN)
+            if tid % tpn == 0 and acc:
+                num_parts = self.force_partitions(runtime)
+                by_partition: dict[int, list[int]] = {}
+                for mol in acc:
+                    part = min(mol * num_parts // self.n, num_parts - 1)
+                    by_partition.setdefault(part, []).append(mol)
+                for part in sorted(by_partition):
+                    yield Acquire(PARTITION_LOCK_BASE + part)
+                    for mol in sorted(by_partition[part]):
+                        current = np.asarray((yield self.force.read_row(mol)))
+                        yield self.force.write_row(mol, current + acc[mol])
+                    yield Compute(self.flops_us(3 * len(by_partition[part])))
+                    yield Release(PARTITION_LOCK_BASE + part)
+
+            # Per-step update of the owned molecule records (the real
+            # application advances predictor/corrector state here).
+            # Positions and list links stay fixed — the paper notes the
+            # recursive structure does not change — but the records are
+            # rewritten, so the next step's traversal refetches them.
+            for cell in range(cell_lo, cell_hi):
+                for mol in self._chain(records, heads, cell):
+                    record = records[mol].copy()
+                    record[3] = float(step + 1)
+                    record[4] = float(mol)
+                    yield Compute(self.flops_us(6))
+                    yield self.mol.write_row(mol, record)
+            yield Barrier(BARRIER_MAIN)
+
+    @staticmethod
+    def _chain(records: dict, heads: np.ndarray, cell: int) -> list[int]:
+        chain = []
+        mol = int(heads[cell])
+        while mol >= 0:
+            chain.append(mol)
+            mol = int(records[mol][6])
+        return chain
+
+    def verify(self, runtime) -> None:
+        expected = sp_reference(self._initial, self.c) * self.steps
+        actual = runtime.read_matrix(self.force)
+        if not np.allclose(actual, expected, rtol=1e-7, atol=1e-9):
+            worst = np.abs(actual - expected).max()
+            raise AssertionError(f"WATER-SP force mismatch: {worst}")
+        # Newton's third law: forces sum to ~zero.
+        assert np.abs(actual.sum(axis=0)).max() < 1e-6

@@ -1,0 +1,184 @@
+"""Centralized barriers with write-notice exchange.
+
+A barrier in TreadMarks is both a synchronization point and the moment
+all-to-all consistency information flows: each arriving node performs an
+LRC release, ships its new write notices (and vector clock) to the
+barrier manager, and the manager's release message returns every notice
+the node has not seen.
+
+Multithreaded nodes *gather locally* (Section 4.1): only the last local
+thread to arrive generates the remote arrival message, and all local
+threads wake on the single release.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import ProtocolError
+from repro.network import Message, MessageKind
+from repro.sim import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dsm.protocol import DsmNode
+
+__all__ = ["BarrierSubsystem"]
+
+BARRIER_MANAGER = 0
+
+
+@dataclass
+class _NodeEpisode:
+    """Local state for one barrier episode on one node."""
+
+    arrived: int = 0
+    waiters: list[Event] = field(default_factory=list)
+
+
+@dataclass
+class _ManagerEpisode:
+    """Manager state for one barrier episode."""
+
+    arrivals: int = 0
+    node_vcs: dict[int, tuple[int, ...]] = field(default_factory=dict)
+
+
+class BarrierSubsystem:
+    """All barrier behaviour for one node."""
+
+    def __init__(self, dsm: "DsmNode") -> None:
+        self.dsm = dsm
+        #: episode number per barrier id (local count of completed uses).
+        self._episode: dict[int, int] = {}
+        self._local: dict[tuple[int, int], _NodeEpisode] = {}
+        self._manager: dict[tuple[int, int], _ManagerEpisode] = {}
+        #: highest own interval index already shipped to the manager.
+        self._own_sent_upto = 0
+
+    @property
+    def is_manager(self) -> bool:
+        return self.dsm.node_id == BARRIER_MANAGER
+
+    def _local_episode(self, barrier_id: int) -> tuple[tuple[int, int], _NodeEpisode]:
+        episode = self._episode.setdefault(barrier_id, 0)
+        key = (barrier_id, episode)
+        return key, self._local.setdefault(key, _NodeEpisode())
+
+    # -- thread-facing ------------------------------------------------------
+
+    def op_arrive(self, barrier_id: int, local_thread_count: int):
+        """Thread arrival (generator); returns the Event releasing it."""
+        costs = self.dsm.node.costs
+        key, episode = self._local_episode(barrier_id)
+        episode.arrived += 1
+        wake = Event(self.dsm.sim, name=f"barrier{barrier_id}@{self.dsm.node_id}")
+        episode.waiters.append(wake)
+        yield from self.dsm.occupy_dsm(costs.barrier_local_gather)
+        if episode.arrived < local_thread_count:
+            return wake
+        if episode.arrived > local_thread_count:
+            raise ProtocolError(
+                f"barrier {barrier_id}: {episode.arrived} arrivals for "
+                f"{local_thread_count} local threads"
+            )
+        # Last local thread: LRC release, then notify the manager.
+        yield from self.dsm.close_interval_charged()
+        own_new = self.dsm.wn_log.own_notices_after(self.dsm.node_id, self._own_sent_upto)
+        self._own_sent_upto = self.dsm.vc[self.dsm.node_id]
+        vc_snapshot = self.dsm.vc.snapshot()
+        if self.is_manager:
+            yield from self._manager_arrival(
+                barrier_id, self._episode[barrier_id], self.dsm.node_id, vc_snapshot, own_new
+            )
+        else:
+            from repro.dsm.writenotice import WriteNoticeLog
+
+            yield from self.dsm.send(
+                Message(
+                    src=self.dsm.node_id,
+                    dst=BARRIER_MANAGER,
+                    kind=MessageKind.BARRIER_ARRIVE,
+                    size_bytes=16
+                    + self.dsm.vc.size_bytes
+                    + WriteNoticeLog.wire_bytes(own_new),
+                    payload={
+                        "barrier_id": barrier_id,
+                        "episode": self._episode[barrier_id],
+                        "vc": vc_snapshot,
+                        "notices": own_new,
+                    },
+                )
+            )
+        return wake
+
+    # -- message handlers ----------------------------------------------------
+
+    def handle_arrive(self, msg: Message):
+        yield from self.dsm.occupy_dsm(self.dsm.node.costs.barrier_handler)
+        yield from self._manager_arrival(
+            msg.payload["barrier_id"],
+            msg.payload["episode"],
+            msg.src,
+            msg.payload["vc"],
+            msg.payload["notices"],
+        )
+
+    def _manager_arrival(self, barrier_id, episode, src, vc_snapshot, notices):
+        if not self.is_manager:
+            raise ProtocolError(f"node {self.dsm.node_id} received a barrier arrival")
+        key = (barrier_id, episode)
+        state = self._manager.setdefault(key, _ManagerEpisode())
+        if src in state.node_vcs:
+            raise ProtocolError(f"duplicate barrier arrival from node {src}")
+        state.arrivals += 1
+        state.node_vcs[src] = vc_snapshot
+        # Merge the arriving notices into the manager's log (free of
+        # charge beyond the handler cost already paid).  The manager's
+        # own vector clock must NOT advance here: these notices are only
+        # *applied* (clock + invalidations) by its own release, so its
+        # release computation below still sees them as unseen.
+        self.dsm.wn_log.add_all(notices)
+        if state.arrivals < self.dsm.num_nodes:
+            return
+        # Everyone is here: release all nodes.
+        from repro.dsm.writenotice import WriteNoticeLog
+
+        for node_id, node_vc in state.node_vcs.items():
+            missing = self.dsm.wn_log.unseen_by(node_vc)
+            if node_id == self.dsm.node_id:
+                yield from self._apply_release(barrier_id, episode, missing)
+            else:
+                yield from self.dsm.send(
+                    Message(
+                        src=self.dsm.node_id,
+                        dst=node_id,
+                        kind=MessageKind.BARRIER_RELEASE,
+                        size_bytes=24 + WriteNoticeLog.wire_bytes(missing),
+                        payload={
+                            "barrier_id": barrier_id,
+                            "episode": episode,
+                            "notices": missing,
+                        },
+                    )
+                )
+        del self._manager[key]
+
+    def handle_release(self, msg: Message):
+        yield from self.dsm.occupy_dsm(self.dsm.node.costs.barrier_handler)
+        yield from self._apply_release(
+            msg.payload["barrier_id"], msg.payload["episode"], msg.payload["notices"]
+        )
+
+    def _apply_release(self, barrier_id: int, episode: int, notices):
+        """Apply invalidations and wake every local thread."""
+        yield from self.dsm.apply_notices_charged(notices)
+        key = (barrier_id, episode)
+        state = self._local.get(key)
+        if state is None:
+            raise ProtocolError(f"barrier release for unknown episode {key}")
+        self._episode[barrier_id] = episode + 1
+        waiters = state.waiters
+        del self._local[key]
+        for wake in waiters:
+            wake.succeed(None)

@@ -1,0 +1,120 @@
+"""Interval tracking and the lazy diff store.
+
+A node's execution is divided into *intervals* delimited by
+synchronization operations (and by diff flushes forced by incoming
+requests — the "sub-intervals" of Section 3.1).  During an interval the
+node accumulates a dirty-page set; closing the interval emits write
+notices.  Diffs are created lazily: only when another node (or a
+prefetch) asks for a page's modifications is the twin compared against
+the current contents.  Each stored diff is tagged with the interval it
+was flushed in, and satisfies every earlier notice for that page.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dsm.writenotice import WriteNotice
+from repro.memory import Diff
+
+__all__ = ["StoredDiff", "IntervalManager", "DiffStore"]
+
+
+@dataclass(frozen=True)
+class StoredDiff:
+    """A flushed diff, tagged for ordering and coverage.
+
+    ``covers_through`` is the owner's interval index at flush time: a
+    requester holding this diff has the page's modifications for every
+    owner interval up to and including that index.
+    """
+
+    proc: int
+    covers_through: int
+    lamport: int
+    diff: Diff
+
+
+class DiffStore:
+    """Per-node archive of flushed diffs, keyed by page."""
+
+    def __init__(self) -> None:
+        self._by_page: dict[int, list[StoredDiff]] = {}
+        self.total_flushes = 0
+        self.total_diff_bytes = 0
+
+    def add(self, stored: StoredDiff) -> None:
+        self._by_page.setdefault(stored.diff.page_id, []).append(stored)
+        self.total_flushes += 1
+        self.total_diff_bytes += stored.diff.size_bytes
+
+    def diffs_after(self, page_id: int, interval_idx: int) -> list[StoredDiff]:
+        """Stored diffs for ``page_id`` flushed after ``interval_idx``."""
+        return [d for d in self._by_page.get(page_id, []) if d.covers_through > interval_idx]
+
+    def latest_coverage(self, page_id: int) -> int:
+        diffs = self._by_page.get(page_id)
+        return diffs[-1].covers_through if diffs else 0
+
+    def pages(self) -> list[int]:
+        return list(self._by_page)
+
+    def garbage_collect_before(self, page_id: int, interval_idx: int) -> int:
+        """Drop diffs every node already has; returns bytes reclaimed."""
+        diffs = self._by_page.get(page_id)
+        if not diffs:
+            return 0
+        keep = [d for d in diffs if d.covers_through > interval_idx]
+        reclaimed = sum(d.diff.size_bytes for d in diffs) - sum(d.diff.size_bytes for d in keep)
+        self._by_page[page_id] = keep
+        self.total_diff_bytes -= reclaimed
+        return reclaimed
+
+
+class IntervalManager:
+    """Tracks the node's current interval and its dirty-page set."""
+
+    def __init__(self, owner: int) -> None:
+        self.owner = owner
+        self.lamport = 0
+        self._dirty_pages: set[int] = set()
+        self._closed_intervals = 0
+
+    @property
+    def dirty_pages(self) -> frozenset[int]:
+        return frozenset(self._dirty_pages)
+
+    @property
+    def has_modifications(self) -> bool:
+        return bool(self._dirty_pages)
+
+    def record_write(self, page_id: int) -> None:
+        self._dirty_pages.add(page_id)
+
+    def observe_lamport(self, lamport: int) -> None:
+        """Advance the scalar clock past a timestamp seen at sync."""
+        if lamport > self.lamport:
+            self.lamport = lamport
+
+    def take_dirty(self) -> set[int]:
+        """Return and clear the open interval's dirty-page set."""
+        pages, self._dirty_pages = self._dirty_pages, set()
+        self._closed_intervals += 1
+        return pages
+
+    def close(self, new_interval_idx: int) -> list[WriteNotice]:
+        """Close the current interval, emitting its write notices.
+
+        ``new_interval_idx`` is the vector-clock component after the
+        caller bumped it.  Returns the notices for the interval just
+        closed (empty when nothing was written — callers should avoid
+        bumping the clock in that case).
+        """
+        self.lamport += 1
+        notices = [
+            WriteNotice(self.owner, new_interval_idx, self.lamport, page_id)
+            for page_id in sorted(self._dirty_pages)
+        ]
+        self._dirty_pages.clear()
+        self._closed_intervals += 1
+        return notices

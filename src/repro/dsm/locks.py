@@ -1,0 +1,246 @@
+"""Distributed locks with lazy release consistency.
+
+TreadMarks assigns each lock a static *manager* (``lock_id % N``); a
+request goes to the manager, which forwards it to the last requester,
+building a distributed FIFO queue.  The grant message carries the write
+notices the acquirer has not yet seen — this is the moment consistency
+information propagates.
+
+Multithreading adds *request combining* (Section 4.1): if the token is
+on this node (or already requested), additional local threads queue
+locally, and on release the lock is handed between local threads at
+user-level cost, without any messages.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import ProtocolError
+from repro.network import Message, MessageKind
+from repro.sim import Event
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.dsm.protocol import DsmNode
+
+__all__ = ["LockState", "LockSubsystem"]
+
+
+@dataclass
+class LockState:
+    """Per-node view of one lock."""
+
+    lock_id: int
+    #: The token (ownership of the lock's queue position) is here.
+    has_token: bool = False
+    #: A local thread currently holds the lock.
+    held: bool = False
+    #: Local threads waiting for the lock (their wake events).
+    local_waiters: deque = field(default_factory=deque)
+    #: Remote node to grant to after the local release (at most one:
+    #: the distributed queue gives each holder a single successor).
+    pending_remote_grant: Optional[int] = None
+    pending_remote_vc: Optional[tuple[int, ...]] = None
+    #: A LOCK_REQUEST has been sent and the token is on its way.
+    request_outstanding: bool = False
+    # Manager-side state (meaningful only on the manager node).
+    last_requester: Optional[int] = None
+
+    # statistics
+    remote_acquires: int = 0
+    local_handoffs: int = 0
+
+
+class LockSubsystem:
+    """All lock behaviour for one node."""
+
+    def __init__(self, dsm: "DsmNode") -> None:
+        self.dsm = dsm
+        self._locks: dict[int, LockState] = {}
+
+    def state(self, lock_id: int) -> LockState:
+        if lock_id < 0:
+            raise ProtocolError(f"negative lock id {lock_id}")
+        if lock_id not in self._locks:
+            state = LockState(lock_id)
+            if self.manager_of(lock_id) == self.dsm.node_id:
+                # The token is born at the manager, free.
+                state.has_token = True
+                state.last_requester = self.dsm.node_id
+            self._locks[lock_id] = state
+        return self._locks[lock_id]
+
+    def manager_of(self, lock_id: int) -> int:
+        return lock_id % self.dsm.num_nodes
+
+    # -- thread-facing operations (generators run in thread context) -----
+
+    def op_acquire(self, lock_id: int):
+        """Acquire path; returns None (granted now) or an Event to wait on.
+
+        An acquire is also an LRC *acquire* operation, but invalidations
+        arrive with the grant message; a locally satisfied acquire needs
+        no consistency action (the local memory image is current for
+        intervals this node has seen).
+        """
+        state = self.state(lock_id)
+        costs = self.dsm.node.costs
+        if state.has_token and not state.held and not state.local_waiters:
+            # Claim synchronously (before any yield): a concurrent
+            # forward-handler must not observe the token as free and
+            # grant it away while we wait for the CPU.
+            state.held = True
+            yield from self.dsm.occupy_dsm(costs.lock_local_handoff)
+            return None
+        # Queue locally; send one request if the token is absent and not
+        # already on its way (request combining).
+        wake = Event(self.dsm.sim, name=f"lock{lock_id}@{self.dsm.node_id}")
+        state.local_waiters.append(wake)
+        if not state.has_token and not state.request_outstanding:
+            state.request_outstanding = True
+            manager = self.manager_of(lock_id)
+            if manager == self.dsm.node_id:
+                # The manager requests its own lock back: do the queue
+                # bookkeeping locally and ask the tail to grant to us.
+                yield from self.dsm.occupy_dsm(costs.lock_handler)
+                previous = state.last_requester
+                state.last_requester = self.dsm.node_id
+                if previous == self.dsm.node_id:
+                    raise ProtocolError(
+                        f"lock {lock_id}: manager is queue tail but has no token"
+                    )
+                yield from self.dsm.send(
+                    Message(
+                        src=self.dsm.node_id,
+                        dst=previous,
+                        kind=MessageKind.LOCK_FORWARD,
+                        size_bytes=16 + self.dsm.vc.size_bytes,
+                        payload={
+                            "lock_id": lock_id,
+                            "requester": self.dsm.node_id,
+                            "vc": self.dsm.vc.snapshot(),
+                        },
+                    )
+                )
+            else:
+                yield from self.dsm.send(
+                    Message(
+                        src=self.dsm.node_id,
+                        dst=manager,
+                        kind=MessageKind.LOCK_REQUEST,
+                        size_bytes=16 + self.dsm.vc.size_bytes,
+                        payload={"lock_id": lock_id, "vc": self.dsm.vc.snapshot()},
+                    )
+                )
+        return wake
+
+    def op_release(self, lock_id: int):
+        """Release path (generator); never blocks the caller."""
+        state = self.state(lock_id)
+        if not state.held:
+            raise ProtocolError(f"release of unheld lock {lock_id} on node {self.dsm.node_id}")
+        costs = self.dsm.node.costs
+        # LRC release: close the current interval so the modifications
+        # become visible to the next acquirer.
+        yield from self.dsm.close_interval_charged()
+        if state.local_waiters:
+            # Hand off between local threads without any messages.
+            yield from self.dsm.occupy_dsm(costs.lock_local_handoff)
+            state.local_handoffs += 1
+            wake = state.local_waiters.popleft()
+            wake.succeed(None)  # stays held
+            return
+        state.held = False
+        if state.pending_remote_grant is not None:
+            yield from self._send_grant(state)
+
+    # -- message handlers --------------------------------------------------
+
+    def handle_request(self, msg: Message):
+        """Manager-side: forward the request to the last requester."""
+        lock_id = msg.payload["lock_id"]
+        state = self.state(lock_id)
+        if self.manager_of(lock_id) != self.dsm.node_id:
+            raise ProtocolError(f"node {self.dsm.node_id} is not manager of lock {lock_id}")
+        yield from self.dsm.occupy_dsm(self.dsm.node.costs.lock_handler)
+        previous = state.last_requester
+        state.last_requester = msg.src
+        if previous == self.dsm.node_id:
+            # Manager is (or was) the tail of the queue: treat as a
+            # locally delivered forward.
+            yield from self._accept_forward(lock_id, msg.src, msg.payload["vc"])
+        else:
+            yield from self.dsm.send(
+                Message(
+                    src=self.dsm.node_id,
+                    dst=previous,
+                    kind=MessageKind.LOCK_FORWARD,
+                    size_bytes=16 + self.dsm.vc.size_bytes,
+                    payload={"lock_id": lock_id, "requester": msg.src, "vc": msg.payload["vc"]},
+                )
+            )
+
+    def handle_forward(self, msg: Message):
+        yield from self.dsm.occupy_dsm(self.dsm.node.costs.lock_handler)
+        yield from self._accept_forward(
+            msg.payload["lock_id"], msg.payload["requester"], msg.payload["vc"]
+        )
+
+    def _accept_forward(self, lock_id: int, requester: int, requester_vc: tuple[int, ...]):
+        state = self.state(lock_id)
+        if state.pending_remote_grant is not None:
+            raise ProtocolError(
+                f"lock {lock_id}: node {self.dsm.node_id} already has successor "
+                f"{state.pending_remote_grant}, got {requester}"
+            )
+        state.pending_remote_grant = requester
+        state.pending_remote_vc = requester_vc
+        if state.has_token and not state.held and not state.local_waiters:
+            yield from self._send_grant(state)
+
+    def _send_grant(self, state: LockState):
+        """Ship the token (and unseen write notices) to the successor."""
+        if state.pending_remote_grant is None or state.pending_remote_vc is None:
+            raise ProtocolError("no pending grant to send")
+        # Claim the token synchronously (before any yield) so a local
+        # thread cannot slip in and double-own the lock while the grant
+        # is being assembled.
+        requester = state.pending_remote_grant
+        requester_vc = state.pending_remote_vc
+        state.pending_remote_grant = None
+        state.pending_remote_vc = None
+        state.has_token = False
+        # The grant is an LRC release towards the successor: close the
+        # interval so every local modification is announced.
+        yield from self.dsm.close_interval_charged()
+        notices = self.dsm.wn_log.unseen_by(requester_vc)
+        from repro.dsm.writenotice import WriteNoticeLog
+
+        yield from self.dsm.send(
+            Message(
+                src=self.dsm.node_id,
+                dst=requester,
+                kind=MessageKind.LOCK_GRANT,
+                size_bytes=24 + WriteNoticeLog.wire_bytes(notices),
+                payload={"lock_id": state.lock_id, "notices": notices},
+            )
+        )
+
+    def handle_grant(self, msg: Message):
+        """Requester-side: token arrives with consistency information."""
+        lock_id = msg.payload["lock_id"]
+        state = self.state(lock_id)
+        costs = self.dsm.node.costs
+        yield from self.dsm.occupy_dsm(costs.lock_handler)
+        yield from self.dsm.apply_notices_charged(msg.payload["notices"])
+        state.has_token = True
+        state.request_outstanding = False
+        state.remote_acquires += 1
+        if not state.local_waiters:
+            # Everyone gave up?  Impossible: requests are only sent when a
+            # waiter queued, and waiters never abandon the queue.
+            raise ProtocolError(f"lock {lock_id} granted to node with no waiters")
+        state.held = True
+        state.local_waiters.popleft().succeed(None)

@@ -1,0 +1,84 @@
+"""Per-node, per-page coherence state.
+
+A page on a node is *valid* when, for every other node, the diffs
+applied locally cover every write notice received.  Writes additionally
+track a *twin* (clean copy) from which diffs are computed, and a dirty
+flag cleared when a diff is flushed (the page is then "write-protected";
+the next write opens a sub-interval and a fresh twin).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.sim import Event
+
+__all__ = ["PageCoherence"]
+
+
+@dataclass
+class PageCoherence:
+    """Coherence metadata for one page on one node."""
+
+    page_id: int
+    num_nodes: int
+    #: Highest interval index per writer whose modifications are applied
+    #: to the local copy.
+    applied_upto: list[int] = field(default_factory=list)
+    #: Highest interval index per writer for which a write notice exists.
+    needed_upto: list[int] = field(default_factory=list)
+    dirty: bool = False
+    twin: Optional[np.ndarray] = None
+    #: Set when an interval close announced this (still dirty) page:
+    #: the next local write must open a fresh write notice, exactly as
+    #: TreadMarks' per-interval write protection forces a fault.
+    write_protected: bool = False
+    #: Per-byte lamport watermark of applied remote diffs (lazy).  A
+    #: diff byte is applied only if its interval's timestamp is at least
+    #: the watermark — enforcing happened-before-1 ordering regardless
+    #: of how fetch batches interleave.
+    byte_lamports: Optional[np.ndarray] = None
+
+    def lamport_watermarks(self, page_size: int) -> np.ndarray:
+        if self.byte_lamports is None:
+            self.byte_lamports = np.zeros(page_size, dtype=np.int64)
+        return self.byte_lamports
+    #: In-flight fault/fetch completion event (shared by all local
+    #: threads faulting on the page — request combining).
+    fetch_event: Optional[Event] = None
+
+    def __post_init__(self) -> None:
+        if not self.applied_upto:
+            self.applied_upto = [0] * self.num_nodes
+        if not self.needed_upto:
+            self.needed_upto = [0] * self.num_nodes
+
+    @property
+    def valid(self) -> bool:
+        return all(a >= n for a, n in zip(self.applied_upto, self.needed_upto))
+
+    @property
+    def fetch_in_flight(self) -> bool:
+        return self.fetch_event is not None and not self.fetch_event.triggered
+
+    def stale_writers(self) -> list[int]:
+        """Writers whose modifications are still missing locally."""
+        return [
+            proc
+            for proc, (applied, needed) in enumerate(zip(self.applied_upto, self.needed_upto))
+            if needed > applied
+        ]
+
+    def note_write_notice(self, proc: int, interval_idx: int) -> bool:
+        """Record an invalidation; returns True if the page became stale."""
+        was_valid = self.valid
+        if interval_idx > self.needed_upto[proc]:
+            self.needed_upto[proc] = interval_idx
+        return was_valid and not self.valid
+
+    def note_diffs_applied(self, proc: int, covers_through: int) -> None:
+        if covers_through > self.applied_upto[proc]:
+            self.applied_upto[proc] = covers_through

@@ -1,0 +1,480 @@
+"""The per-node DSM protocol engine (TreadMarks-style LRC).
+
+``DsmNode`` owns the node's coherence state — vector clock, interval
+manager, write-notice log, diff store, per-page metadata — and exposes:
+
+- the *thread-facing* operations used by the scheduler
+  (``op_touch_page``, lock/barrier ops via the subsystems), and
+- the *message dispatch* for everything arriving from the network.
+
+Design notes
+------------
+Diffs are created lazily, at request time.  Flushing a dirty page tags
+the diff as covering through the *open* interval (``vc.own + 1``): the
+write notice for those modifications will carry exactly that index when
+the interval closes.  A page re-dirtied after being flushed within the
+same interval forces the interval closed first (the paper's
+"sub-intervals", Section 3.1), so a diff can never silently cover
+modifications announced under a later notice.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+import numpy as np
+
+from repro.dsm.barriers import BarrierSubsystem
+from repro.dsm.interval import DiffStore, IntervalManager, StoredDiff
+from repro.dsm.locks import LockSubsystem
+from repro.dsm.pagestate import PageCoherence
+from repro.dsm.vclock import VectorClock
+from repro.dsm.writenotice import WriteNotice, WriteNoticeLog
+from repro.errors import ProtocolError
+from repro.machine.node import Node
+from repro.memory import apply_diff, make_diff
+from repro.metrics.counters import Category
+from repro.network import Message, MessageKind
+from repro.sim import Event, spawn
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.prefetch.engine import PrefetchEngine
+
+__all__ = ["DsmNode"]
+
+
+class DsmNode:
+    """The DSM protocol state machine for one node."""
+
+    def __init__(self, node: Node, num_nodes: int) -> None:
+        self.node = node
+        self.sim = node.sim
+        self.node_id = node.node_id
+        self.num_nodes = num_nodes
+        self.vc = VectorClock(num_nodes, owner=self.node_id)
+        self.intervals = IntervalManager(owner=self.node_id)
+        self.wn_log = WriteNoticeLog(num_nodes)
+        self.diff_store = DiffStore()
+        self.locks = LockSubsystem(self)
+        self.barriers = BarrierSubsystem(self)
+        self._coherence: dict[int, PageCoherence] = {}
+        #: pages flushed during the currently open interval (forces a
+        #: sub-interval on re-dirty).
+        self._flushed_in_open: set[int] = set()
+        #: outstanding diff request completion events, by request id.
+        self._pending_requests: dict[int, Event] = {}
+        #: in-progress flush per page (serializes concurrent handlers).
+        self._flush_events: dict[int, Event] = {}
+        self._next_request_id = 0
+        #: optional prefetch engine (installed by the runtime when on).
+        self.prefetch: Optional["PrefetchEngine"] = None
+        # statistics
+        self.faults = 0
+        self.diff_requests_served = 0
+        node.set_message_handler(self.dispatch)
+
+    # -- small helpers -----------------------------------------------------
+
+    def coherence(self, page_id: int) -> PageCoherence:
+        state = self._coherence.get(page_id)
+        if state is None:
+            state = PageCoherence(page_id, self.num_nodes)
+            self._coherence[page_id] = state
+        return state
+
+    def page_valid(self, page_id: int) -> bool:
+        state = self._coherence.get(page_id)
+        return state is None or state.valid
+
+    def send(self, message: Message):
+        """Generator: charge the send cost and inject the message."""
+        return self.node.send_message(message)
+
+    # ``occupy_dsm`` is used heavily by the subsystems.
+    def _occupy_dsm(self, duration: float):
+        yield from self.node.occupy(duration, Category.DSM)
+
+    # -- consistency actions -------------------------------------------------
+
+    def close_interval_charged(self) -> Generator:
+        """LRC release: close the open interval if it has modifications."""
+        if not self.intervals.has_modifications and not self._flushed_in_open:
+            return
+        yield from self.node.occupy(self.node.costs.interval_close, Category.DSM)
+        self._close_interval()
+
+    def _close_interval(self) -> list[WriteNotice]:
+        """Close the open interval; emit and log its write notices.
+
+        Notices cover pages written during the interval: those currently
+        dirty plus those whose diffs were flushed mid-interval.
+        """
+        pages = self.intervals.take_dirty() | self._flushed_in_open
+        if not pages:
+            return []
+        new_idx = self.vc.advance_own()
+        self.intervals.lamport += 1
+        lamport = self.intervals.lamport
+        self._flushed_in_open.clear()
+        notices = [
+            WriteNotice(self.node_id, new_idx, lamport, page_id) for page_id in sorted(pages)
+        ]
+        self.wn_log.add_all(notices)
+        # TreadMarks write-protects dirty pages at interval creation: a
+        # later write to a still-dirty page must announce itself under a
+        # NEW write notice, or its modifications would be invisible to
+        # any node that already fetched this interval's diff.
+        for page_id in pages:
+            state = self._coherence.get(page_id)
+            if state is not None and state.dirty:
+                state.write_protected = True
+        return notices
+
+    def apply_notices_charged(
+        self, notices: list[WriteNotice], advance_vc: bool = True
+    ) -> Generator:
+        """Merge received write notices; invalidate named pages.
+
+        ``advance_vc=False`` is for *page-filtered* notice sets (diff
+        replies): a vector clock component may only advance when the
+        FULL interval has been transferred — a write notice names one
+        page, and an interval may have dirtied several.  Advancing on a
+        partial set would make later grants/releases skip the other
+        pages' invalidations entirely.
+        """
+        if notices:
+            cost = self.node.costs.write_notice_apply * len(notices)
+            yield from self.node.occupy(cost, Category.DSM)
+        for notice in notices:
+            if notice.proc == self.node_id:
+                continue
+            # Page-filtered sets stay out of the per-proc log (see
+            # WriteNoticeLog.add): they must not be forwarded by grants
+            # nor advance any vector clock.
+            self.wn_log.add(notice, full=advance_vc)
+            if advance_vc:
+                self.vc.observe(notice.proc, notice.interval_idx)
+            self.intervals.observe_lamport(notice.lamport)
+            self.coherence(notice.page_id).note_write_notice(notice.proc, notice.interval_idx)
+            if self.prefetch is not None:
+                self.prefetch.on_invalidation(notice.page_id)
+
+    # -- write path ------------------------------------------------------------
+
+    def op_write_touch(self, page_id: int) -> Generator:
+        """Bookkeeping for a store to a (valid) page: twin + dirty bits."""
+        state = self.coherence(page_id)
+        if not state.valid:
+            raise ProtocolError(f"write to invalid page {page_id} on node {self.node_id}")
+        if state.dirty:
+            if state.write_protected:
+                # First write since the last interval close: the mods
+                # belong to the open interval and need their own notice.
+                # The existing twin still captures them for the diff.
+                state.write_protected = False
+                self.intervals.record_write(page_id)
+                yield from self.node.occupy(self.node.costs.fault_handler, Category.DSM)
+            return
+        yield from self.node.occupy(self.node.costs.twin_create, Category.DSM)
+        state.twin = self.node.pages.snapshot(page_id)
+        state.dirty = True
+        self.intervals.record_write(page_id)
+
+    # -- fault / fetch path ------------------------------------------------------
+
+    def ensure_valid(self, page_id: int) -> Optional[Event]:
+        """Return None if the page is usable now, else a fetch event.
+
+        All local threads faulting on the same page share one event
+        (request combining for remote memory accesses).
+        """
+        state = self.coherence(page_id)
+        if state.valid:
+            return None
+        if state.fetch_in_flight:
+            return state.fetch_event
+        fetch_done = Event(self.sim, name=f"fetch(p{page_id})@{self.node_id}")
+        state.fetch_event = fetch_done
+        spawn(self.sim, self._fetch(page_id, fetch_done), name=f"fetch[{self.node_id}]")
+        return fetch_done
+
+    def _fetch(self, page_id: int, done: Event) -> Generator:
+        """The fault handler: gather diffs until the page is valid."""
+        self.faults += 1
+        costs = self.node.costs
+        yield from self.node.occupy(costs.fault_handler, Category.DSM)
+        state = self.coherence(page_id)
+        consumed_cache = False
+        guard = 0
+        while not state.valid:
+            guard += 1
+            if guard > 64:
+                raise ProtocolError(f"fetch of page {page_id} cannot converge")
+            # Gather everything needed — prefetch-heap contents plus
+            # fresh replies from still-stale writers — and apply it all
+            # in ONE timestamp-sorted pass.  Applying per-source batches
+            # independently would let an older writer's diff clobber a
+            # newer conflicting one (violating happened-before-1).
+            batch: list[StoredDiff] = []
+            covers_updates: dict[int, int] = {}
+            if self.prefetch is not None:
+                cached = self.prefetch.take_cached(page_id)
+                if cached is not None:
+                    batch.extend(cached.diffs)
+                    covers_updates.update(cached.covers)
+                    consumed_cache = True
+
+            def missing_writers() -> list[int]:
+                return [
+                    writer
+                    for writer in state.stale_writers()
+                    if state.needed_upto[writer]
+                    > max(state.applied_upto[writer], covers_updates.get(writer, 0))
+                ]
+
+            # Gather until the writer set is stable: a reply's interval
+            # records may reveal further writers — or NEWER intervals of
+            # already-queried writers — whose diffs must land in the
+            # SAME sorted batch, or a newer conflicting diff would be
+            # applied before an older one arriving in a later batch.
+            requested: dict[int, int] = {}
+            while True:
+                writers = [
+                    w
+                    for w in missing_writers()
+                    if requested.get(w, -1) < state.needed_upto[w]
+                ]
+                if not writers:
+                    break
+                done.needed_remote = True  # type: ignore[attr-defined]
+                if self.prefetch is not None:
+                    self.prefetch.classify_remote_fault(page_id)
+                replies = []
+                for writer in writers:
+                    requested[writer] = state.needed_upto[writer]
+                    request_id = self._next_request_id
+                    self._next_request_id += 1
+                    reply_event = Event(self.sim, name=f"diffreq{request_id}")
+                    self._pending_requests[request_id] = reply_event
+                    replies.append(reply_event)
+                    yield from self.send(
+                        Message(
+                            src=self.node_id,
+                            dst=writer,
+                            kind=MessageKind.DIFF_REQUEST,
+                            size_bytes=36 + self.vc.size_bytes,
+                            payload={
+                                "page_id": page_id,
+                                "t_have": max(
+                                    state.applied_upto[writer],
+                                    covers_updates.get(writer, 0),
+                                ),
+                                "vc": self.vc.snapshot(),
+                                "request_id": request_id,
+                            },
+                        )
+                    )
+                reply_payloads = yield self.sim.all_of(replies)
+                for src, diffs, covers in reply_payloads:
+                    batch.extend(diffs)
+                    if covers > covers_updates.get(src, 0):
+                        covers_updates[src] = covers
+            if not batch and not covers_updates:
+                break
+            yield from self.apply_stored_diffs(page_id, batch)
+            for writer, covers in covers_updates.items():
+                state.note_diffs_applied(writer, covers)
+        yield from self.node.occupy(costs.page_validate, Category.DSM)
+        if self.prefetch is not None:
+            if consumed_cache and not getattr(done, "needed_remote", False):
+                self.prefetch.count_hit(page_id)
+            self.prefetch.on_page_validated(page_id)
+        done.succeed(None)
+
+    def apply_stored_diffs(self, page_id: int, stored: list[StoredDiff]) -> Generator:
+        """Apply incoming diffs in happened-before (lamport) order."""
+        state = self.coherence(page_id)
+        page = self.node.pages.page(page_id)
+        for item in sorted(stored, key=lambda s: (s.lamport, s.proc)):
+            if item.covers_through <= state.applied_upto[item.proc]:
+                # Already covered (e.g. a stale prefetch-heap entry);
+                # re-applying could revert newer data.
+                continue
+            cost = self.node.costs.diff_apply_us(item.diff.modified_bytes)
+            yield from self.node.occupy(cost, Category.DSM)
+            # Per-byte happened-before enforcement: a byte is written
+            # only if no LATER interval's diff already supplied it —
+            # fetch batches interleave arbitrarily (each apply yields
+            # for the CPU), so ordering cannot rely on batching alone.
+            marks = state.lamport_watermarks(len(page))
+            for offset, data in item.diff.runs:
+                window = slice(offset, offset + len(data))
+                mask = marks[window] <= item.lamport
+                if mask.all():
+                    page[window] = data
+                    if state.dirty and state.twin is not None:
+                        state.twin[window] = data
+                else:
+                    page[window][mask] = data[mask]
+                    if state.dirty and state.twin is not None:
+                        state.twin[window][mask] = data[mask]
+                np.maximum(marks[window], item.lamport, out=marks[window])
+            state.note_diffs_applied(item.proc, item.covers_through)
+            self.intervals.observe_lamport(item.lamport)
+
+    # -- diff server ---------------------------------------------------------------
+
+    def flush_page_if_dirty(self, page_id: int) -> Generator:
+        """Create and store a diff for a locally dirty page.
+
+        Flushing *seals* the open interval (the paper's sub-interval
+        creation): the diff's coverage index is the interval closed at
+        this instant, so later writes land in a fresh interval and are
+        announced by their own write notice.  The page becomes clean
+        ("write-protected") and loses its twin; a subsequent write makes
+        a fresh twin in the new interval.
+        """
+        while True:
+            # Serialize flushes per page: concurrent request handlers
+            # must not each create a diff for the same dirty span (the
+            # duplicates would carry escalating interval tags and later
+            # clobber a reader's own newer writes).
+            in_flight = self._flush_events.get(page_id)
+            if in_flight is not None and not in_flight.triggered:
+                yield in_flight
+                continue  # re-check: the page may have been re-dirtied
+            state = self.coherence(page_id)
+            if not state.dirty:
+                return
+            break
+        if state.twin is None:
+            raise ProtocolError(f"dirty page {page_id} with no twin on node {self.node_id}")
+        flush_done = Event(self.sim, name=f"flush(p{page_id})@{self.node_id}")
+        self._flush_events[page_id] = flush_done
+        try:
+            # The critical section is fully synchronous (no yields):
+            # diff creation, write-protection, interval seal, and store
+            # happen atomically, so a local write racing the flush lands
+            # cleanly in the *next* interval with a fresh twin.
+            page = self.node.pages.page(page_id)
+            diff = make_diff(page_id, state.twin, page)
+            state.dirty = False
+            state.twin = None
+            self._flushed_in_open.add(page_id)
+            self._close_interval()
+            self.diff_store.add(
+                StoredDiff(
+                    proc=self.node_id,
+                    covers_through=self.vc[self.node_id],
+                    lamport=self.intervals.lamport,
+                    diff=diff,
+                )
+            )
+            # Service time is charged after the fact; the reply waits.
+            cost = self.node.costs.diff_create_us(len(page), diff.modified_bytes)
+            yield from self.node.occupy(cost, Category.DSM)
+        finally:
+            flush_done.succeed(None)
+
+    def reply_notices(
+        self, page_id: int, t_have: int, requester_vc: Optional[tuple[int, ...]] = None
+    ) -> list[WriteNotice]:
+        """The page's interval records the requester may be missing.
+
+        Diff replies must carry the page's consistency history, for two
+        reasons: (a) a flush seals a *sub-interval* whose write notice
+        would otherwise exist only in our own log; (b) conflicting
+        writes are by definition same-page, so shipping the page history
+        keeps the happened-before relation transitively closed — a
+        receiver can never apply a newer conflicting diff while ignorant
+        of an older one.  ``t_have`` bounds our own records; the
+        requester's vector clock (piggybacked on the request) bounds
+        other writers' records.
+        """
+        notices = []
+        for notice in self.wn_log.notices_for_page(page_id):
+            if notice.proc == self.node_id:
+                if notice.interval_idx > t_have:
+                    notices.append(notice)
+            elif requester_vc is None or notice.interval_idx > requester_vc[notice.proc]:
+                notices.append(notice)
+        return notices
+
+    def handle_diff_request(self, msg: Message) -> Generator:
+        self.diff_requests_served += 1
+        page_id = msg.payload["page_id"]
+        t_have = msg.payload["t_have"]
+        yield from self.flush_page_if_dirty(page_id)
+        stored = self.diff_store.diffs_after(page_id, t_have)
+        # The coverage claim must be PAGE-specific: an empty reply means
+        # "nothing newer than my latest flush of THIS page" — claiming
+        # the node-wide interval index would mark the requester as
+        # having modifications it never received.
+        covers = max(
+            (s.covers_through for s in stored),
+            default=max(t_have, self.diff_store.latest_coverage(page_id)),
+        )
+        notices = self.reply_notices(page_id, t_have, msg.payload.get("vc"))
+        size = 24 + sum(s.diff.size_bytes + 12 for s in stored) + WriteNoticeLog.wire_bytes(
+            notices
+        )
+        yield from self.send(
+            Message(
+                src=self.node_id,
+                dst=msg.src,
+                kind=MessageKind.DIFF_REPLY,
+                size_bytes=size,
+                payload={
+                    "page_id": page_id,
+                    "request_id": msg.payload["request_id"],
+                    "diffs": stored,
+                    "covers_through": covers,
+                    "notices": notices,
+                },
+            )
+        )
+
+    def handle_diff_reply(self, msg: Message) -> Generator:
+        """Hand the reply's diffs to the waiting fetch process.
+
+        The diffs are NOT applied here: the fetch gathers every writer's
+        reply and applies the union in timestamp order.
+        """
+        # Log the writer's interval records first, so this node can
+        # re-propagate them (transitive closure of happened-before).
+        # advance_vc=False: these are page-filtered.
+        yield from self.apply_notices_charged(msg.payload["notices"], advance_vc=False)
+        pending = self._pending_requests.pop(msg.payload["request_id"], None)
+        if pending is None:
+            raise ProtocolError(f"unexpected diff reply {msg.payload['request_id']}")
+        pending.succeed((msg.src, msg.payload["diffs"], msg.payload["covers_through"]))
+
+    # -- dispatch -------------------------------------------------------------------
+
+    def dispatch(self, msg: Message) -> Generator:
+        """Route an arriving message to its handler (runs as a process)."""
+        kind = msg.kind
+        if kind is MessageKind.DIFF_REQUEST:
+            yield from self.handle_diff_request(msg)
+        elif kind is MessageKind.DIFF_REPLY:
+            yield from self.handle_diff_reply(msg)
+        elif kind is MessageKind.LOCK_REQUEST:
+            yield from self.locks.handle_request(msg)
+        elif kind is MessageKind.LOCK_FORWARD:
+            yield from self.locks.handle_forward(msg)
+        elif kind is MessageKind.LOCK_GRANT:
+            yield from self.locks.handle_grant(msg)
+        elif kind is MessageKind.BARRIER_ARRIVE:
+            yield from self.barriers.handle_arrive(msg)
+        elif kind is MessageKind.BARRIER_RELEASE:
+            yield from self.barriers.handle_release(msg)
+        elif kind.is_prefetch:
+            if self.prefetch is None:
+                raise ProtocolError("prefetch message with no prefetch engine installed")
+            yield from self.prefetch.dispatch(msg)
+        else:  # pragma: no cover - MessageKind is closed
+            raise ProtocolError(f"unhandled message kind {kind}")
+
+    # Convenience alias used by the lock/barrier subsystems.
+    def occupy_dsm(self, duration: float):
+        return self.node.occupy(duration, Category.DSM)

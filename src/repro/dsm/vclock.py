@@ -1,0 +1,69 @@
+"""Vector timestamps for lazy release consistency.
+
+Each node numbers its own *intervals* (epochs between synchronization
+points) with a local counter; a :class:`VectorClock` records, per node,
+the highest interval the owner has seen.  A write notice for interval
+``(proc, idx)`` is "news" to a node exactly when ``idx > vc[proc]``.
+
+A scalar Lamport component rides along to order diff application: it is
+bumped past every timestamp observed at synchronization, so it respects
+the happened-before-1 partial order among intervals.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProtocolError
+
+__all__ = ["VectorClock"]
+
+
+class VectorClock:
+    """A per-node vector of interval counters."""
+
+    def __init__(self, num_nodes: int, owner: int) -> None:
+        if not 0 <= owner < num_nodes:
+            raise ProtocolError(f"owner {owner} outside 0..{num_nodes - 1}")
+        self.num_nodes = num_nodes
+        self.owner = owner
+        self._clock = [0] * num_nodes
+
+    def __getitem__(self, node: int) -> int:
+        return self._clock[node]
+
+    def snapshot(self) -> tuple[int, ...]:
+        return tuple(self._clock)
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size when piggybacked on a message."""
+        return 4 * self.num_nodes
+
+    def advance_own(self) -> int:
+        """Close an interval: bump the owner's component; returns new index."""
+        self._clock[self.owner] += 1
+        return self._clock[self.owner]
+
+    def observe(self, node: int, interval_idx: int) -> bool:
+        """Record that ``(node, interval_idx)`` has been seen.
+
+        Returns True if this was news (idx above the current component).
+        """
+        if node == self.owner:
+            raise ProtocolError("a node never 'observes' its own intervals")
+        if interval_idx > self._clock[node]:
+            self._clock[node] = interval_idx
+            return True
+        return False
+
+    def dominates(self, other_snapshot: tuple[int, ...]) -> bool:
+        """True if this clock has seen everything in ``other_snapshot``."""
+        return all(mine >= theirs for mine, theirs in zip(self._clock, other_snapshot))
+
+    def merge(self, other_snapshot: tuple[int, ...]) -> None:
+        """Component-wise max with a received snapshot (except own slot)."""
+        for node, theirs in enumerate(other_snapshot):
+            if node != self.owner and theirs > self._clock[node]:
+                self._clock[node] = theirs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VC(owner={self.owner}, {self._clock})"

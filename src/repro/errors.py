@@ -1,0 +1,36 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type to handle any library failure.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation kernel detected an inconsistency."""
+
+
+class NetworkError(ReproError):
+    """The network model was used incorrectly (bad node id, bad size...)."""
+
+
+class MemoryError_(ReproError):
+    """Paged-memory misuse (out-of-range address, bad allocation...)."""
+
+
+class ProtocolError(ReproError):
+    """The DSM coherence protocol reached an invalid state."""
+
+
+class ProgramError(ReproError):
+    """An application program misused the DSM API (e.g. releasing a lock
+    it does not hold, unbalanced barrier arrivals)."""
+
+
+class ConfigError(ReproError):
+    """An experiment or system configuration is invalid."""

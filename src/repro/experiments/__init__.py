@@ -1,0 +1,29 @@
+"""Experiment harness: regenerate every figure and table of the paper."""
+
+from repro.experiments.figures import figure1, figure2, figure3, figure4, figure5
+from repro.experiments.runner import CONFIG_LABELS, ExperimentRunner, parse_label
+from repro.experiments.tables import table1, table2
+
+ALL_EXPERIMENTS = {
+    "fig1": figure1,
+    "fig2": figure2,
+    "fig3": figure3,
+    "fig4": figure4,
+    "fig5": figure5,
+    "tab1": table1,
+    "tab2": table2,
+}
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "CONFIG_LABELS",
+    "ExperimentRunner",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "parse_label",
+    "table1",
+    "table2",
+]

@@ -1,0 +1,65 @@
+"""Command-line entry: ``python -m repro.experiments [ids...]``.
+
+Examples::
+
+    python -m repro.experiments fig1
+    python -m repro.experiments tab1 fig3
+    python -m repro.experiments all --preset small --nodes 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import ALL_EXPERIMENTS, ExperimentRunner
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's figures and tables.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help=f"experiment ids ({', '.join(ALL_EXPERIMENTS)}) or 'all'",
+    )
+    parser.add_argument("--nodes", type=int, default=8, help="cluster size (default 8)")
+    parser.add_argument(
+        "--preset",
+        default="default",
+        choices=["small", "default", "paper"],
+        help="problem-size preset",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--no-verify", action="store_true", help="skip result verification (faster)"
+    )
+    args = parser.parse_args(argv)
+
+    wanted = list(ALL_EXPERIMENTS) if "all" in args.experiments else args.experiments
+    unknown = [e for e in wanted if e not in ALL_EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {unknown}")
+
+    runner = ExperimentRunner(
+        num_nodes=args.nodes,
+        preset=args.preset,
+        seed=args.seed,
+        verify=not args.no_verify,
+        verbose=True,
+    )
+    for experiment_id in wanted:
+        started = time.time()
+        text, _data = ALL_EXPERIMENTS[experiment_id](runner)
+        elapsed = time.time() - started
+        print()
+        print(text)
+        print(f"\n[{experiment_id} regenerated in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

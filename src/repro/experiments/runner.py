@@ -1,0 +1,83 @@
+"""Experiment runner: one place that maps the paper's configuration
+labels (O, P, nT, nTP) onto runtime configurations and caches reports,
+since several figures/tables share the same runs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.api.runtime import DsmRuntime, RunConfig
+from repro.apps.registry import APP_ORDER, make_app
+from repro.errors import ConfigError
+from repro.metrics.report import RunReport
+
+__all__ = ["CONFIG_LABELS", "ExperimentRunner", "parse_label"]
+
+#: Every configuration Figure 5 uses, in its presentation order.
+CONFIG_LABELS = ["O", "2T", "4T", "8T", "P", "2TP", "4TP", "8TP"]
+
+
+def parse_label(label: str) -> tuple[int, bool]:
+    """Label -> (threads_per_node, prefetch)."""
+    if label == "O":
+        return 1, False
+    if label == "P":
+        return 1, True
+    if label.endswith("TP"):
+        return int(label[:-2]), True
+    if label.endswith("T"):
+        return int(label[:-1]), False
+    raise ConfigError(f"unknown configuration label {label!r}")
+
+
+class ExperimentRunner:
+    """Runs (app, configuration) pairs on demand and caches the reports."""
+
+    def __init__(
+        self,
+        num_nodes: int = 8,
+        preset: str = "default",
+        seed: int = 42,
+        verify: bool = True,
+        verbose: bool = False,
+    ) -> None:
+        self.num_nodes = num_nodes
+        self.preset = preset
+        self.seed = seed
+        self.verify = verify
+        self.verbose = verbose
+        self._cache: dict[tuple[str, str], RunReport] = {}
+
+    def run(self, app_name: str, label: str) -> RunReport:
+        key = (app_name, label)
+        if key in self._cache:
+            return self._cache[key]
+        threads_per_node, prefetch = parse_label(label)
+        app = make_app(app_name, self.preset)
+        app.use_prefetch = prefetch
+        if prefetch and threads_per_node > 1:
+            # The combined scheme's optimizations (Section 5.1).
+            app.prefetch_dedup = True
+            if app_name == "RADIX":
+                app.throttle_prefetch = True
+        config = RunConfig(
+            num_nodes=self.num_nodes,
+            threads_per_node=threads_per_node,
+            prefetch=prefetch,
+            seed=self.seed,
+        )
+        if self.verbose:
+            print(f"  running {app_name} [{label}] ...", flush=True)
+        report = DsmRuntime(config).execute(app, verify=self.verify)
+        self._cache[key] = report
+        return report
+
+    def baseline(self, app_name: str) -> RunReport:
+        return self.run(app_name, "O")
+
+    def run_many(self, labels: list[str], apps: Optional[list[str]] = None):
+        """Yield (app, label, report) over the full grid."""
+        for app_name in apps or APP_ORDER:
+            for label in labels:
+                yield app_name, label, self.run(app_name, label)

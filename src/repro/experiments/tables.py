@@ -1,0 +1,115 @@
+"""The paper's tables, regenerated."""
+
+from __future__ import annotations
+
+from repro.apps.registry import APP_ORDER
+from repro.experiments.formatting import render_rows
+from repro.experiments.runner import ExperimentRunner
+
+__all__ = ["table1", "table2"]
+
+
+def table1(runner: ExperimentRunner):
+    """Table 1: prefetching statistics (O vs P)."""
+    headers = [
+        "app",
+        "unnecessary%",
+        "coverage%",
+        "traffic-O(KB)",
+        "traffic-P(KB)",
+        "misses-O",
+        "misses-P",
+        "avg-lat-O(us)",
+        "avg-lat-P(us)",
+    ]
+    rows = []
+    data = {}
+    for app_name in APP_ORDER:
+        baseline = runner.run(app_name, "O")
+        prefetched = runner.run(app_name, "P")
+        stats = prefetched.prefetch_stats
+        entry = {
+            "unnecessary_pct": 100.0 * stats.unnecessary_fraction,
+            "coverage_pct": 100.0 * stats.coverage_factor,
+            "traffic_o_kb": baseline.total_kbytes,
+            "traffic_p_kb": prefetched.total_kbytes,
+            "misses_o": baseline.events.remote_misses,
+            "misses_p": prefetched.events.remote_misses,
+            "avg_lat_o": baseline.events.avg_miss_stall,
+            "avg_lat_p": prefetched.events.avg_miss_stall,
+            "drops_p": prefetched.message_drops,
+        }
+        data[app_name] = entry
+        rows.append(
+            [
+                app_name,
+                f"{entry['unnecessary_pct']:.1f}",
+                f"{entry['coverage_pct']:.1f}",
+                f"{entry['traffic_o_kb']:.0f}",
+                f"{entry['traffic_p_kb']:.0f}",
+                str(entry["misses_o"]),
+                str(entry["misses_p"]),
+                f"{entry['avg_lat_o']:.0f}",
+                f"{entry['avg_lat_p']:.0f}",
+            ]
+        )
+    text = "Table 1: prefetching statistics (O = original, P = with prefetching)\n" + render_rows(
+        headers, rows
+    )
+    return text, data
+
+
+def table2(runner: ExperimentRunner):
+    """Table 2: multithreading statistics."""
+    headers = [
+        "app",
+        "cfg",
+        "avg-stall(us)",
+        "avg-run-len(us)",
+        "msgs",
+        "volume(KB)",
+        "misses",
+        "miss-stall(us)",
+        "locks",
+        "lock-stall(us)",
+        "barriers",
+        "barrier-stall(us)",
+    ]
+    rows = []
+    data = {}
+    for app_name in APP_ORDER:
+        data[app_name] = {}
+        for label in ("O", "2T", "4T", "8T"):
+            report = runner.run(app_name, label)
+            events = report.events
+            entry = {
+                "avg_stall": events.avg_stall,
+                "avg_run_length": events.avg_run_length,
+                "messages": report.total_messages,
+                "volume_kb": report.total_kbytes,
+                "misses": events.remote_misses,
+                "avg_miss_stall": events.avg_miss_stall,
+                "locks": events.remote_lock_misses,
+                "avg_lock_stall": events.avg_lock_stall,
+                "barriers": events.barrier_waits,
+                "avg_barrier_stall": events.avg_barrier_stall,
+            }
+            data[app_name][label] = entry
+            rows.append(
+                [
+                    app_name,
+                    label,
+                    f"{entry['avg_stall']:.0f}",
+                    f"{entry['avg_run_length']:.0f}",
+                    str(entry["messages"]),
+                    f"{entry['volume_kb']:.0f}",
+                    str(entry["misses"]),
+                    f"{entry['avg_miss_stall']:.0f}",
+                    str(entry["locks"]),
+                    f"{entry['avg_lock_stall']:.0f}",
+                    str(entry["barriers"]),
+                    f"{entry['avg_barrier_stall']:.0f}",
+                ]
+            )
+    text = "Table 2: multithreading statistics\n" + render_rows(headers, rows)
+    return text, data

@@ -1,0 +1,7 @@
+"""Workstation and cluster models (CPU accounting, cost model)."""
+
+from repro.machine.cluster import Cluster
+from repro.machine.node import HANDLER_PRIORITY, THREAD_PRIORITY, Node
+from repro.machine.timing import CostModel
+
+__all__ = ["Cluster", "CostModel", "HANDLER_PRIORITY", "Node", "THREAD_PRIORITY"]

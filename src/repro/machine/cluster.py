@@ -1,0 +1,47 @@
+"""Cluster assembly: N nodes on one switch."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigError
+from repro.machine.node import Node
+from repro.machine.timing import CostModel
+from repro.network import LinkConfig, Network
+from repro.sim import Simulator
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """The simulated testbed: nodes, network, shared constants."""
+
+    def __init__(
+        self,
+        num_nodes: int = 8,
+        page_size: int = 4096,
+        costs: Optional[CostModel] = None,
+        link_config: Optional[LinkConfig] = None,
+    ) -> None:
+        if num_nodes < 2:
+            raise ConfigError(f"a cluster needs >= 2 nodes, got {num_nodes}")
+        if page_size <= 0 or page_size % 8:
+            raise ConfigError(f"page size must be a positive multiple of 8, got {page_size}")
+        self.sim = Simulator()
+        self.num_nodes = num_nodes
+        self.page_size = page_size
+        self.costs = costs or CostModel()
+        self.network = Network(self.sim, num_nodes, link_config=link_config)
+        self.nodes: list[Node] = [
+            Node(self.sim, node_id, self.network, self.costs, page_size)
+            for node_id in range(num_nodes)
+        ]
+
+    def node(self, node_id: int) -> Node:
+        if not 0 <= node_id < self.num_nodes:
+            raise ConfigError(f"unknown node {node_id}")
+        return self.nodes[node_id]
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Drain the simulation; returns final simulated time (us)."""
+        return self.sim.run(until=until, max_events=max_events)

@@ -1,0 +1,107 @@
+"""The workstation node model.
+
+A :class:`Node` bundles the per-machine state: one CPU (a unit
+:class:`~repro.sim.resources.Resource`), the local page store, the time
+breakdown counters, and the network attachment.  Protocol layers (DSM,
+threads, prefetching) hang their state off the node and charge CPU time
+through :meth:`Node.occupy`.
+
+CPU arbitration: message handlers acquire the CPU at higher priority
+than application threads, approximating SIGIO-driven upcalls — an
+arriving request is serviced as soon as the current compute quantum
+yields.  Blocked threads never hold the CPU, so a node that is stalled
+on a remote miss services incoming requests immediately (the "spinning"
+case of the single-threaded DSM).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from repro.machine.timing import CostModel
+from repro.memory import PageStore
+from repro.metrics.counters import Category, EventCounters, TimeBreakdown
+from repro.network import Message, Network
+from repro.sim import Event, Simulator, spawn
+
+__all__ = ["Node", "HANDLER_PRIORITY", "THREAD_PRIORITY"]
+
+HANDLER_PRIORITY = 0
+THREAD_PRIORITY = 1
+
+
+class Node:
+    """One simulated workstation."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        network: Network,
+        costs: CostModel,
+        page_size: int,
+    ) -> None:
+        from repro.sim import Resource  # local import to keep module deps flat
+
+        self.sim = sim
+        self.node_id = node_id
+        self.network = network
+        self.costs = costs
+        self.pages = PageStore(page_size)
+        self.breakdown = TimeBreakdown()
+        self.events = EventCounters()
+        self.cpu = Resource(sim, capacity=1, name=f"cpu[{node_id}]")
+        #: Set by the scheduler: multithreaded nodes pay an extra signal
+        #: cost per asynchronous message arrival.
+        self.mt_mode = False
+        self._dispatch: Optional[Callable[[Message], Generator]] = None
+        network.attach(node_id, self._on_message)
+
+    # -- CPU charging -----------------------------------------------------
+
+    def occupy(
+        self, duration: float, category: Category, priority: int = THREAD_PRIORITY
+    ) -> Generator[Event, Any, None]:
+        """Hold the CPU for ``duration`` us, charged to ``category``.
+
+        Usage: ``yield from node.occupy(30.0, Category.DSM)``.
+        """
+        if duration <= 0:
+            return
+        yield self.cpu.acquire(priority)
+        try:
+            yield self.sim.timeout(duration)
+            self.breakdown.charge(category, duration)
+        finally:
+            self.cpu.release()
+
+    # -- messaging ---------------------------------------------------------
+
+    def set_message_handler(self, dispatch: Callable[[Message], Generator]) -> None:
+        """Register the protocol dispatcher.
+
+        ``dispatch(message)`` must be a generator; it runs as a process
+        after the receive cost has been charged.
+        """
+        self._dispatch = dispatch
+
+    def send_message(self, message: Message) -> Generator[Event, Any, bool]:
+        """Charge the send cost, then inject the message into the network.
+
+        Returns whether the network accepted it (False = dropped at the
+        uplink, possible only for unreliable messages).
+        """
+        yield from self.occupy(self.costs.msg_send_cpu, Category.DSM)
+        return self.network.send(message)
+
+    def _on_message(self, message: Message) -> None:
+        spawn(self.sim, self._handle(message), name=f"handler[{self.node_id}]")
+
+    def _handle(self, message: Message) -> Generator[Event, Any, None]:
+        recv_cost = self.costs.msg_recv_cpu
+        if self.mt_mode:
+            recv_cost += self.costs.async_arrival_extra
+        yield from self.occupy(recv_cost, Category.DSM, priority=HANDLER_PRIORITY)
+        if self._dispatch is None:
+            return
+        yield from self._dispatch(message)

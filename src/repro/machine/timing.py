@@ -1,0 +1,88 @@
+"""The software cost model.
+
+Every microsecond constant in the simulation lives here, in one
+dataclass, so experiments and ablations can vary them in a single place.
+Defaults are taken from the paper where it publishes a number (140 us to
+issue a remote prefetch, ~110 us context switch, remote misses measured
+in the 1.6-3.9 ms range once queueing is included) and otherwise chosen
+to be representative of a 133 MHz PowerPC 604 running AIX 4.1 with a
+user-level UDP stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+
+__all__ = ["CostModel"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """All per-operation software costs, in microseconds (unless noted)."""
+
+    # -- processor --------------------------------------------------------
+    cpu_mhz: float = 133.0
+
+    # -- messaging (per message, on the CPU) ------------------------------
+    msg_send_cpu: float = 25.0
+    msg_recv_cpu: float = 25.0
+    #: Extra per-arrival signal/upcall cost paid when the node runs
+    #: multithreaded and can no longer spin on a reply queue (Section 4.3:
+    #: "non-trivial kernel overhead due to signaling as messages arrive
+    #: asynchronously").
+    async_arrival_extra: float = 20.0
+
+    # -- paging / diffs ----------------------------------------------------
+    fault_handler: float = 30.0
+    twin_create: float = 40.0
+    #: Scanning the page against its twin, per page byte.
+    diff_create_per_byte: float = 0.01
+    #: Applying a diff, per modified byte.
+    diff_apply_per_byte: float = 0.02
+    page_validate: float = 10.0
+    interval_close: float = 8.0
+    write_notice_apply: float = 1.0
+
+    # -- prefetching (Section 3) ------------------------------------------
+    #: Paper: "each prefetch which generates a remote message requires
+    #: roughly 140 usec of software overhead".
+    prefetch_issue_remote: float = 140.0
+    #: Paper footnote 4: an unnecessary prefetch costs an address lookup,
+    #: a valid-flag check and a branch.
+    prefetch_issue_local: float = 2.0
+
+    # -- multithreading (Section 4) ----------------------------------------
+    #: Paper: "the average context switch time (which is roughly 110 usec)".
+    context_switch: float = 110.0
+    lock_local_handoff: float = 8.0
+    barrier_local_gather: float = 5.0
+
+    # -- synchronization handlers -------------------------------------------
+    lock_handler: float = 25.0
+    barrier_handler: float = 25.0
+
+    def __post_init__(self) -> None:
+        for name, value in self.__dict__.items():
+            if isinstance(value, (int, float)) and value < 0:
+                raise ConfigError(f"cost model field {name} must be >= 0, got {value}")
+        if self.cpu_mhz <= 0:
+            raise ConfigError("cpu_mhz must be positive")
+
+    # -- derived helpers ---------------------------------------------------
+
+    def cycles_us(self, cycles: float) -> float:
+        """Convert a cycle count to microseconds on this CPU."""
+        return cycles / self.cpu_mhz
+
+    def diff_create_us(self, page_bytes: int, modified_bytes: int) -> float:
+        """Cost of twin comparison plus run encoding."""
+        return page_bytes * self.diff_create_per_byte + modified_bytes * 0.005
+
+    def diff_apply_us(self, modified_bytes: int) -> float:
+        return 5.0 + modified_bytes * self.diff_apply_per_byte
+
+    def with_overrides(self, **kwargs: float) -> "CostModel":
+        """A copy with some constants replaced (for ablations)."""
+        return replace(self, **kwargs)

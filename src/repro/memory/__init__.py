@@ -1,0 +1,7 @@
+"""Paged shared memory: real page contents, twins, RLE diffs, allocation."""
+
+from repro.memory.address import Segment, SharedAddressSpace
+from repro.memory.diff import Diff, apply_diff, make_diff
+from repro.memory.page import PageStore
+
+__all__ = ["Diff", "PageStore", "Segment", "SharedAddressSpace", "apply_diff", "make_diff"]

@@ -1,0 +1,86 @@
+"""Shared address space allocation.
+
+A single global allocator hands out byte ranges of the shared segment.
+Applications allocate named regions (arrays, matrices, scratch areas) at
+setup time; the allocator can align regions to page boundaries, which is
+how LU-CONT gets contiguous (page-aligned) blocks while LU-NCONT does
+not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MemoryError_
+
+__all__ = ["Segment", "SharedAddressSpace"]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A named allocation in the shared address space."""
+
+    name: str
+    base: int
+    nbytes: int
+
+    @property
+    def end(self) -> int:
+        return self.base + self.nbytes
+
+    def addr(self, offset: int) -> int:
+        """Global address of a byte offset within the segment."""
+        if not 0 <= offset < self.nbytes:
+            raise MemoryError_(f"offset {offset} outside segment {self.name!r} ({self.nbytes}B)")
+        return self.base + offset
+
+
+class SharedAddressSpace:
+    """Bump allocator over the global shared segment."""
+
+    def __init__(self, page_size: int) -> None:
+        if page_size <= 0:
+            raise MemoryError_(f"page size must be positive, got {page_size}")
+        self.page_size = page_size
+        self._next = 0
+        self._segments: dict[str, Segment] = {}
+
+    @property
+    def total_bytes(self) -> int:
+        return self._next
+
+    @property
+    def total_pages(self) -> int:
+        return (self._next + self.page_size - 1) // self.page_size
+
+    def alloc(self, name: str, nbytes: int, page_aligned: bool = True) -> Segment:
+        """Allocate ``nbytes``; optionally round the base up to a page.
+
+        Shared arrays default to page alignment (as malloc'd shared
+        segments effectively are); pass ``page_aligned=False`` to model
+        non-contiguous layouts that straddle page boundaries.
+        """
+        if nbytes <= 0:
+            raise MemoryError_(f"allocation must be positive, got {nbytes}")
+        if name in self._segments:
+            raise MemoryError_(f"segment {name!r} already allocated")
+        base = self._next
+        if page_aligned and base % self.page_size:
+            base += self.page_size - base % self.page_size
+        segment = Segment(name, base, nbytes)
+        self._segments[name] = segment
+        self._next = segment.end
+        return segment
+
+    def segment(self, name: str) -> Segment:
+        if name not in self._segments:
+            raise MemoryError_(f"unknown segment {name!r}")
+        return self._segments[name]
+
+    def segments(self) -> list[Segment]:
+        return list(self._segments.values())
+
+    def page_of(self, addr: int) -> int:
+        if not 0 <= addr < max(self._next, 1):
+            raise MemoryError_(f"address {addr} outside allocated space [0, {self._next})")
+        return addr // self.page_size

@@ -1,0 +1,89 @@
+"""Twin/diff machinery of the multiple-writer protocol.
+
+TreadMarks lets several nodes write the same page concurrently; each
+writer keeps a clean copy (*twin*) made at its first write, and later
+produces a run-length-encoded *diff* — the byte runs where the modified
+page differs from the twin.  Applying all writers' diffs to any copy of
+the page merges the concurrent modifications (they are guaranteed
+disjoint for data-race-free programs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import MemoryError_
+
+__all__ = ["Diff", "make_diff", "apply_diff"]
+
+# Per-run encoding overhead in the wire format: 2 shorts (offset, length).
+RUN_HEADER_BYTES = 4
+# Fixed diff header (page id, interval id, run count).
+DIFF_HEADER_BYTES = 12
+
+
+@dataclass
+class Diff:
+    """A run-length-encoded page delta.
+
+    Attributes:
+        page_id: which page this diff modifies.
+        runs: list of ``(offset, bytes)`` with strictly increasing,
+            non-overlapping offsets.
+    """
+
+    page_id: int
+    runs: list[tuple[int, np.ndarray]] = field(default_factory=list)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.runs
+
+    @property
+    def modified_bytes(self) -> int:
+        return sum(len(data) for _off, data in self.runs)
+
+    @property
+    def size_bytes(self) -> int:
+        """Encoded size on the wire."""
+        return DIFF_HEADER_BYTES + sum(RUN_HEADER_BYTES + len(data) for _off, data in self.runs)
+
+
+def make_diff(page_id: int, twin: np.ndarray, current: np.ndarray) -> Diff:
+    """Compute the RLE delta turning ``twin`` into ``current``.
+
+    Comparison is at **word** (8-byte) granularity, exactly as in
+    TreadMarks.  Word granularity matters for correctness, not just
+    fidelity: a value change can leave some of its bytes coincidentally
+    equal, and byte-granular runs would then ship *partial* values —
+    a later out-of-order application could interleave bytes of two
+    writes into a torn word.
+    """
+    if twin.shape != current.shape:
+        raise MemoryError_("twin and page must have identical shapes")
+    if len(twin) % 8:
+        raise MemoryError_("pages must be a whole number of 8-byte words")
+    changed_words = twin.view(np.uint64) != current.view(np.uint64)
+    if not changed_words.any():
+        return Diff(page_id)
+    # Find run boundaries in the changed-word mask.
+    idx = np.flatnonzero(changed_words)
+    breaks = np.flatnonzero(np.diff(idx) > 1)
+    starts = np.concatenate(([idx[0]], idx[breaks + 1]))
+    ends = np.concatenate((idx[breaks], [idx[-1]]))
+    runs = [
+        (int(s) * 8, current[s * 8 : (e + 1) * 8].copy()) for s, e in zip(starts, ends)
+    ]
+    return Diff(page_id, runs)
+
+
+def apply_diff(page: np.ndarray, diff: Diff) -> None:
+    """Apply ``diff`` to ``page`` in place."""
+    for offset, data in diff.runs:
+        if offset < 0 or offset + len(data) > len(page):
+            raise MemoryError_(
+                f"diff run [{offset}, {offset + len(data)}) outside page of {len(page)} bytes"
+            )
+        page[offset : offset + len(data)] = data

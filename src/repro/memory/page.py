@@ -1,0 +1,91 @@
+"""Page-granularity backing store holding real bytes.
+
+Each simulated node owns a :class:`PageStore`: a lazily materialized map
+from page id to a numpy ``uint8`` array.  All shared data in the system
+really lives in these arrays — diffs are computed from content, and the
+application results read back through them are verified against
+sequential computations in the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MemoryError_
+
+__all__ = ["PageStore"]
+
+
+class PageStore:
+    """All pages of the shared address space, as seen by one node.
+
+    Pages spring into existence zero-filled on first touch, mirroring
+    demand-zero allocation of shared segments.
+    """
+
+    def __init__(self, page_size: int) -> None:
+        if page_size <= 0 or page_size % 8 != 0:
+            raise MemoryError_(f"page size must be a positive multiple of 8, got {page_size}")
+        self.page_size = page_size
+        self._pages: dict[int, np.ndarray] = {}
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._pages
+
+    @property
+    def materialized_pages(self) -> int:
+        return len(self._pages)
+
+    def page(self, page_id: int) -> np.ndarray:
+        """The mutable contents of ``page_id`` (created zeroed on demand)."""
+        if page_id < 0:
+            raise MemoryError_(f"negative page id {page_id}")
+        existing = self._pages.get(page_id)
+        if existing is None:
+            existing = np.zeros(self.page_size, dtype=np.uint8)
+            self._pages[page_id] = existing
+        return existing
+
+    def snapshot(self, page_id: int) -> np.ndarray:
+        """An independent copy of the page (used to make twins)."""
+        return self.page(page_id).copy()
+
+    # -- byte-granularity region access ----------------------------------
+
+    def read(self, addr: int, nbytes: int) -> np.ndarray:
+        """Gather ``nbytes`` starting at global byte address ``addr``."""
+        self._check_range(addr, nbytes)
+        out = np.empty(nbytes, dtype=np.uint8)
+        copied = 0
+        while copied < nbytes:
+            page_id, offset = divmod(addr + copied, self.page_size)
+            chunk = min(nbytes - copied, self.page_size - offset)
+            out[copied : copied + chunk] = self.page(page_id)[offset : offset + chunk]
+            copied += chunk
+        return out
+
+    def write(self, addr: int, data: np.ndarray) -> None:
+        """Scatter ``data`` (uint8) starting at global byte address ``addr``."""
+        data = np.ascontiguousarray(data, dtype=np.uint8).ravel()
+        self._check_range(addr, len(data))
+        copied = 0
+        nbytes = len(data)
+        while copied < nbytes:
+            page_id, offset = divmod(addr + copied, self.page_size)
+            chunk = min(nbytes - copied, self.page_size - offset)
+            self.page(page_id)[offset : offset + chunk] = data[copied : copied + chunk]
+            copied += chunk
+
+    def pages_in_range(self, addr: int, nbytes: int) -> list[int]:
+        """Ids of every page a region touches, in ascending order."""
+        self._check_range(addr, nbytes)
+        if nbytes == 0:
+            return []
+        first = addr // self.page_size
+        last = (addr + nbytes - 1) // self.page_size
+        return list(range(first, last + 1))
+
+    @staticmethod
+    def _check_range(addr: int, nbytes: int) -> None:
+        if addr < 0 or nbytes < 0:
+            raise MemoryError_(f"bad region addr={addr} nbytes={nbytes}")

@@ -1,0 +1,6 @@
+"""Time breakdowns, event counters, and run reports."""
+
+from repro.metrics.counters import Category, EventCounters, StallKind, TimeBreakdown
+from repro.metrics.report import RunReport
+
+__all__ = ["Category", "EventCounters", "RunReport", "StallKind", "TimeBreakdown"]

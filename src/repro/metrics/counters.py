@@ -1,0 +1,131 @@
+"""Per-node time and event accounting.
+
+The paper reports execution time split into the categories of Figures
+1-5: Busy, DSM Overhead, Memory Miss Idle, Synchronization Idle, plus
+Prefetch Overhead and Multithreading Overhead when the respective
+technique is on.  :class:`TimeBreakdown` accumulates the *charged*
+categories; idle time is derived as wall time minus charges and is
+attributed to memory or synchronization by the scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = ["Category", "StallKind", "TimeBreakdown", "EventCounters"]
+
+
+class Category(str, Enum):
+    """Where a microsecond of CPU (or idle wall) time goes."""
+
+    BUSY = "busy"
+    DSM = "dsm_overhead"
+    PREFETCH = "prefetch_overhead"
+    MT = "mt_overhead"
+    MEMORY_IDLE = "memory_idle"
+    SYNC_IDLE = "sync_idle"
+
+
+class StallKind(str, Enum):
+    """Why a thread is blocked (classifies the idle time it causes)."""
+
+    MEMORY = "memory"
+    LOCK = "lock"
+    BARRIER = "barrier"
+
+    @property
+    def idle_category(self) -> Category:
+        return Category.MEMORY_IDLE if self is StallKind.MEMORY else Category.SYNC_IDLE
+
+
+@dataclass
+class TimeBreakdown:
+    """Accumulated microseconds per category for one node."""
+
+    times: dict[Category, float] = field(
+        default_factory=lambda: {category: 0.0 for category in Category}
+    )
+
+    def charge(self, category: Category, amount: float) -> None:
+        if amount < 0:
+            raise ValueError(f"negative charge {amount} to {category}")
+        self.times[category] += amount
+
+    @property
+    def charged_cpu(self) -> float:
+        """CPU-occupying time (excludes idle categories)."""
+        return (
+            self.times[Category.BUSY]
+            + self.times[Category.DSM]
+            + self.times[Category.PREFETCH]
+            + self.times[Category.MT]
+        )
+
+    @property
+    def total(self) -> float:
+        return sum(self.times.values())
+
+    def as_dict(self) -> dict[str, float]:
+        return {category.value: value for category, value in self.times.items()}
+
+    def merged_with(self, other: "TimeBreakdown") -> "TimeBreakdown":
+        merged = TimeBreakdown()
+        for category in Category:
+            merged.times[category] = self.times[category] + other.times[category]
+        return merged
+
+
+@dataclass
+class EventCounters:
+    """Event counts and stall sums used by Tables 1 and 2."""
+
+    remote_misses: int = 0
+    remote_miss_stall: float = 0.0
+    #: faults satisfied without remote messages (e.g. from the prefetch
+    #: heap) — not "misses" in the paper's Table 1 sense.
+    cache_faults: int = 0
+    remote_lock_misses: int = 0
+    remote_lock_stall: float = 0.0
+    barrier_waits: int = 0
+    barrier_stall: float = 0.0
+    context_switches: int = 0
+    # Thread run lengths: busy time between consecutive long-latency events.
+    run_lengths_sum: float = 0.0
+    run_lengths_count: int = 0
+
+    def record_run_length(self, length: float) -> None:
+        if length > 0:
+            self.run_lengths_sum += length
+            self.run_lengths_count += 1
+
+    @property
+    def avg_run_length(self) -> float:
+        if self.run_lengths_count == 0:
+            return 0.0
+        return self.run_lengths_sum / self.run_lengths_count
+
+    @property
+    def avg_miss_stall(self) -> float:
+        return self.remote_miss_stall / self.remote_misses if self.remote_misses else 0.0
+
+    @property
+    def avg_lock_stall(self) -> float:
+        return self.remote_lock_stall / self.remote_lock_misses if self.remote_lock_misses else 0.0
+
+    @property
+    def avg_barrier_stall(self) -> float:
+        return self.barrier_stall / self.barrier_waits if self.barrier_waits else 0.0
+
+    @property
+    def total_stall(self) -> float:
+        return self.remote_miss_stall + self.remote_lock_stall + self.barrier_stall
+
+    @property
+    def total_stall_events(self) -> int:
+        return self.remote_misses + self.remote_lock_misses + self.barrier_waits
+
+    @property
+    def avg_stall(self) -> float:
+        events = self.total_stall_events
+        return self.total_stall / events if events else 0.0

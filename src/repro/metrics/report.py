@@ -1,0 +1,112 @@
+"""Run reports: everything a finished simulation tells you.
+
+A :class:`RunReport` carries the wall time, per-node time breakdowns and
+event counters, network traffic, and (when enabled) prefetch statistics.
+The experiment harness renders these into the paper's figures/tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.metrics.counters import Category, EventCounters, TimeBreakdown
+
+__all__ = ["RunReport"]
+
+
+@dataclass
+class RunReport:
+    """Results of one application run on one configuration."""
+
+    app_name: str
+    config_label: str
+    num_nodes: int
+    threads_per_node: int
+    wall_time_us: float
+    node_breakdowns: list[TimeBreakdown]
+    node_events: list[EventCounters]
+    total_messages: int
+    total_kbytes: float
+    message_drops: int
+    prefetch_stats: Optional[object] = None  # PrefetchStats when prefetching is on
+    extra: dict = field(default_factory=dict)
+
+    # -- aggregation ----------------------------------------------------------
+
+    @property
+    def breakdown(self) -> TimeBreakdown:
+        """Sum of all nodes' charged/idle time."""
+        total = TimeBreakdown()
+        for node_breakdown in self.node_breakdowns:
+            total = total.merged_with(node_breakdown)
+        return total
+
+    @property
+    def events(self) -> EventCounters:
+        total = EventCounters()
+        for events in self.node_events:
+            total.remote_misses += events.remote_misses
+            total.remote_miss_stall += events.remote_miss_stall
+            total.cache_faults += events.cache_faults
+            total.remote_lock_misses += events.remote_lock_misses
+            total.remote_lock_stall += events.remote_lock_stall
+            total.barrier_waits += events.barrier_waits
+            total.barrier_stall += events.barrier_stall
+            total.context_switches += events.context_switches
+            total.run_lengths_sum += events.run_lengths_sum
+            total.run_lengths_count += events.run_lengths_count
+        return total
+
+    def category_fraction(self, category: Category) -> float:
+        """Fraction of total node-time in a category.
+
+        The denominator is ``wall_time * num_nodes``: the full area of
+        the paper's stacked bars.
+        """
+        denom = self.wall_time_us * self.num_nodes
+        if denom <= 0:
+            return 0.0
+        return self.breakdown.times[category] / denom
+
+    def normalized_breakdown(self, baseline: Optional["RunReport"] = None) -> dict[str, float]:
+        """Category percentages, normalized to a baseline's wall time.
+
+        With no baseline, the run is its own baseline (sums to <= 100;
+        the remainder is uncharged scheduling slack).
+        """
+        base = baseline.wall_time_us if baseline is not None else self.wall_time_us
+        denom = base * self.num_nodes
+        if denom <= 0:
+            return {category.value: 0.0 for category in Category}
+        return {
+            category.value: 100.0 * self.breakdown.times[category] / denom
+            for category in Category
+        }
+
+    def normalized_total(self, baseline: Optional["RunReport"] = None) -> float:
+        """This run's wall time as a percentage of the baseline's."""
+        base = baseline.wall_time_us if baseline is not None else self.wall_time_us
+        return 100.0 * self.wall_time_us / base if base > 0 else 0.0
+
+    def speedup_over(self, baseline: "RunReport") -> float:
+        if self.wall_time_us <= 0:
+            return 0.0
+        return baseline.wall_time_us / self.wall_time_us
+
+    @property
+    def avg_miss_latency_us(self) -> float:
+        return self.events.avg_miss_stall
+
+    def summary(self) -> dict[str, float]:
+        events = self.events
+        return {
+            "wall_ms": self.wall_time_us / 1000.0,
+            "messages": float(self.total_messages),
+            "kbytes": self.total_kbytes,
+            "drops": float(self.message_drops),
+            "misses": float(events.remote_misses),
+            "avg_miss_us": events.avg_miss_stall,
+            "lock_stalls": float(events.remote_lock_misses),
+            "barrier_waits": float(events.barrier_waits),
+        }

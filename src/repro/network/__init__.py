@@ -1,0 +1,9 @@
+"""ATM cluster interconnect model (links, switch, messages, traffic stats)."""
+
+from repro.network.link import Link, LinkConfig
+from repro.network.message import Message, MessageKind
+from repro.network.network import Network
+from repro.network.stats import TrafficStats
+from repro.network.switch import Switch
+
+__all__ = ["Link", "LinkConfig", "Message", "MessageKind", "Network", "Switch", "TrafficStats"]

@@ -1,0 +1,79 @@
+"""Message model for the cluster interconnect.
+
+Every protocol interaction (page requests, diffs, write notices, lock
+and barrier traffic, prefetches) travels as a :class:`Message`.  Sizes
+are in *payload* bytes; the wire adds per-message protocol headers and
+ATM cell framing (see :class:`repro.network.link.Link`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+__all__ = ["MessageKind", "Message"]
+
+_message_ids = itertools.count()
+
+
+class MessageKind(str, Enum):
+    """The message vocabulary of the DSM protocol.
+
+    The split mirrors TreadMarks: everything is reliable except prefetch
+    traffic, which the paper deliberately leaves droppable (Section 3.1,
+    footnote 3).
+    """
+
+    DIFF_REQUEST = "diff_request"
+    DIFF_REPLY = "diff_reply"
+    LOCK_REQUEST = "lock_request"
+    LOCK_FORWARD = "lock_forward"
+    LOCK_GRANT = "lock_grant"
+    BARRIER_ARRIVE = "barrier_arrive"
+    BARRIER_RELEASE = "barrier_release"
+    PREFETCH_REQUEST = "prefetch_request"
+    PREFETCH_REPLY = "prefetch_reply"
+
+    @property
+    def is_prefetch(self) -> bool:
+        return self in (MessageKind.PREFETCH_REQUEST, MessageKind.PREFETCH_REPLY)
+
+
+@dataclass
+class Message:
+    """A single datagram between two nodes.
+
+    Attributes:
+        src: sending node id.
+        dst: receiving node id.
+        kind: protocol message type.
+        size_bytes: payload size (headers added by the link model).
+        payload: protocol-specific content (diff lists, vector clocks...).
+        reliable: reliable messages are never dropped; unreliable ones
+            (prefetch traffic) are dropped when a queue is full.
+    """
+
+    src: int
+    dst: int
+    kind: MessageKind
+    size_bytes: int
+    payload: dict[str, Any] = field(default_factory=dict)
+    reliable: bool = True
+    msg_id: int = field(default_factory=lambda: next(_message_ids))
+    sent_at: float = -1.0
+    delivered_at: float = -1.0
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError(f"message to self: node {self.src}")
+        if self.size_bytes < 0:
+            raise ValueError(f"negative message size: {self.size_bytes}")
+
+    @property
+    def latency(self) -> float:
+        """Wire latency in microseconds (valid after delivery)."""
+        if self.delivered_at < 0 or self.sent_at < 0:
+            raise ValueError("message not delivered yet")
+        return self.delivered_at - self.sent_at

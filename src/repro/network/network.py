@@ -1,0 +1,93 @@
+"""The cluster interconnect facade.
+
+``Network`` wires ``num_nodes`` uplinks into a :class:`Switch` and
+delivers messages to per-node handler callbacks.  This is the only
+networking API the rest of the library uses::
+
+    net = Network(sim, num_nodes=8)
+    net.attach(0, handler_fn)          # handler_fn(Message) -> None
+    net.send(Message(src=0, dst=1, ...))
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import NetworkError
+from repro.network.link import Link, LinkConfig
+from repro.network.message import Message
+from repro.network.stats import TrafficStats
+from repro.network.switch import Switch
+from repro.sim import Simulator
+
+__all__ = ["Network"]
+
+
+class Network:
+    """Star-topology interconnect: node uplinks -> switch -> downlinks."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        num_nodes: int,
+        link_config: Optional[LinkConfig] = None,
+        switch_latency_us: float = 10.0,
+    ) -> None:
+        if num_nodes < 2:
+            raise NetworkError(f"a network needs >= 2 nodes, got {num_nodes}")
+        self.sim = sim
+        self.num_nodes = num_nodes
+        self.link_config = link_config or LinkConfig()
+        self.stats = TrafficStats()
+        self._handlers: dict[int, Callable[[Message], None]] = {}
+        self.switch = Switch(
+            sim,
+            num_nodes,
+            self.link_config,
+            self._deliver,
+            latency_us=switch_latency_us,
+            on_drop=self.stats.record_drop,
+        )
+        self.uplinks: list[Link] = [
+            Link(sim, self.link_config, self.switch.accept, name=f"up[{node}]")
+            for node in range(num_nodes)
+        ]
+
+    def attach(self, node_id: int, handler: Callable[[Message], None]) -> None:
+        """Register the delivery callback for ``node_id``."""
+        if not 0 <= node_id < self.num_nodes:
+            raise NetworkError(f"unknown node {node_id}")
+        if node_id in self._handlers:
+            raise NetworkError(f"node {node_id} already attached")
+        self._handlers[node_id] = handler
+
+    def send(self, message: Message) -> bool:
+        """Inject a message at its source uplink.
+
+        Returns False if the message was dropped at the uplink queue
+        (possible only for unreliable messages).  A drop at the switch
+        downlink is recorded in stats but not reported to the sender —
+        exactly like a real datagram network.
+        """
+        if message.dst not in self._handlers:
+            raise NetworkError(f"destination node {message.dst} not attached")
+        message.sent_at = self.sim.now
+        self.stats.record_send(message)
+        accepted = self.uplinks[message.src].send(message)
+        if not accepted:
+            self.stats.record_drop(message)
+        return accepted
+
+    def _deliver(self, message: Message) -> None:
+        message.delivered_at = self.sim.now
+        self.stats.record_delivery(message)
+        self._handlers[message.dst](message)
+
+    # -- inspection --------------------------------------------------------
+
+    def dropped_at_switch(self) -> int:
+        return self.switch.dropped
+
+    def total_drops(self) -> int:
+        """All drops (uplink + switch downlink); stats records both."""
+        return self.stats.total_drops

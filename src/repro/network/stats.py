@@ -1,0 +1,65 @@
+"""Traffic accounting for the interconnect.
+
+Tracks, per message kind and overall: message counts, payload bytes,
+drops, and latency sums — enough to regenerate the "Total Traffic" and
+"All Messages" columns of the paper's Tables 1 and 2.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.network.message import Message, MessageKind
+
+__all__ = ["TrafficStats"]
+
+
+@dataclass
+class TrafficStats:
+    """Aggregate counters, updated by the :class:`~repro.network.network.Network`."""
+
+    messages_by_kind: dict[MessageKind, int] = field(default_factory=lambda: defaultdict(int))
+    bytes_by_kind: dict[MessageKind, int] = field(default_factory=lambda: defaultdict(int))
+    drops_by_kind: dict[MessageKind, int] = field(default_factory=lambda: defaultdict(int))
+    latency_sum_by_kind: dict[MessageKind, float] = field(default_factory=lambda: defaultdict(float))
+    delivered_by_kind: dict[MessageKind, int] = field(default_factory=lambda: defaultdict(int))
+
+    def record_send(self, message: Message) -> None:
+        self.messages_by_kind[message.kind] += 1
+        self.bytes_by_kind[message.kind] += message.size_bytes
+
+    def record_drop(self, message: Message) -> None:
+        self.drops_by_kind[message.kind] += 1
+
+    def record_delivery(self, message: Message) -> None:
+        self.delivered_by_kind[message.kind] += 1
+        self.latency_sum_by_kind[message.kind] += message.latency
+
+    # -- aggregates -------------------------------------------------------
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.messages_by_kind.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes_by_kind.values())
+
+    @property
+    def total_drops(self) -> int:
+        return sum(self.drops_by_kind.values())
+
+    def mean_latency(self, kind: MessageKind) -> float:
+        delivered = self.delivered_by_kind.get(kind, 0)
+        if delivered == 0:
+            return 0.0
+        return self.latency_sum_by_kind[kind] / delivered
+
+    def summary(self) -> dict[str, float]:
+        """Flat dict used by reports and tests."""
+        return {
+            "messages": self.total_messages,
+            "kbytes": self.total_bytes / 1024.0,
+            "drops": self.total_drops,
+        }

@@ -1,0 +1,7 @@
+"""Software-controlled non-binding prefetching (+ the history-based
+runtime alternative from the paper's related work)."""
+
+from repro.prefetch.engine import CachedPage, PrefetchEngine, PrefetchStats
+from repro.prefetch.history import HistoryPrefetcher
+
+__all__ = ["CachedPage", "HistoryPrefetcher", "PrefetchEngine", "PrefetchStats"]

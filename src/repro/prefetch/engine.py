@@ -1,0 +1,286 @@
+"""Software-controlled non-binding prefetching (Section 3 of the paper).
+
+A prefetch examines the write notices already propagated to this node,
+and sends *unreliable* prefetch requests for the missing diffs to the
+corresponding writers.  Replies land in a separate *prefetch heap* (a
+cache of diff replies) and are applied to the page only when it is
+actually accessed — so prefetched data stays visible to the coherence
+protocol and can be invalidated, i.e. the prefetch is non-binding.
+
+Outcome bookkeeping reproduces Figure 3's four-way classification of
+the original remote misses:
+
+- ``pf-hit``: the fault was satisfied entirely from the prefetch heap;
+- ``pf-miss: too late``: a prefetch was outstanding (or dropped in the
+  network) when the access arrived — a normal retry request is issued;
+- ``pf-miss: invalidated``: prefetched data arrived but a newer write
+  notice made it insufficient before use;
+- ``no pf``: the page instance was never prefetched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Generator, Optional
+
+from repro.api.ops import Prefetch
+from repro.dsm.interval import StoredDiff
+from repro.errors import ProtocolError
+from repro.metrics.counters import Category
+from repro.network import Message, MessageKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dsm.protocol import DsmNode
+
+__all__ = ["PrefetchStats", "PrefetchEngine", "CachedPage"]
+
+
+@dataclass
+class CachedPage:
+    """Prefetch-heap contents for one page."""
+
+    diffs: list[StoredDiff] = field(default_factory=list)
+    covers: dict[int, int] = field(default_factory=dict)  # writer -> through
+
+
+@dataclass
+class _PageRecord:
+    """Per-page, per-miss-epoch prefetch state (reset at validation)."""
+
+    outstanding: int = 0
+    had_reply: bool = False
+    invalidated_after_reply: bool = False
+    classified: bool = False
+
+
+@dataclass
+class PrefetchStats:
+    """Counters behind Table 1 and Figure 3."""
+
+    issued: int = 0
+    unnecessary: int = 0
+    suppressed: int = 0
+    remote_pages: int = 0
+    request_messages: int = 0
+    hits: int = 0
+    late: int = 0
+    invalidated: int = 0
+    no_pf: int = 0
+
+    @property
+    def covered(self) -> int:
+        return self.hits + self.late + self.invalidated
+
+    @property
+    def coverage_factor(self) -> float:
+        total = self.covered + self.no_pf
+        return self.covered / total if total else 0.0
+
+    @property
+    def unnecessary_fraction(self) -> float:
+        return self.unnecessary / self.issued if self.issued else 0.0
+
+
+class PrefetchEngine:
+    """Per-node prefetch machinery; installed onto a :class:`DsmNode`."""
+
+    def __init__(self, dsm: "DsmNode") -> None:
+        self.dsm = dsm
+        self.stats = PrefetchStats()
+        self._cache: dict[int, CachedPage] = {}
+        self._records: dict[int, _PageRecord] = {}
+        self._pending: dict[int, tuple[int, int]] = {}  # request id -> (page, writer)
+        self._next_request_id = 0
+        self._dedup_done: set[str] = set()
+        dsm.prefetch = self
+
+    # -- thread-facing op ----------------------------------------------------
+
+    def op_prefetch(self, op: Prefetch) -> Generator:
+        """Issue prefetches for every page the op's regions touch."""
+        if op.dedup_key is not None:
+            if op.dedup_key in self._dedup_done:
+                self.stats.suppressed += 1
+                return
+            self._dedup_done.add(op.dedup_key)
+        page_size = self.dsm.node.pages.page_size
+        seen: set[int] = set()
+        for addr, nbytes in op.regions:
+            for page_id in self.dsm.node.pages.pages_in_range(addr, nbytes):
+                if page_id in seen:
+                    continue
+                seen.add(page_id)
+                yield from self._prefetch_page(page_id)
+
+    def _prefetch_page(self, page_id: int) -> Generator:
+        self.stats.issued += 1
+        costs = self.dsm.node.costs
+        state = self.dsm.coherence(page_id)
+        record = self._records.get(page_id)
+        already_working = (
+            state.fetch_in_flight or (record is not None and record.outstanding > 0)
+        )
+        if state.valid or already_working:
+            # Paper footnote 4: the unnecessary prefetch costs a lookup,
+            # a valid-flag check, and a branch.
+            self.stats.unnecessary += 1
+            yield from self.dsm.node.occupy(costs.prefetch_issue_local, Category.PREFETCH)
+            return
+        writers = self._writers_not_cached(page_id, state)
+        if not writers:
+            # Everything missing is already in the prefetch heap.
+            self.stats.unnecessary += 1
+            yield from self.dsm.node.occupy(costs.prefetch_issue_local, Category.PREFETCH)
+            return
+        record = self._records.setdefault(page_id, _PageRecord())
+        self.stats.remote_pages += 1
+        # Paper: ~140us of software overhead per prefetch generating a
+        # remote message; extra writers add a per-message send cost.
+        overhead = costs.prefetch_issue_remote + (len(writers) - 1) * costs.msg_send_cpu
+        yield from self.dsm.node.occupy(overhead, Category.PREFETCH)
+        for writer, t_have in writers:
+            request_id = self._next_request_id
+            self._next_request_id += 1
+            self._pending[request_id] = (page_id, writer)
+            record.outstanding += 1
+            self.stats.request_messages += 1
+            self.dsm.node.network.send(
+                Message(
+                    src=self.dsm.node_id,
+                    dst=writer,
+                    kind=MessageKind.PREFETCH_REQUEST,
+                    size_bytes=36 + self.dsm.vc.size_bytes,
+                    reliable=False,
+                    payload={
+                        "page_id": page_id,
+                        "t_have": t_have,
+                        "vc": self.dsm.vc.snapshot(),
+                        "request_id": request_id,
+                    },
+                )
+            )
+
+    def _writers_not_cached(self, page_id: int, state) -> list[tuple[int, int]]:
+        """Writers whose missing intervals are not yet cached/applied."""
+        cached = self._cache.get(page_id)
+        writers = []
+        for writer in state.stale_writers():
+            have = state.applied_upto[writer]
+            if cached is not None:
+                have = max(have, cached.covers.get(writer, 0))
+            if state.needed_upto[writer] > have:
+                writers.append((writer, have))
+        return writers
+
+    # -- protocol hooks --------------------------------------------------------
+
+    def take_cached(self, page_id: int) -> Optional[CachedPage]:
+        """Consume the prefetch heap's contents for a faulting page."""
+        return self._cache.pop(page_id, None)
+
+    def on_invalidation(self, page_id: int) -> None:
+        record = self._records.get(page_id)
+        if record is not None and record.had_reply:
+            record.invalidated_after_reply = True
+
+    def classify_remote_fault(self, page_id: int) -> None:
+        """A fault needed remote requests: late / invalidated / no-pf."""
+        record = self._records.get(page_id)
+        if record is None:
+            self.stats.no_pf += 1
+            return
+        if record.classified:
+            return
+        record.classified = True
+        if record.outstanding > 0:
+            self.stats.late += 1
+        elif record.had_reply:
+            self.stats.invalidated += 1
+        else:
+            self.stats.no_pf += 1
+
+    def count_hit(self, page_id: int) -> None:
+        record = self._records.get(page_id)
+        if record is not None and not record.classified:
+            self.stats.hits += 1
+            record.classified = True
+
+    def on_page_validated(self, page_id: int) -> None:
+        """The miss epoch ended: forget this page's prefetch record."""
+        self._records.pop(page_id, None)
+
+    def on_fault_stall(self, page_id: int) -> None:
+        """Scheduler hook: a thread stalled on this page (kept for
+        symmetry and future statistics; classification happens in the
+        fetch path)."""
+
+    # -- message handlers ----------------------------------------------------------
+
+    def dispatch(self, msg: Message) -> Generator:
+        if msg.kind is MessageKind.PREFETCH_REQUEST:
+            yield from self._handle_request(msg)
+        elif msg.kind is MessageKind.PREFETCH_REPLY:
+            yield from self._handle_reply(msg)
+        else:  # pragma: no cover - dispatch guarded by is_prefetch
+            raise ProtocolError(f"not a prefetch message: {msg.kind}")
+
+    def _handle_request(self, msg: Message) -> Generator:
+        """Server side: flush and ship diffs, without any reliability.
+
+        Servicing mirrors the normal diff server — including the
+        sub-interval machinery — but the reply is a droppable datagram.
+        """
+        page_id = msg.payload["page_id"]
+        t_have = msg.payload["t_have"]
+        yield from self.dsm.flush_page_if_dirty(page_id)
+        stored = self.dsm.diff_store.diffs_after(page_id, t_have)
+        # Page-specific coverage claim (see handle_diff_request).
+        covers = max(
+            (s.covers_through for s in stored),
+            default=max(t_have, self.dsm.diff_store.latest_coverage(page_id)),
+        )
+        notices = self.dsm.reply_notices(page_id, t_have, msg.payload.get("vc"))
+        from repro.dsm.writenotice import WriteNoticeLog
+
+        size = (
+            24
+            + sum(s.diff.size_bytes + 12 for s in stored)
+            + WriteNoticeLog.wire_bytes(notices)
+        )
+        yield from self.dsm.send(
+            Message(
+                src=self.dsm.node_id,
+                dst=msg.src,
+                kind=MessageKind.PREFETCH_REPLY,
+                size_bytes=size,
+                reliable=False,
+                payload={
+                    "page_id": page_id,
+                    "request_id": msg.payload["request_id"],
+                    "diffs": stored,
+                    "covers_through": covers,
+                    "notices": notices,
+                },
+            )
+        )
+
+    def _handle_reply(self, msg: Message) -> Generator:
+        """Client side: file the diffs in the prefetch heap (not applied)."""
+        # Interval records still propagate immediately (consistency
+        # information is never cached, only data); advance_vc=False
+        # because the set is page-filtered.
+        yield from self.dsm.apply_notices_charged(msg.payload["notices"], advance_vc=False)
+        request_id = msg.payload["request_id"]
+        pending = self._pending.pop(request_id, None)
+        if pending is None:
+            return  # reply for a request we no longer track
+        page_id, writer = pending
+        cached = self._cache.setdefault(page_id, CachedPage())
+        cached.diffs.extend(msg.payload["diffs"])
+        covers = msg.payload["covers_through"]
+        if covers > cached.covers.get(writer, 0):
+            cached.covers[writer] = covers
+        record = self._records.get(page_id)
+        if record is not None:
+            record.outstanding -= 1
+            record.had_reply = True

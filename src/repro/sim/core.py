@@ -1,0 +1,246 @@
+"""Discrete-event simulation kernel.
+
+The kernel is a small, deterministic event-driven engine in the style of
+SimPy: a :class:`Simulator` owns a time-ordered event heap, and
+:class:`Event` objects are one-shot waitable values that callbacks (or
+generator-based processes, see :mod:`repro.sim.process`) attach to.
+
+Time is a ``float`` in **microseconds** throughout the library; this is
+the natural unit for the paper, whose constants (140 us prefetch issue,
+110 us context switch, millisecond-scale remote misses) all live in the
+microsecond-to-millisecond range.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Iterable, Optional
+
+from repro.errors import SimulationError
+
+__all__ = ["Event", "Timeout", "Condition", "AnyOf", "AllOf", "Simulator"]
+
+
+class Event:
+    """A one-shot occurrence that callbacks can wait on.
+
+    An event starts *pending*; it is *triggered* exactly once, either by
+    :meth:`succeed` (with an optional value) or :meth:`fail` (with an
+    exception).  Callbacks added before the trigger run when it fires;
+    callbacks added afterwards run immediately.
+    """
+
+    _PENDING = object()
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._value: Any = Event._PENDING
+        self._exception: Optional[BaseException] = None
+        self._callbacks: list[Callable[["Event"], None]] = []
+
+    # -- state ----------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        return self._value is not Event._PENDING or self._exception is not None
+
+    @property
+    def ok(self) -> bool:
+        """True once the event succeeded (not failed)."""
+        return self._value is not Event._PENDING
+
+    @property
+    def value(self) -> Any:
+        if not self.triggered:
+            raise SimulationError(f"event {self!r} has no value yet")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    # -- triggering -----------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self.triggered:
+            raise SimulationError(f"event {self!r} already triggered")
+        self._value = value
+        self._dispatch()
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        if self.triggered:
+            raise SimulationError(f"event {self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._exception = exception
+        self._dispatch()
+        return self
+
+    def _dispatch(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    # -- waiting --------------------------------------------------------
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event triggers.
+
+        If the event already triggered the callback runs synchronously.
+        """
+        if self.triggered:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self.triggered else "pending"
+        label = f" {self.name!r}" if self.name else ""
+        return f"<{type(self).__name__}{label} {state}>"
+
+
+class Timeout(Event):
+    """An event that succeeds after a fixed simulated delay."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim, name=f"timeout({delay})")
+        sim.schedule(delay, self.succeed, value)
+
+
+class Condition(Event):
+    """Base for events composed from several child events."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self.events: tuple[Event, ...] = tuple(events)
+        if not self.events:
+            raise SimulationError("condition requires at least one event")
+        for event in self.events:
+            event.add_callback(self._check)
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AnyOf(Condition):
+    """Succeeds when the first child event triggers.
+
+    The value is the child event itself, so the waiter can learn *which*
+    event fired and read its value.
+    """
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._exception is not None:
+            self.fail(event._exception)
+        else:
+            self.succeed(event)
+
+
+class AllOf(Condition):
+    """Succeeds when every child event has triggered.
+
+    The value is the list of child values, in construction order.
+    """
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        # _check calls arriving synchronously (pre-triggered children)
+        # during construction must not count down or complete: the full
+        # child list is not registered yet.
+        self._counting = False
+        super().__init__(sim, events)
+        if self.triggered:  # a pre-triggered child had already failed
+            return
+        self._remaining = sum(1 for e in self.events if not e.triggered)
+        self._counting = True
+        if self._remaining == 0:
+            self.succeed([e.value for e in self.events])
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._exception is not None:
+            self.fail(event._exception)
+            return
+        if not self._counting:
+            return
+        self._remaining -= 1
+        if self._remaining <= 0:
+            self.succeed([e.value for e in self.events])
+
+
+class Simulator:
+    """The event loop: a heap of ``(time, sequence, callable)`` entries.
+
+    Ties at the same timestamp are broken by insertion order, which makes
+    every run fully deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self._handled = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in microseconds."""
+        return self._now
+
+    @property
+    def events_handled(self) -> int:
+        """Number of scheduled callbacks executed so far."""
+        return self._handled
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Run ``fn(*args)`` after ``delay`` microseconds of simulated time."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        entry_time = self._now + delay
+        if args:
+            heapq.heappush(self._heap, (entry_time, next(self._sequence), lambda: fn(*args)))
+        else:
+            heapq.heappush(self._heap, (entry_time, next(self._sequence), fn))
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def event(self, name: str = "") -> Event:
+        return Event(self, name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Drain the event heap.
+
+        Args:
+            until: stop once simulated time would exceed this bound.
+            max_events: safety valve against runaway simulations.
+
+        Returns:
+            The final simulated time.
+        """
+        count = 0
+        while self._heap:
+            time, _seq, fn = self._heap[0]
+            if until is not None and time > until:
+                self._now = until
+                break
+            heapq.heappop(self._heap)
+            if time < self._now:
+                raise SimulationError("event heap produced a time in the past")
+            self._now = time
+            fn()
+            self._handled += 1
+            count += 1
+            if max_events is not None and count >= max_events:
+                raise SimulationError(f"exceeded max_events={max_events}; likely a livelock")
+        return self._now

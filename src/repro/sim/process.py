@@ -1,0 +1,94 @@
+"""Generator-based processes for the simulation kernel.
+
+A *process* is a Python generator that yields :class:`~repro.sim.core.Event`
+objects; the process resumes — receiving the event's value — when the
+event triggers.  Processes are themselves events, succeeding with the
+generator's return value, so they compose (a process can wait on another
+process, or on ``AllOf`` over several).
+
+Example::
+
+    def worker(sim):
+        yield sim.timeout(5)
+        result = yield sim.timeout(3, value="done")
+        return result
+
+    sim = Simulator()
+    proc = spawn(sim, worker(sim))
+    sim.run()
+    assert proc.value == "done"
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.errors import SimulationError
+from repro.sim.core import Event, Simulator
+
+__all__ = ["Process", "spawn"]
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """Wraps a generator; succeeds with the generator's return value."""
+
+    def __init__(self, sim: Simulator, generator: ProcessGenerator, name: str = "") -> None:
+        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        self._generator = generator
+        self._waiting_on: Event | None = None
+        # Start on the next scheduler tick so the creator finishes its
+        # own setup first (matches SimPy semantics).
+        sim.schedule(0.0, self._resume, None, None)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def _resume(self, value: Any, exception: BaseException | None) -> None:
+        if self.triggered:
+            return
+        try:
+            if exception is not None:
+                target = self._generator.throw(exception)
+            else:
+                target = self._generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            # Propagate to waiters; a fire-and-forget process (nobody
+            # waiting) must not die silently — crash the simulation.
+            if self._callbacks:
+                self.fail(exc)
+                return
+            raise
+        if not isinstance(target, Event):
+            self.fail(
+                SimulationError(
+                    f"process {self.name!r} yielded {target!r}; processes must yield Event objects"
+                )
+            )
+            return
+        self._waiting_on = target
+        target.add_callback(self._on_event)
+
+    def _on_event(self, event: Event) -> None:
+        self._waiting_on = None
+        if event._exception is not None:
+            self._resume(None, event._exception)
+        else:
+            self._resume(event.value, None)
+
+    def interrupt(self, exception: BaseException | None = None) -> None:
+        """Throw an exception into the process at its current yield point."""
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        exc = exception if exception is not None else SimulationError("interrupted")
+        self.sim.schedule(0.0, self._resume, None, exc)
+
+
+def spawn(sim: Simulator, generator: ProcessGenerator, name: str = "") -> Process:
+    """Create and start a :class:`Process` from a generator."""
+    return Process(sim, generator, name=name)

@@ -1,0 +1,6 @@
+"""User-level threads and the switch-on-long-latency-event scheduler."""
+
+from repro.threads.scheduler import NodeScheduler, SchedulingPolicy, WaitRequest
+from repro.threads.thread import DsmThread, ThreadState
+
+__all__ = ["DsmThread", "NodeScheduler", "SchedulingPolicy", "ThreadState", "WaitRequest"]

@@ -1,0 +1,99 @@
+"""Unit tests for SharedVector / SharedMatrix op construction."""
+
+import numpy as np
+import pytest
+
+from repro.api.shared import SharedMatrix, SharedVector
+from repro.errors import ProgramError
+from repro.memory import Segment
+
+
+def vector(length=100, dtype=np.float64):
+    dtype = np.dtype(dtype)
+    return SharedVector(Segment("v", 4096, length * dtype.itemsize), dtype, length)
+
+
+def matrix(rows=8, cols=16, dtype=np.float64):
+    dtype = np.dtype(dtype)
+    return SharedMatrix(
+        Segment("m", 8192, rows * cols * dtype.itemsize), dtype, rows, cols
+    )
+
+
+def test_vector_addressing():
+    vec = vector()
+    assert vec.addr(0) == 4096
+    assert vec.addr(10) == 4096 + 80
+    with pytest.raises(ProgramError):
+        vec.addr(100)
+
+
+def test_vector_read_write_ops():
+    vec = vector()
+    read = vec.read(5, 10)
+    assert read.addr == 4096 + 40
+    assert read.nbytes == 80
+    assert read.dtype == np.float64
+    write = vec.write(0, np.zeros(3))
+    assert write.nbytes == 24
+
+
+def test_vector_range_validation():
+    vec = vector()
+    with pytest.raises(ProgramError):
+        vec.read(95, 10)
+    with pytest.raises(ProgramError):
+        vec.write(99, np.zeros(2))
+
+
+def test_vector_oversized_rejected():
+    with pytest.raises(ProgramError):
+        SharedVector(Segment("v", 0, 8), np.float64, 2)
+
+
+def test_matrix_addressing():
+    mat = matrix()
+    assert mat.addr(0, 0) == 8192
+    assert mat.addr(1, 0) == 8192 + 16 * 8
+    assert mat.addr(0, 3) == 8192 + 24
+    with pytest.raises(ProgramError):
+        mat.addr(8, 0)
+
+
+def test_matrix_row_ops():
+    mat = matrix()
+    read = mat.read_rows(2, 3)
+    assert read.nbytes == 3 * 16 * 8
+    write = mat.write_row(0, np.zeros(16))
+    assert write.addr == 8192
+    with pytest.raises(ProgramError):
+        mat.write_row(0, np.zeros(15))
+
+
+def test_matrix_block_write_shape_checks():
+    mat = matrix()
+    mat.write_rows(0, np.zeros((2, 16)))
+    with pytest.raises(ProgramError):
+        mat.write_rows(0, np.zeros((2, 15)))
+    with pytest.raises(ProgramError):
+        mat.write_rows(7, np.zeros((2, 16)))
+
+
+def test_matrix_cell_spans():
+    mat = matrix()
+    read = mat.read_cell_span(1, 4, 8)
+    assert read.addr == mat.addr(1, 4)
+    with pytest.raises(ProgramError):
+        mat.read_cell_span(0, 10, 8)  # crosses the row boundary
+    with pytest.raises(ProgramError):
+        mat.write_cell_span(0, 10, np.zeros(8))
+
+
+def test_prefetch_ops_carry_regions():
+    mat = matrix()
+    op = mat.prefetch_rows(0, 2)
+    assert op.regions == ((8192, 2 * 16 * 8),)
+    listed = mat.prefetch_row_list([0, 3])
+    assert len(listed.regions) == 2
+    vec = vector()
+    assert vec.prefetch(0, 4, dedup_key="k").dedup_key == "k"

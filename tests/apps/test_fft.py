@@ -1,0 +1,55 @@
+"""FFT: correctness through the DSM on every configuration."""
+
+import numpy as np
+import pytest
+
+from repro import DsmRuntime, RunConfig
+from repro.apps.fft import Fft, six_step_reference
+
+
+def test_six_step_reference_equals_numpy():
+    rng = np.random.default_rng(1)
+    for m in (4, 8, 32):
+        x = (rng.random(m * m) + 1j * rng.random(m * m)).astype(np.complex128)
+        assert np.allclose(six_step_reference(x, m), np.fft.fft(x))
+
+
+def test_fft_verifies_on_two_nodes():
+    DsmRuntime(RunConfig(num_nodes=2)).execute(Fft(m=16))
+
+
+def test_fft_verifies_on_eight_nodes():
+    DsmRuntime(RunConfig(num_nodes=8)).execute(Fft(m=32))
+
+
+def test_fft_verifies_multithreaded():
+    DsmRuntime(RunConfig(num_nodes=2, threads_per_node=4)).execute(Fft(m=32))
+
+
+def test_fft_verifies_with_prefetching():
+    app = Fft(m=32)
+    app.use_prefetch = True
+    report = DsmRuntime(RunConfig(num_nodes=4, prefetch=True)).execute(app)
+    stats = report.prefetch_stats
+    assert stats.issued > 0
+    # The compiler-style insertion prefetches local rows too, so a large
+    # fraction is unnecessary (the paper reports 98% for FFT).
+    assert stats.unnecessary_fraction > 0.3
+
+
+def test_fft_verifies_combined():
+    app = Fft(m=32)
+    app.use_prefetch = True
+    DsmRuntime(RunConfig(num_nodes=2, threads_per_node=2, prefetch=True)).execute(app)
+
+
+def test_fft_transposes_cause_all_to_all_misses():
+    report = DsmRuntime(RunConfig(num_nodes=4)).execute(Fft(m=64))
+    # Each matrix is 16 pages; three transposes produce repeated
+    # all-to-all page misses.
+    assert report.events.remote_misses > 50
+
+
+def test_fft_rejects_tiny_m():
+    with pytest.raises(ValueError):
+        Fft(m=2)

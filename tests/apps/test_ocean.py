@@ -1,0 +1,63 @@
+"""OCEAN: correctness and barrier-dominated behaviour."""
+
+import numpy as np
+import pytest
+
+from repro import DsmRuntime, RunConfig
+from repro.apps.ocean import Ocean, ocean_reference
+from repro.metrics.counters import Category
+
+
+def small(**kwargs):
+    defaults = dict(rows=18, cols=128, timesteps=2)
+    defaults.update(kwargs)
+    return Ocean(**defaults)
+
+
+def test_reference_runs_and_reduces_residual():
+    rng = np.random.default_rng(0)
+    fine = rng.random((18, 32))
+    coarse = np.zeros((10, 17))
+    _fine, _coarse, residuals = ocean_reference(fine, coarse, 3)
+    assert len(residuals) == 3
+    assert all(r > 0 for r in residuals)
+
+
+def test_ocean_verifies_on_two_nodes():
+    DsmRuntime(RunConfig(num_nodes=2)).execute(small())
+
+
+def test_ocean_verifies_on_eight_nodes():
+    DsmRuntime(RunConfig(num_nodes=8)).execute(small(rows=34))
+
+
+def test_ocean_multithreaded():
+    DsmRuntime(RunConfig(num_nodes=2, threads_per_node=2)).execute(small(rows=34))
+
+
+def test_ocean_with_prefetch():
+    app = small(rows=34)
+    app.use_prefetch = True
+    DsmRuntime(RunConfig(num_nodes=4, prefetch=True)).execute(app)
+
+
+def test_ocean_combined():
+    app = small(rows=34)
+    app.use_prefetch = True
+    DsmRuntime(RunConfig(num_nodes=2, threads_per_node=2, prefetch=True)).execute(app)
+
+
+def test_ocean_is_synchronization_heavy():
+    """Many short phases -> barriers dominate stalls (the paper measures
+    ~51% synchronization idle for OCEAN)."""
+    report = DsmRuntime(RunConfig(num_nodes=8)).execute(small(rows=34, timesteps=3))
+    sync = report.breakdown.times[Category.SYNC_IDLE]
+    memory = report.breakdown.times[Category.MEMORY_IDLE]
+    assert sync > memory
+
+
+def test_ocean_rejects_bad_grids():
+    with pytest.raises(ValueError):
+        Ocean(rows=9)
+    with pytest.raises(ValueError):
+        Ocean(rows=8, cols=7)

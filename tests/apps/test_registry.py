@@ -1,0 +1,46 @@
+"""Tests for the application registry."""
+
+import pytest
+
+from repro.apps import APP_ORDER, available_apps, make_app
+from repro.errors import ConfigError
+
+
+def test_order_matches_the_paper():
+    assert available_apps() == [
+        "FFT",
+        "LU-NCONT",
+        "LU-CONT",
+        "OCEAN",
+        "RADIX",
+        "SOR",
+        "WATER-NSQ",
+        "WATER-SP",
+    ]
+
+
+@pytest.mark.parametrize("name", APP_ORDER)
+def test_every_app_instantiates_in_every_preset(name):
+    for preset in ("small", "default"):
+        app = make_app(name, preset)
+        assert app.name == name
+        assert not app.use_prefetch
+
+
+@pytest.mark.parametrize("name", APP_ORDER)
+def test_paper_presets_instantiate(name):
+    app = make_app(name, "paper")
+    assert app.name == name
+
+
+def test_unknown_app_and_preset_rejected():
+    with pytest.raises(ConfigError):
+        make_app("NOPE")
+    with pytest.raises(ConfigError):
+        make_app("FFT", "enormous")
+
+
+def test_factories_return_fresh_instances():
+    a = make_app("SOR", "small")
+    b = make_app("SOR", "small")
+    assert a is not b

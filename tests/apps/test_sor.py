@@ -1,0 +1,62 @@
+"""SOR: correctness through the DSM and behavioural checks."""
+
+import numpy as np
+import pytest
+
+from repro import DsmRuntime, RunConfig
+from repro.apps.sor import Sor, sor_reference
+
+
+def small_sor(**kwargs):
+    defaults = dict(rows=32, cols=512, iterations=2)
+    defaults.update(kwargs)
+    return Sor(**defaults)
+
+
+def test_reference_fixed_point_on_uniform_grid():
+    grid = np.ones((8, 8))
+    assert np.allclose(sor_reference(grid, 3), grid)
+
+
+def test_reference_smooths_towards_neighbour_average():
+    grid = np.zeros((8, 8))
+    grid[4, 4] = 100.0
+    out = sor_reference(grid, 1)
+    assert out[4, 4] < 100.0 or out[3, 4] > 0.0
+
+
+def test_sor_verifies_on_two_nodes():
+    DsmRuntime(RunConfig(num_nodes=2)).execute(small_sor())
+
+
+def test_sor_verifies_on_eight_nodes():
+    DsmRuntime(RunConfig(num_nodes=8)).execute(small_sor(rows=64))
+
+
+def test_sor_verifies_multithreaded():
+    DsmRuntime(RunConfig(num_nodes=4, threads_per_node=2)).execute(small_sor(rows=64))
+
+
+def test_sor_verifies_with_prefetching():
+    app = small_sor(rows=64)
+    app.use_prefetch = True
+    report = DsmRuntime(RunConfig(num_nodes=4, prefetch=True)).execute(app)
+    assert report.prefetch_stats.issued > 0
+
+
+def test_sor_verifies_combined():
+    app = small_sor(rows=64)
+    app.use_prefetch = True
+    DsmRuntime(RunConfig(num_nodes=4, threads_per_node=2, prefetch=True)).execute(app)
+
+
+def test_sor_halo_traffic_is_modest_after_startup():
+    report = DsmRuntime(RunConfig(num_nodes=4)).execute(small_sor(rows=64, iterations=4))
+    # Steady state: ~2 halo faults per node per phase; startup adds the
+    # initial distribution from node 0.
+    assert report.events.remote_misses < 400
+
+
+def test_sor_rejects_tiny_grids():
+    with pytest.raises(ValueError):
+        Sor(rows=4, cols=2)

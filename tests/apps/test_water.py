@@ -1,0 +1,107 @@
+"""WATER-NSQ and WATER-SP: correctness and lock behaviour."""
+
+import numpy as np
+import pytest
+
+from repro import DsmRuntime, RunConfig
+from repro.apps.water import (
+    WaterNsquared,
+    WaterSpatial,
+    nsq_pairs,
+    nsq_reference,
+    pair_force,
+    sp_reference,
+    spatial_cells,
+)
+
+
+def test_pair_force_is_antisymmetric():
+    a, b = np.array([0.1, 0.2, 0.3]), np.array([0.4, 0.1, 0.9])
+    assert np.allclose(pair_force(a, b), -pair_force(b, a))
+
+
+def test_nsq_pairs_cover_each_pair_once():
+    n = 8
+    pairs = list(nsq_pairs(n))
+    unordered = {tuple(sorted(p)) for p in pairs}
+    assert len(pairs) == len(unordered) == n * (n - 1) // 2
+
+
+def test_nsq_reference_forces_sum_to_zero():
+    rng = np.random.default_rng(0)
+    forces = nsq_reference(rng.random((16, 3)))
+    assert np.abs(forces.sum(axis=0)).max() < 1e-12
+
+
+def test_spatial_cells_in_range():
+    rng = np.random.default_rng(1)
+    cells = spatial_cells(rng.random((100, 3)), 4)
+    assert cells.min() >= 0 and cells.max() < 64
+
+
+def test_sp_reference_forces_sum_to_zero():
+    rng = np.random.default_rng(2)
+    forces = sp_reference(rng.random((64, 3)), 4)
+    assert np.abs(forces.sum(axis=0)).max() < 1e-12
+
+
+def test_water_nsq_verifies_two_nodes():
+    DsmRuntime(RunConfig(num_nodes=2)).execute(WaterNsquared(num_molecules=48, steps=1))
+
+
+def test_water_nsq_verifies_eight_nodes():
+    DsmRuntime(RunConfig(num_nodes=8)).execute(WaterNsquared(num_molecules=64, steps=2))
+
+
+def test_water_nsq_multithreaded():
+    DsmRuntime(RunConfig(num_nodes=2, threads_per_node=2)).execute(
+        WaterNsquared(num_molecules=48, steps=1)
+    )
+
+
+def test_water_nsq_is_lock_heavy():
+    report = DsmRuntime(RunConfig(num_nodes=4)).execute(
+        WaterNsquared(num_molecules=64, steps=2)
+    )
+    assert report.events.remote_lock_misses > 0
+
+
+def test_water_nsq_with_prefetch():
+    app = WaterNsquared(num_molecules=64, steps=1)
+    app.use_prefetch = True
+    DsmRuntime(RunConfig(num_nodes=4, prefetch=True)).execute(app)
+
+
+def test_water_nsq_combined():
+    app = WaterNsquared(num_molecules=48, steps=1)
+    app.use_prefetch = True
+    DsmRuntime(RunConfig(num_nodes=2, threads_per_node=2, prefetch=True)).execute(app)
+
+
+def test_water_sp_verifies_two_nodes():
+    DsmRuntime(RunConfig(num_nodes=2)).execute(WaterSpatial(num_molecules=64, steps=1, cells_per_dim=3))
+
+
+def test_water_sp_verifies_eight_nodes():
+    DsmRuntime(RunConfig(num_nodes=8)).execute(WaterSpatial(num_molecules=96, steps=2, cells_per_dim=4))
+
+
+def test_water_sp_history_prefetch():
+    app = WaterSpatial(num_molecules=96, steps=2, cells_per_dim=4)
+    app.use_prefetch = True
+    report = DsmRuntime(RunConfig(num_nodes=4, prefetch=True)).execute(app)
+    # Step 2 prefetches through the recorded traversal of step 1.
+    assert report.prefetch_stats.issued > 0
+
+
+def test_water_sp_multithreaded():
+    DsmRuntime(RunConfig(num_nodes=2, threads_per_node=2)).execute(
+        WaterSpatial(num_molecules=64, steps=1, cells_per_dim=3)
+    )
+
+
+def test_water_rejects_tiny_inputs():
+    with pytest.raises(ValueError):
+        WaterNsquared(num_molecules=4)
+    with pytest.raises(ValueError):
+        WaterSpatial(num_molecules=8)

@@ -1,0 +1,71 @@
+"""Unit tests for interval tracking and the diff store."""
+
+import numpy as np
+
+from repro.dsm import DiffStore, IntervalManager, StoredDiff
+from repro.memory import Diff
+
+
+def stored(proc, covers, lamport, page=0):
+    return StoredDiff(proc, covers, lamport, Diff(page, runs=[(0, np.ones(4, dtype=np.uint8))]))
+
+
+def test_interval_dirty_tracking():
+    manager = IntervalManager(owner=1)
+    assert not manager.has_modifications
+    manager.record_write(5)
+    manager.record_write(5)
+    manager.record_write(9)
+    assert manager.dirty_pages == frozenset({5, 9})
+
+
+def test_take_dirty_clears():
+    manager = IntervalManager(owner=0)
+    manager.record_write(1)
+    assert manager.take_dirty() == {1}
+    assert manager.take_dirty() == set()
+
+
+def test_close_emits_sorted_notices_and_bumps_lamport():
+    manager = IntervalManager(owner=2)
+    manager.record_write(9)
+    manager.record_write(3)
+    before = manager.lamport
+    notices = manager.close(new_interval_idx=4)
+    assert manager.lamport == before + 1
+    assert [(n.proc, n.interval_idx, n.page_id) for n in notices] == [(2, 4, 3), (2, 4, 9)]
+
+
+def test_observe_lamport_keeps_max():
+    manager = IntervalManager(owner=0)
+    manager.observe_lamport(10)
+    manager.observe_lamport(5)
+    assert manager.lamport == 10
+
+
+def test_diff_store_diffs_after():
+    store = DiffStore()
+    store.add(stored(0, covers=1, lamport=1))
+    store.add(stored(0, covers=3, lamport=2))
+    assert len(store.diffs_after(0, 0)) == 2
+    assert len(store.diffs_after(0, 1)) == 1
+    assert store.diffs_after(0, 3) == []
+    assert store.diffs_after(99, 0) == []
+
+
+def test_diff_store_latest_coverage():
+    store = DiffStore()
+    assert store.latest_coverage(0) == 0
+    store.add(stored(0, covers=2, lamport=1))
+    assert store.latest_coverage(0) == 2
+
+
+def test_diff_store_garbage_collection():
+    store = DiffStore()
+    store.add(stored(0, covers=1, lamport=1))
+    store.add(stored(0, covers=5, lamport=2))
+    bytes_before = store.total_diff_bytes
+    reclaimed = store.garbage_collect_before(0, 1)
+    assert reclaimed > 0
+    assert store.total_diff_bytes == bytes_before - reclaimed
+    assert len(store.diffs_after(0, 0)) == 1

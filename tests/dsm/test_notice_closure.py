@@ -1,0 +1,62 @@
+"""Tests for the write-notice log's prefix-closure discipline.
+
+The per-proc log (which feeds ``unseen_by`` and, through grants, every
+vector clock) may only contain FULLY-transferred notices; page-filtered
+sets from diff replies live in the per-page history only.  Violating
+this punches holes in a proc's interval prefix, and a later grant
+forwards the holey knowledge — the receiver's clock then skips past a
+notice it never saw, losing the invalidation forever.
+"""
+
+from repro.dsm import WriteNotice, WriteNoticeLog
+
+
+def wn(proc, idx, page):
+    return WriteNotice(proc, idx, idx, page)
+
+
+def test_full_notices_enter_both_structures():
+    log = WriteNoticeLog(4)
+    assert log.add(wn(1, 1, 7), full=True)
+    assert log.notices_from(1) == [wn(1, 1, 7)]
+    assert log.notices_for_page(7) == [wn(1, 1, 7)]
+
+
+def test_page_filtered_notices_stay_out_of_proc_log():
+    log = WriteNoticeLog(4)
+    log.add(wn(1, 5, 7), full=False)
+    assert log.notices_from(1) == []          # not forwardable
+    assert log.notices_for_page(7) == [wn(1, 5, 7)]  # but reply-visible
+    assert log.unseen_by((0, 0, 0, 0)) == []  # grants never ship it
+
+
+def test_page_filtered_then_full_upgrade():
+    """A notice first seen page-filtered must still enter the proc log
+    when it later arrives via a full transfer."""
+    log = WriteNoticeLog(4)
+    log.add(wn(1, 5, 7), full=False)
+    assert log.add(wn(1, 5, 7), full=True)
+    assert log.notices_from(1) == [wn(1, 5, 7)]
+    # No duplicate in the page history.
+    assert log.notices_for_page(7) == [wn(1, 5, 7)]
+
+
+def test_full_then_page_filtered_is_deduped():
+    log = WriteNoticeLog(4)
+    log.add(wn(1, 5, 7), full=True)
+    assert not log.add(wn(1, 5, 7), full=False)
+    assert log.notices_for_page(7) == [wn(1, 5, 7)]
+
+
+def test_unseen_by_never_exposes_holes():
+    """unseen_by ships every full notice above the threshold; a
+    page-filtered notice in between is invisible (the receiver's clock
+    must not be advanced past it by proxy)."""
+    log = WriteNoticeLog(2)
+    log.add(wn(1, 1, 0), full=True)
+    log.add(wn(1, 2, 0), full=False)  # hole at 2 in the full prefix
+    log.add(wn(1, 3, 0), full=True)
+    shipped = [n.interval_idx for n in log.unseen_by((0, 0))]
+    assert shipped == [1, 3]
+    # The page history still knows all three.
+    assert [n.interval_idx for n in log.notices_for_page(0)] == [1, 2, 3]

@@ -1,0 +1,74 @@
+"""Unit and property tests for vector clocks."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dsm import VectorClock
+from repro.errors import ProtocolError
+
+
+def test_starts_at_zero():
+    vc = VectorClock(4, owner=1)
+    assert vc.snapshot() == (0, 0, 0, 0)
+
+
+def test_bad_owner_rejected():
+    with pytest.raises(ProtocolError):
+        VectorClock(4, owner=4)
+    with pytest.raises(ProtocolError):
+        VectorClock(4, owner=-1)
+
+
+def test_advance_own_increments():
+    vc = VectorClock(3, owner=0)
+    assert vc.advance_own() == 1
+    assert vc.advance_own() == 2
+    assert vc.snapshot() == (2, 0, 0)
+
+
+def test_observe_tracks_maximum():
+    vc = VectorClock(3, owner=0)
+    assert vc.observe(1, 5)
+    assert not vc.observe(1, 3)  # old news
+    assert vc[1] == 5
+
+
+def test_observe_own_rejected():
+    vc = VectorClock(3, owner=0)
+    with pytest.raises(ProtocolError):
+        vc.observe(0, 1)
+
+
+def test_dominates():
+    vc = VectorClock(3, owner=0)
+    vc.advance_own()
+    vc.observe(1, 2)
+    assert vc.dominates((1, 2, 0))
+    assert vc.dominates((0, 0, 0))
+    assert not vc.dominates((1, 3, 0))
+
+
+def test_merge_takes_componentwise_max_except_own():
+    vc = VectorClock(3, owner=0)
+    vc.advance_own()
+    vc.merge((99, 4, 2))
+    assert vc.snapshot() == (1, 4, 2)  # own slot untouched
+
+
+def test_size_bytes():
+    assert VectorClock(8, owner=0).size_bytes == 32
+
+
+@given(st.integers(2, 8), st.data())
+def test_property_merge_dominates_both(num_nodes, data):
+    a = VectorClock(num_nodes, owner=0)
+    b_snapshot = tuple(
+        data.draw(st.integers(0, 20)) if i != 0 else 0 for i in range(num_nodes)
+    )
+    for _ in range(data.draw(st.integers(0, 5))):
+        a.advance_own()
+    before = a.snapshot()
+    a.merge(b_snapshot)
+    assert a.dominates(before)
+    assert all(a[i] >= b_snapshot[i] for i in range(1, num_nodes))

@@ -1,0 +1,52 @@
+"""Unit tests for the write-notice log."""
+
+from repro.dsm import WriteNotice, WriteNoticeLog
+from repro.dsm.writenotice import WIRE_BYTES_PER_NOTICE
+
+
+def wn(proc, idx, page, lamport=None):
+    return WriteNotice(proc, idx, lamport if lamport is not None else idx, page)
+
+
+def test_add_and_duplicate_detection():
+    log = WriteNoticeLog(4)
+    assert log.add(wn(1, 1, 7))
+    assert not log.add(wn(1, 1, 7))  # exact duplicate
+    assert log.total() == 1
+
+
+def test_out_of_order_insertion_keeps_sorted():
+    log = WriteNoticeLog(4)
+    log.add(wn(1, 3, 7))
+    log.add(wn(1, 1, 8))
+    notices = log.notices_from(1)
+    assert [n.interval_idx for n in notices] == [1, 3]
+
+
+def test_unseen_by_filters_on_vector_clock():
+    log = WriteNoticeLog(3)
+    log.add(wn(0, 1, 10))
+    log.add(wn(0, 2, 11))
+    log.add(wn(1, 1, 12))
+    missing = log.unseen_by((1, 0, 0))
+    assert {(n.proc, n.interval_idx) for n in missing} == {(0, 2), (1, 1)}
+    assert log.unseen_by((2, 1, 0)) == []
+
+
+def test_own_notices_after():
+    log = WriteNoticeLog(2)
+    for idx in (1, 2, 3):
+        log.add(wn(0, idx, idx * 10))
+    after = log.own_notices_after(0, 1)
+    assert [n.interval_idx for n in after] == [2, 3]
+
+
+def test_wire_bytes():
+    notices = [wn(0, 1, 5), wn(1, 2, 6)]
+    assert WriteNoticeLog.wire_bytes(notices) == 2 * WIRE_BYTES_PER_NOTICE
+
+
+def test_add_all_counts_new_only():
+    log = WriteNoticeLog(2)
+    batch = [wn(0, 1, 5), wn(0, 1, 5), wn(1, 1, 6)]
+    assert log.add_all(batch) == 2

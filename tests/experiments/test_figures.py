@@ -1,0 +1,60 @@
+"""Smoke tests for figure/table generation at tiny scale."""
+
+import pytest
+
+from repro.experiments import ExperimentRunner, figure1, figure3, table1, table2
+from repro.experiments.formatting import render_rows
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(num_nodes=2, preset="small", verify=True)
+
+
+def test_render_rows_alignment():
+    text = render_rows(["a", "bb"], [["1", "2"], ["333", "4"]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert all(len(line) == len(lines[0]) for line in lines)
+
+
+def test_figure1_structure(runner):
+    text, data = figure1(runner)
+    assert "Figure 1" in text
+    assert set(data) == {
+        "FFT",
+        "LU-NCONT",
+        "LU-CONT",
+        "OCEAN",
+        "RADIX",
+        "SOR",
+        "WATER-NSQ",
+        "WATER-SP",
+    }
+    for column in data.values():
+        # A stacked bar's components sum to roughly its total.
+        parts = sum(v for k, v in column.items() if k != "Total")
+        assert parts == pytest.approx(column["Total"], abs=12.0)
+
+
+def test_table1_entries(runner):
+    text, data = table1(runner)
+    assert "Table 1" in text
+    for entry in data.values():
+        assert 0 <= entry["unnecessary_pct"] <= 100
+        assert 0 <= entry["coverage_pct"] <= 100
+        assert entry["misses_p"] <= entry["misses_o"]
+
+
+def test_figure3_shares_sum_to_100(runner):
+    _text, data = figure3(runner)
+    for shares in data.values():
+        total = sum(shares.values())
+        assert total == pytest.approx(100.0, abs=0.5) or total == 0.0
+
+
+def test_table2_covers_all_configs(runner):
+    _text, data = table2(runner)
+    for by_config in data.values():
+        assert set(by_config) == {"O", "2T", "4T", "8T"}
+        assert by_config["O"]["avg_run_length"] >= 0

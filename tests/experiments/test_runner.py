@@ -1,0 +1,52 @@
+"""Tests for the experiment runner and label parsing."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import CONFIG_LABELS, ExperimentRunner, parse_label
+
+
+def test_parse_labels():
+    assert parse_label("O") == (1, False)
+    assert parse_label("P") == (1, True)
+    assert parse_label("2T") == (2, False)
+    assert parse_label("8T") == (8, False)
+    assert parse_label("4TP") == (4, True)
+
+
+def test_parse_label_rejects_garbage():
+    with pytest.raises(ConfigError):
+        parse_label("X")
+    with pytest.raises(ValueError):
+        parse_label("TTP")
+
+
+def test_config_labels_cover_figure5():
+    assert CONFIG_LABELS == ["O", "2T", "4T", "8T", "P", "2TP", "4TP", "8TP"]
+
+
+def test_runner_caches_reports():
+    runner = ExperimentRunner(num_nodes=2, preset="small")
+    first = runner.run("SOR", "O")
+    second = runner.run("SOR", "O")
+    assert first is second
+
+
+def test_runner_verifies_results():
+    runner = ExperimentRunner(num_nodes=2, preset="small", verify=True)
+    report = runner.run("SOR", "P")
+    assert report.prefetch_stats is not None
+    assert report.config_label == "P"
+
+
+def test_runner_combined_sets_app_options():
+    runner = ExperimentRunner(num_nodes=2, preset="small")
+    report = runner.run("RADIX", "2TP")
+    assert report.threads_per_node == 2
+    assert report.prefetch_stats is not None
+
+
+def test_runner_unknown_app():
+    runner = ExperimentRunner(num_nodes=2, preset="small")
+    with pytest.raises(ConfigError):
+        runner.run("NOPE", "O")

@@ -1,0 +1,24 @@
+"""Structural tests for the EXPERIMENTS.md generator."""
+
+from repro.experiments.writeup import ARTIFACTS, PAPER_CLAIMS
+
+
+def test_every_artifact_has_claims():
+    assert set(ARTIFACTS) == {"fig1", "fig2", "tab1", "fig3", "fig4", "tab2", "fig5"}
+    for artifact_id in ARTIFACTS:
+        claims = PAPER_CLAIMS[artifact_id]
+        assert claims, f"{artifact_id} has no paper-shape checks"
+        for description, check in claims:
+            assert isinstance(description, str) and len(description) > 10
+            assert callable(check)
+
+
+def test_claim_checks_are_defensive():
+    """A check crashing on malformed data must not raise (the generator
+    treats exceptions as DEVIATES)."""
+    for claims in PAPER_CLAIMS.values():
+        for _description, check in claims:
+            try:
+                check({})
+            except Exception:
+                pass  # allowed: generate() catches these

@@ -1,0 +1,70 @@
+"""Unit tests for the shared address space allocator."""
+
+import pytest
+
+from repro.errors import MemoryError_
+from repro.memory import SharedAddressSpace
+
+
+def test_first_allocation_starts_at_zero():
+    space = SharedAddressSpace(page_size=64)
+    seg = space.alloc("a", 100)
+    assert seg.base == 0
+    assert seg.nbytes == 100
+    assert seg.end == 100
+
+
+def test_page_aligned_allocation_rounds_up():
+    space = SharedAddressSpace(page_size=64)
+    space.alloc("a", 100)
+    seg = space.alloc("b", 10)
+    assert seg.base == 128  # next page boundary after 100
+
+
+def test_unaligned_allocation_packs_tightly():
+    space = SharedAddressSpace(page_size=64)
+    space.alloc("a", 100, page_aligned=False)
+    seg = space.alloc("b", 10, page_aligned=False)
+    assert seg.base == 100
+
+
+def test_duplicate_name_rejected():
+    space = SharedAddressSpace(page_size=64)
+    space.alloc("a", 10)
+    with pytest.raises(MemoryError_):
+        space.alloc("a", 10)
+
+
+def test_zero_size_rejected():
+    space = SharedAddressSpace(page_size=64)
+    with pytest.raises(MemoryError_):
+        space.alloc("a", 0)
+
+
+def test_segment_lookup_and_offset_addressing():
+    space = SharedAddressSpace(page_size=64)
+    space.alloc("grid", 256)
+    seg = space.segment("grid")
+    assert seg.addr(0) == seg.base
+    assert seg.addr(255) == seg.base + 255
+    with pytest.raises(MemoryError_):
+        seg.addr(256)
+    with pytest.raises(MemoryError_):
+        space.segment("nope")
+
+
+def test_total_pages_rounds_up():
+    space = SharedAddressSpace(page_size=64)
+    space.alloc("a", 65)
+    assert space.total_pages == 2
+
+
+def test_page_of_checks_bounds():
+    space = SharedAddressSpace(page_size=64)
+    space.alloc("a", 128)
+    assert space.page_of(0) == 0
+    assert space.page_of(127) == 1
+    with pytest.raises(MemoryError_):
+        space.page_of(128)
+    with pytest.raises(MemoryError_):
+        space.page_of(-1)

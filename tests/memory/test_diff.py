@@ -1,0 +1,168 @@
+"""Unit and property tests for twin/diff creation and application.
+
+Diffs are word-granular (8-byte), as in TreadMarks: the unit of
+comparison and shipping is the machine word, so concurrent writers must
+be word-disjoint (our applications all use >= 8-byte elements).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MemoryError_
+from repro.memory import Diff, apply_diff, make_diff
+from repro.memory.diff import DIFF_HEADER_BYTES, RUN_HEADER_BYTES
+
+
+def test_identical_pages_give_empty_diff():
+    page = np.arange(64, dtype=np.uint8)
+    diff = make_diff(0, page.copy(), page.copy())
+    assert diff.is_empty
+    assert diff.modified_bytes == 0
+
+
+def test_single_byte_change_ships_its_word():
+    twin = np.zeros(64, dtype=np.uint8)
+    current = twin.copy()
+    current[10] = 7
+    diff = make_diff(0, twin, current)
+    assert len(diff.runs) == 1
+    offset, data = diff.runs[0]
+    assert offset == 8  # the containing word
+    assert len(data) == 8
+    assert data[2] == 7
+
+
+def test_adjacent_word_changes_coalesce_into_one_run():
+    twin = np.zeros(64, dtype=np.uint8)
+    current = twin.copy()
+    current[8:24] = 1  # words 1 and 2
+    diff = make_diff(0, twin, current)
+    assert len(diff.runs) == 1
+    assert diff.modified_bytes == 16
+
+
+def test_separate_words_make_separate_runs():
+    twin = np.zeros(64, dtype=np.uint8)
+    current = twin.copy()
+    current[0] = 1    # word 0
+    current[32] = 2   # word 4
+    current[63] = 3   # word 7
+    diff = make_diff(0, twin, current)
+    assert len(diff.runs) == 3
+    assert all(off % 8 == 0 for off, _ in diff.runs)
+
+
+def test_size_bytes_counts_headers():
+    twin = np.zeros(64, dtype=np.uint8)
+    current = twin.copy()
+    current[0] = 1
+    current[32] = 1
+    diff = make_diff(0, twin, current)
+    assert diff.size_bytes == DIFF_HEADER_BYTES + 2 * (RUN_HEADER_BYTES + 8)
+
+
+def test_non_word_sized_page_rejected():
+    with pytest.raises(MemoryError_):
+        make_diff(0, np.zeros(10, dtype=np.uint8), np.zeros(10, dtype=np.uint8))
+
+
+def test_apply_diff_reconstructs_page():
+    twin = np.random.default_rng(0).integers(0, 256, 128).astype(np.uint8)
+    current = twin.copy()
+    current[3:17] = 255
+    current[100] = 0 if current[100] else 1
+    diff = make_diff(0, twin, current)
+    rebuilt = twin.copy()
+    apply_diff(rebuilt, diff)
+    assert np.array_equal(rebuilt, current)
+
+
+def test_apply_out_of_range_run_rejected():
+    page = np.zeros(16, dtype=np.uint8)
+    bad = Diff(0, runs=[(12, np.ones(8, dtype=np.uint8))])
+    with pytest.raises(MemoryError_):
+        apply_diff(page, bad)
+
+
+def test_mismatched_shapes_rejected():
+    with pytest.raises(MemoryError_):
+        make_diff(0, np.zeros(8, dtype=np.uint8), np.zeros(16, dtype=np.uint8))
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=16),
+    st.data(),
+)
+def test_property_diff_apply_round_trips(num_words, data):
+    """apply(twin, make_diff(twin, current)) == current, always."""
+    length = num_words * 8
+    twin = np.array(
+        data.draw(st.lists(st.integers(0, 255), min_size=length, max_size=length)),
+        dtype=np.uint8,
+    )
+    current = twin.copy()
+    for _ in range(data.draw(st.integers(min_value=0, max_value=10))):
+        pos = data.draw(st.integers(min_value=0, max_value=length - 1))
+        current[pos] = data.draw(st.integers(min_value=0, max_value=255))
+    diff = make_diff(0, twin, current)
+    rebuilt = twin.copy()
+    apply_diff(rebuilt, diff)
+    assert np.array_equal(rebuilt, current)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.data())
+def test_property_word_disjoint_diffs_merge_like_multiple_writers(data):
+    """Two writers modifying disjoint WORDS of the same page can be
+    merged in either order — the multiple-writer protocol's core
+    assumption for data-race-free (word-granular) programs."""
+    words = 8
+    page_len = words * 8
+    clean = np.array(
+        data.draw(st.lists(st.integers(0, 255), min_size=page_len, max_size=page_len)),
+        dtype=np.uint8,
+    )
+    split_word = data.draw(st.integers(min_value=1, max_value=words - 1))
+    split = split_word * 8
+
+    writer_a = clean.copy()
+    writer_b = clean.copy()
+    for pos in data.draw(st.lists(st.integers(0, split - 1), max_size=8)):
+        writer_a[pos] = (int(writer_a[pos]) + 1) % 256
+    for pos in data.draw(st.lists(st.integers(split, page_len - 1), max_size=8)):
+        writer_b[pos] = (int(writer_b[pos]) + 1) % 256
+
+    diff_a = make_diff(0, clean.copy(), writer_a)
+    diff_b = make_diff(0, clean.copy(), writer_b)
+
+    merged_ab = clean.copy()
+    apply_diff(merged_ab, diff_a)
+    apply_diff(merged_ab, diff_b)
+    merged_ba = clean.copy()
+    apply_diff(merged_ba, diff_b)
+    apply_diff(merged_ba, diff_a)
+
+    assert np.array_equal(merged_ab, merged_ba)
+    expected = clean.copy()
+    expected[:split] = writer_a[:split]
+    expected[split:] = writer_b[split:]
+    assert np.array_equal(merged_ab, expected)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.data())
+def test_property_runs_are_word_aligned_sorted_disjoint(data):
+    twin = np.zeros(96, dtype=np.uint8)
+    current = twin.copy()
+    for pos in data.draw(st.lists(st.integers(0, 95), max_size=30)):
+        current[pos] = 1
+    diff = make_diff(0, twin, current)
+    last_end = -1
+    for offset, run in diff.runs:
+        assert offset % 8 == 0
+        assert len(run) % 8 == 0
+        assert offset > last_end
+        last_end = offset + len(run) - 1

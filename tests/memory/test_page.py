@@ -1,0 +1,81 @@
+"""Unit tests for the page store."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryError_
+from repro.memory import PageStore
+
+
+def test_pages_start_zeroed():
+    store = PageStore(page_size=64)
+    assert np.all(store.page(3) == 0)
+
+
+def test_bad_page_size_rejected():
+    with pytest.raises(MemoryError_):
+        PageStore(page_size=0)
+    with pytest.raises(MemoryError_):
+        PageStore(page_size=100)  # not a multiple of 8
+
+
+def test_negative_page_id_rejected():
+    store = PageStore(page_size=64)
+    with pytest.raises(MemoryError_):
+        store.page(-1)
+
+
+def test_page_is_lazily_materialized():
+    store = PageStore(page_size=64)
+    assert store.materialized_pages == 0
+    store.page(7)
+    assert store.materialized_pages == 1
+    assert 7 in store
+    assert 8 not in store
+
+
+def test_write_read_round_trip_within_page():
+    store = PageStore(page_size=64)
+    data = np.arange(16, dtype=np.uint8)
+    store.write(10, data)
+    assert np.array_equal(store.read(10, 16), data)
+
+
+def test_write_read_straddles_pages():
+    store = PageStore(page_size=64)
+    data = np.arange(200, dtype=np.uint8)
+    store.write(50, data)  # spans pages 0..3
+    assert np.array_equal(store.read(50, 200), data)
+    # The tail of page 0 holds the first 14 bytes.
+    assert np.array_equal(store.page(0)[50:], data[:14])
+
+
+def test_snapshot_is_independent_copy():
+    store = PageStore(page_size=64)
+    snap = store.snapshot(0)
+    store.page(0)[0] = 99
+    assert snap[0] == 0
+
+
+def test_pages_in_range():
+    store = PageStore(page_size=64)
+    assert store.pages_in_range(0, 64) == [0]
+    assert store.pages_in_range(63, 2) == [0, 1]
+    assert store.pages_in_range(128, 130) == [2, 3, 4]
+    assert store.pages_in_range(5, 0) == []
+
+
+def test_bad_ranges_rejected():
+    store = PageStore(page_size=64)
+    with pytest.raises(MemoryError_):
+        store.read(-1, 4)
+    with pytest.raises(MemoryError_):
+        store.pages_in_range(0, -1)
+
+
+def test_write_accepts_any_dtype_viewable_as_bytes():
+    store = PageStore(page_size=64)
+    values = np.array([1.5, -2.25], dtype=np.float64)
+    store.write(0, values.view(np.uint8))
+    back = store.read(0, 16).view(np.float64)
+    assert np.array_equal(back, values)

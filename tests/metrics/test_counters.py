@@ -1,0 +1,67 @@
+"""Unit tests for time breakdowns and event counters."""
+
+import pytest
+
+from repro.metrics.counters import Category, EventCounters, StallKind, TimeBreakdown
+
+
+def test_breakdown_starts_empty():
+    breakdown = TimeBreakdown()
+    assert breakdown.total == 0.0
+    assert breakdown.charged_cpu == 0.0
+
+
+def test_charge_accumulates():
+    breakdown = TimeBreakdown()
+    breakdown.charge(Category.BUSY, 10.0)
+    breakdown.charge(Category.BUSY, 5.0)
+    breakdown.charge(Category.MEMORY_IDLE, 20.0)
+    assert breakdown.times[Category.BUSY] == 15.0
+    assert breakdown.charged_cpu == 15.0  # idle excluded
+    assert breakdown.total == 35.0
+
+
+def test_negative_charge_rejected():
+    with pytest.raises(ValueError):
+        TimeBreakdown().charge(Category.DSM, -1.0)
+
+
+def test_merged_with_sums_categories():
+    a, b = TimeBreakdown(), TimeBreakdown()
+    a.charge(Category.BUSY, 1.0)
+    b.charge(Category.BUSY, 2.0)
+    b.charge(Category.SYNC_IDLE, 3.0)
+    merged = a.merged_with(b)
+    assert merged.times[Category.BUSY] == 3.0
+    assert merged.times[Category.SYNC_IDLE] == 3.0
+    # Inputs unchanged.
+    assert a.times[Category.BUSY] == 1.0
+
+
+def test_stall_kind_idle_mapping():
+    assert StallKind.MEMORY.idle_category is Category.MEMORY_IDLE
+    assert StallKind.LOCK.idle_category is Category.SYNC_IDLE
+    assert StallKind.BARRIER.idle_category is Category.SYNC_IDLE
+
+
+def test_event_counters_averages():
+    events = EventCounters()
+    assert events.avg_miss_stall == 0.0
+    assert events.avg_stall == 0.0
+    events.remote_misses = 2
+    events.remote_miss_stall = 300.0
+    events.barrier_waits = 1
+    events.barrier_stall = 100.0
+    assert events.avg_miss_stall == 150.0
+    assert events.avg_barrier_stall == 100.0
+    assert events.total_stall == 400.0
+    assert events.avg_stall == pytest.approx(400.0 / 3)
+
+
+def test_run_length_recording():
+    events = EventCounters()
+    events.record_run_length(100.0)
+    events.record_run_length(0.0)  # ignored
+    events.record_run_length(200.0)
+    assert events.run_lengths_count == 2
+    assert events.avg_run_length == 150.0

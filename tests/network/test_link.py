@@ -1,0 +1,103 @@
+"""Unit tests for the link model: serialization, queueing, drops."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.network import LinkConfig, Message, MessageKind
+from repro.network.link import ATM_CELL_PAYLOAD, ATM_CELL_SIZE, Link
+from repro.sim import Simulator
+
+
+def make_msg(size, reliable=True):
+    kind = MessageKind.DIFF_REQUEST if reliable else MessageKind.PREFETCH_REQUEST
+    return Message(src=0, dst=1, kind=kind, size_bytes=size, reliable=reliable)
+
+
+def test_wire_bytes_accounts_for_headers_and_cells():
+    cfg = LinkConfig(header_bytes=60)
+    # 4 bytes payload + 60 header = 64 -> 2 cells -> 106 wire bytes
+    assert cfg.wire_bytes(4) == 2 * ATM_CELL_SIZE
+    # exactly one cell payload
+    assert cfg.wire_bytes(ATM_CELL_PAYLOAD - 60) if ATM_CELL_PAYLOAD > 60 else True
+
+
+def test_serialization_time_matches_bandwidth():
+    cfg = LinkConfig(bandwidth_mbps=155.0, header_bytes=60)
+    payload = 4096
+    expected_us = cfg.wire_bytes(payload) * 8 / 155.0
+    assert cfg.serialization_us(payload) == pytest.approx(expected_us)
+    # A 4KB page takes on the order of 200+ microseconds at OC-3 rates.
+    assert 150 < cfg.serialization_us(payload) < 400
+
+
+def test_invalid_configs_rejected():
+    with pytest.raises(NetworkError):
+        LinkConfig(bandwidth_mbps=0)
+    with pytest.raises(NetworkError):
+        LinkConfig(queue_capacity_bytes=0)
+
+
+def test_link_delivers_after_serialization_and_propagation():
+    sim = Simulator()
+    cfg = LinkConfig(bandwidth_mbps=100.0, propagation_us=2.0, header_bytes=0)
+    delivered = []
+    link = Link(sim, cfg, lambda m: delivered.append((m, sim.now)))
+    msg = make_msg(100)
+    assert link.send(msg)
+    sim.run()
+    wire_us = cfg.wire_bytes(100) * 8 / 100.0
+    assert delivered[0][1] == pytest.approx(wire_us + 2.0)
+
+
+def test_link_serializes_back_to_back_messages():
+    sim = Simulator()
+    cfg = LinkConfig(bandwidth_mbps=100.0, propagation_us=0.0, header_bytes=0)
+    times = []
+    link = Link(sim, cfg, lambda m: times.append(sim.now))
+    for _ in range(3):
+        link.send(make_msg(1000))
+    sim.run()
+    per_msg = cfg.serialization_us(1000)
+    assert times == pytest.approx([per_msg, 2 * per_msg, 3 * per_msg])
+
+
+def test_unreliable_dropped_when_queue_full():
+    sim = Simulator()
+    cfg = LinkConfig(queue_capacity_bytes=1000, header_bytes=0)
+    link = Link(sim, cfg, lambda m: None)
+    # Fill the queue with one large reliable message (never dropped).
+    assert link.send(make_msg(900, reliable=True))
+    assert not link.send(make_msg(500, reliable=False))
+    assert link.messages_dropped == 1
+
+
+def test_reliable_never_dropped_even_when_full():
+    sim = Simulator()
+    cfg = LinkConfig(queue_capacity_bytes=1000, header_bytes=0)
+    link = Link(sim, cfg, lambda m: None)
+    for _ in range(10):
+        assert link.send(make_msg(900, reliable=True))
+    assert link.messages_dropped == 0
+
+
+def test_queue_drains_allowing_later_unreliable_sends():
+    sim = Simulator()
+    cfg = LinkConfig(queue_capacity_bytes=2000, header_bytes=0, propagation_us=0.0)
+    link = Link(sim, cfg, lambda m: None)
+    assert link.send(make_msg(1500, reliable=True))
+    assert not link.send(make_msg(1000, reliable=False))
+    sim.run()  # drain
+    assert link.send(make_msg(1000, reliable=False))
+
+
+def test_link_statistics():
+    sim = Simulator()
+    cfg = LinkConfig(header_bytes=0)
+    link = Link(sim, cfg, lambda m: None)
+    link.send(make_msg(100))
+    link.send(make_msg(200))
+    sim.run()
+    assert link.messages_sent == 2
+    assert link.bytes_sent == cfg.wire_bytes(100) + cfg.wire_bytes(200)
+    assert link.busy_time > 0
+    assert 0 < link.utilization(sim.now) <= 1.0

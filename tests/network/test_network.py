@@ -1,0 +1,120 @@
+"""Integration tests for the full interconnect: switch, routing, hot-spotting."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.network import LinkConfig, Message, MessageKind, Network
+from repro.sim import Simulator
+
+
+def build(num_nodes=4, **link_kwargs):
+    sim = Simulator()
+    net = Network(sim, num_nodes, link_config=LinkConfig(**link_kwargs))
+    inboxes = {n: [] for n in range(num_nodes)}
+    for n in range(num_nodes):
+        net.attach(n, lambda m, n=n: inboxes[n].append(m))
+    return sim, net, inboxes
+
+
+def msg(src, dst, size=64, kind=MessageKind.DIFF_REQUEST, reliable=True):
+    return Message(src=src, dst=dst, kind=kind, size_bytes=size, reliable=reliable)
+
+
+def test_message_routed_to_destination():
+    sim, net, inboxes = build()
+    net.send(msg(0, 3))
+    sim.run()
+    assert len(inboxes[3]) == 1
+    assert inboxes[3][0].src == 0
+    assert not inboxes[0] and not inboxes[1] and not inboxes[2]
+
+
+def test_delivery_timestamps_and_latency():
+    sim, net, inboxes = build()
+    net.send(msg(0, 1, size=4096))
+    sim.run()
+    delivered = inboxes[1][0]
+    assert delivered.sent_at == 0.0
+    assert delivered.delivered_at > 0
+    # Two link traversals + switch latency: at least 2x serialization.
+    min_latency = 2 * net.link_config.serialization_us(4096)
+    assert delivered.latency >= min_latency
+
+
+def test_attach_twice_rejected():
+    sim = Simulator()
+    net = Network(sim, 2)
+    net.attach(0, lambda m: None)
+    with pytest.raises(NetworkError):
+        net.attach(0, lambda m: None)
+
+
+def test_send_to_unattached_node_rejected():
+    sim = Simulator()
+    net = Network(sim, 3)
+    net.attach(0, lambda m: None)
+    with pytest.raises(NetworkError):
+        net.send(msg(0, 2))
+
+
+def test_too_small_network_rejected():
+    with pytest.raises(NetworkError):
+        Network(Simulator(), 1)
+
+
+def test_traffic_stats_accumulate():
+    sim, net, _ = build()
+    net.send(msg(0, 1, size=100))
+    net.send(msg(1, 2, size=200, kind=MessageKind.LOCK_REQUEST))
+    sim.run()
+    assert net.stats.total_messages == 2
+    assert net.stats.total_bytes == 300
+    assert net.stats.messages_by_kind[MessageKind.LOCK_REQUEST] == 1
+
+
+def test_hot_spot_queueing_grows_latency():
+    """All nodes blast the same destination: later messages queue at the
+    destination downlink, so per-message latency grows — the paper's
+    hot-spotting effect."""
+    sim, net, inboxes = build(num_nodes=8)
+    for src in range(1, 8):
+        for _ in range(10):
+            net.send(msg(src, 0, size=4096))
+    sim.run()
+    latencies = [m.latency for m in inboxes[0]]
+    assert len(latencies) == 70
+    # The last delivery waited far longer than the first.
+    assert max(latencies) > 3 * min(latencies)
+
+
+def test_unreliable_dropped_under_hot_spot_congestion():
+    """Prefetch traffic into a congested port gets dropped once the
+    downlink queue fills; reliable traffic never does."""
+    sim, net, inboxes = build(num_nodes=4, queue_capacity_bytes=16 * 1024)
+    for _ in range(30):
+        net.send(msg(1, 0, size=4096, kind=MessageKind.PREFETCH_REQUEST, reliable=False))
+        net.send(msg(2, 0, size=4096))
+    sim.run()
+    assert net.total_drops() > 0
+    assert net.stats.drops_by_kind[MessageKind.PREFETCH_REQUEST] > 0
+    assert net.stats.drops_by_kind.get(MessageKind.DIFF_REQUEST, 0) == 0
+    # Every reliable message arrived.
+    reliable = [m for m in inboxes[0] if m.reliable]
+    assert len(reliable) == 30
+
+
+def test_bidirectional_traffic_is_independent():
+    sim, net, inboxes = build()
+    net.send(msg(0, 1))
+    net.send(msg(1, 0))
+    sim.run()
+    assert len(inboxes[0]) == 1 and len(inboxes[1]) == 1
+
+
+def test_mean_latency_per_kind():
+    sim, net, _ = build()
+    net.send(msg(0, 1, size=64))
+    net.send(msg(0, 1, size=64))
+    sim.run()
+    assert net.stats.mean_latency(MessageKind.DIFF_REQUEST) > 0
+    assert net.stats.mean_latency(MessageKind.LOCK_REQUEST) == 0.0

@@ -1,0 +1,174 @@
+"""Unit tests for the simulation kernel (events, timeouts, conditions)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+def test_time_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_schedule_runs_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(5.0, order.append, "b")
+    sim.schedule(1.0, order.append, "a")
+    sim.schedule(9.0, order.append, "c")
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 9.0
+
+
+def test_schedule_ties_break_by_insertion_order():
+    sim = Simulator()
+    order = []
+    for tag in ("first", "second", "third"):
+        sim.schedule(3.0, order.append, tag)
+    sim.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_schedule_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_run_until_stops_before_future_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10.0, fired.append, True)
+    sim.run(until=5.0)
+    assert fired == []
+    assert sim.now == 5.0
+    sim.run()
+    assert fired == [True]
+
+
+def test_run_max_events_guards_against_livelock():
+    sim = Simulator()
+
+    def reschedule():
+        sim.schedule(0.0, reschedule)
+
+    sim.schedule(0.0, reschedule)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=100)
+
+
+def test_event_succeed_delivers_value():
+    sim = Simulator()
+    event = sim.event()
+    seen = []
+    event.add_callback(lambda e: seen.append(e.value))
+    event.succeed(42)
+    assert seen == [42]
+    assert event.triggered and event.ok
+    assert event.value == 42
+
+
+def test_event_callback_after_trigger_runs_immediately():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed("x")
+    seen = []
+    event.add_callback(lambda e: seen.append(e.value))
+    assert seen == ["x"]
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed()
+    with pytest.raises(SimulationError):
+        event.succeed()
+    with pytest.raises(SimulationError):
+        event.fail(ValueError("boom"))
+
+
+def test_event_fail_propagates_exception_on_value_access():
+    sim = Simulator()
+    event = sim.event()
+    event.fail(ValueError("boom"))
+    with pytest.raises(ValueError):
+        _ = event.value
+
+
+def test_event_value_before_trigger_rejected():
+    sim = Simulator()
+    event = sim.event()
+    with pytest.raises(SimulationError):
+        _ = event.value
+
+
+def test_timeout_fires_at_the_right_time():
+    sim = Simulator()
+    timeout = sim.timeout(7.5, value="done")
+    stamps = []
+    timeout.add_callback(lambda e: stamps.append((sim.now, e.value)))
+    sim.run()
+    assert stamps == [(7.5, "done")]
+
+
+def test_timeout_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.timeout(-0.1)
+
+
+def test_any_of_fires_on_first_event():
+    sim = Simulator()
+    slow = sim.timeout(10.0, value="slow")
+    fast = sim.timeout(2.0, value="fast")
+    any_of = sim.any_of([slow, fast])
+    sim.run()
+    assert any_of.triggered
+    assert any_of.value is fast
+    assert any_of.value.value == "fast"
+
+
+def test_any_of_with_pretriggered_event():
+    sim = Simulator()
+    done = sim.event()
+    done.succeed("now")
+    any_of = sim.any_of([done, sim.timeout(5.0)])
+    assert any_of.triggered
+    assert any_of.value is done
+
+
+def test_all_of_collects_all_values_in_order():
+    sim = Simulator()
+    events = [sim.timeout(3.0, "a"), sim.timeout(1.0, "b"), sim.timeout(2.0, "c")]
+    all_of = sim.all_of(events)
+    sim.run()
+    assert all_of.value == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_all_of_with_all_pretriggered():
+    sim = Simulator()
+    e1, e2 = sim.event(), sim.event()
+    e1.succeed(1)
+    e2.succeed(2)
+    all_of = sim.all_of([e1, e2])
+    assert all_of.triggered
+    assert all_of.value == [1, 2]
+
+
+def test_condition_requires_events():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.any_of([])
+    with pytest.raises(SimulationError):
+        sim.all_of([])
+
+
+def test_events_handled_counter():
+    sim = Simulator()
+    for _ in range(5):
+        sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.events_handled == 5
