@@ -32,7 +32,7 @@ from repro.errors import ConfigError
 from repro.machine import Cluster, CostModel
 from repro.memory import SharedAddressSpace, Segment, apply_diff
 from repro.metrics.report import RunReport
-from repro.network import LinkConfig
+from repro.network import FaultPlan, LinkConfig, TransportConfig
 from repro.prefetch.engine import PrefetchEngine, PrefetchStats
 from repro.sim import RandomSource
 from repro.threads import DsmThread, NodeScheduler, SchedulingPolicy
@@ -55,6 +55,14 @@ class RunConfig:
     seed: int = 42
     costs: CostModel = field(default_factory=CostModel)
     link: LinkConfig = field(default_factory=LinkConfig)
+    #: Reliable transport under the DSM protocol (on by default): seq
+    #: numbers, acks, timeout/retry/backoff, duplicate suppression.
+    #: ``None`` reverts to the legacy "reliable messages are never
+    #: lost" link-model magic.
+    transport: Optional[TransportConfig] = field(default_factory=TransportConfig)
+    #: Seed-driven fault injection (drops, duplicates, reordering,
+    #: degradation and stall windows); ``None`` = pristine network.
+    fault_plan: Optional[FaultPlan] = None
     compute_quantum: float = 250.0
     #: Safety valve for runaway simulations (events, not microseconds).
     max_events: Optional[int] = 50_000_000
@@ -92,14 +100,17 @@ class DsmRuntime:
 
     def __init__(self, config: RunConfig) -> None:
         self.config = config
+        self.random = RandomSource(config.seed)
         self.cluster = Cluster(
             num_nodes=config.num_nodes,
             page_size=config.page_size,
             costs=config.costs,
             link_config=config.link,
+            fault_plan=config.fault_plan,
+            transport=config.transport,
+            rng=self.random,
         )
         self.space = SharedAddressSpace(config.page_size)
-        self.random = RandomSource(config.seed)
         self.dsm_nodes: list[DsmNode] = [
             DsmNode(node, config.num_nodes) for node in self.cluster.nodes
         ]
@@ -190,6 +201,13 @@ class DsmRuntime:
             total_kbytes=stats.total_bytes / 1024.0,
             message_drops=stats.total_drops,
             prefetch_stats=prefetch_stats,
+            retransmissions=stats.total_retransmits,
+            injected_faults={
+                fault: sum(by_kind.values())
+                for fault, by_kind in stats.injected_by_fault.items()
+                if sum(by_kind.values())
+            },
+            traffic_by_kind=stats.kind_breakdown(),
         )
 
     # -- verification support ------------------------------------------------------

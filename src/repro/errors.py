@@ -19,6 +19,14 @@ class NetworkError(ReproError):
     """The network model was used incorrectly (bad node id, bad size...)."""
 
 
+class TransportError(ReproError):
+    """The reliable transport exhausted its retries for a message."""
+
+
+class FaultConfigError(ReproError):
+    """A fault-injection plan is malformed (bad probability, window...)."""
+
+
 class MemoryError_(ReproError):
     """Paged-memory misuse (out-of-range address, bad allocation...)."""
 

@@ -1,4 +1,13 @@
-"""Cluster assembly: N nodes on one switch."""
+"""Cluster assembly: N nodes on one switch.
+
+The cluster also owns the robustness wiring: with a
+:class:`~repro.network.faults.FaultPlan` the interconnect is built as a
+:class:`~repro.network.faults.FaultyNetwork` (seed-driven loss,
+duplication, reordering, degradation and stall windows), and with a
+:class:`~repro.network.transport.TransportConfig` every node gets a
+:class:`~repro.network.transport.ReliableTransport` so protocol traffic
+survives whatever the plan injects.
+"""
 
 from __future__ import annotations
 
@@ -7,8 +16,15 @@ from typing import Optional
 from repro.errors import ConfigError
 from repro.machine.node import Node
 from repro.machine.timing import CostModel
-from repro.network import LinkConfig, Network
-from repro.sim import Simulator
+from repro.network import (
+    FaultPlan,
+    FaultyNetwork,
+    LinkConfig,
+    Network,
+    ReliableTransport,
+    TransportConfig,
+)
+from repro.sim import RandomSource, Simulator
 
 __all__ = ["Cluster"]
 
@@ -22,6 +38,9 @@ class Cluster:
         page_size: int = 4096,
         costs: Optional[CostModel] = None,
         link_config: Optional[LinkConfig] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        transport: Optional[TransportConfig] = None,
+        rng: Optional[RandomSource] = None,
     ) -> None:
         if num_nodes < 2:
             raise ConfigError(f"a cluster needs >= 2 nodes, got {num_nodes}")
@@ -31,11 +50,30 @@ class Cluster:
         self.num_nodes = num_nodes
         self.page_size = page_size
         self.costs = costs or CostModel()
-        self.network = Network(self.sim, num_nodes, link_config=link_config)
+        self.random = rng or RandomSource(0)
+        self.fault_plan = fault_plan
+        if fault_plan is not None:
+            self.network: Network = FaultyNetwork(
+                self.sim,
+                num_nodes,
+                fault_plan,
+                self.random.stream("network.faults"),
+                link_config=link_config,
+            )
+        else:
+            self.network = Network(self.sim, num_nodes, link_config=link_config)
         self.nodes: list[Node] = [
             Node(self.sim, node_id, self.network, self.costs, page_size)
             for node_id in range(num_nodes)
         ]
+        self.transports: list[ReliableTransport] = []
+        if transport is not None:
+            for node in self.nodes:
+                layer = ReliableTransport(
+                    node, transport, self.random.stream(f"transport[{node.node_id}]")
+                )
+                node.install_transport(layer)
+                self.transports.append(layer)
 
     def node(self, node_id: int) -> Node:
         if not 0 <= node_id < self.num_nodes:

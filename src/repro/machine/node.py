@@ -16,13 +16,16 @@ case of the single-threaded DSM).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generator, Optional
+from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
 
 from repro.machine.timing import CostModel
 from repro.memory import PageStore
 from repro.metrics.counters import Category, EventCounters, TimeBreakdown
 from repro.network import Message, Network
 from repro.sim import Event, Simulator, spawn
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.transport import ReliableTransport
 
 __all__ = ["Node", "HANDLER_PRIORITY", "THREAD_PRIORITY"]
 
@@ -55,7 +58,14 @@ class Node:
         #: cost per asynchronous message arrival.
         self.mt_mode = False
         self._dispatch: Optional[Callable[[Message], Generator]] = None
+        #: Reliable transport layer (installed by the cluster when on).
+        #: With it, reliable protocol messages become tracked datagrams:
+        #: retransmitted on timeout, acked and deduplicated on receipt.
+        self.transport: Optional["ReliableTransport"] = None
         network.attach(node_id, self._on_message)
+
+    def install_transport(self, transport: "ReliableTransport") -> None:
+        self.transport = transport
 
     # -- CPU charging -----------------------------------------------------
 
@@ -88,10 +98,15 @@ class Node:
     def send_message(self, message: Message) -> Generator[Event, Any, bool]:
         """Charge the send cost, then inject the message into the network.
 
-        Returns whether the network accepted it (False = dropped at the
-        uplink, possible only for unreliable messages).
+        Reliable messages go through the transport when one is installed
+        (the transport owns retransmission; the call returns once the
+        first copy is in flight).  Returns whether the network accepted
+        the datagram (False = dropped before the wire, meaningful only
+        for untracked unreliable messages).
         """
         yield from self.occupy(self.costs.msg_send_cpu, Category.DSM)
+        if self.transport is not None and message.reliable:
+            return self.transport.send_tracked(message)
         return self.network.send(message)
 
     def _on_message(self, message: Message) -> None:
@@ -102,6 +117,10 @@ class Node:
         if self.mt_mode:
             recv_cost += self.costs.async_arrival_extra
         yield from self.occupy(recv_cost, Category.DSM, priority=HANDLER_PRIORITY)
+        if self.transport is not None:
+            deliver = yield from self.transport.on_receive(message)
+            if not deliver:
+                return  # an ack, or a suppressed duplicate
         if self._dispatch is None:
             return
         yield from self._dispatch(message)

@@ -90,6 +90,12 @@ class EventCounters:
     barrier_waits: int = 0
     barrier_stall: float = 0.0
     context_switches: int = 0
+    # Reliable-transport activity (zero in fault-free runs with a
+    # generous timeout; the chaos suite asserts they move under loss).
+    retransmissions: int = 0
+    transport_timeouts: int = 0
+    acks_sent: int = 0
+    duplicates_suppressed: int = 0
     # Thread run lengths: busy time between consecutive long-latency events.
     run_lengths_sum: float = 0.0
     run_lengths_count: int = 0

@@ -30,6 +30,13 @@ class RunReport:
     total_kbytes: float
     message_drops: int
     prefetch_stats: Optional[object] = None  # PrefetchStats when prefetching is on
+    #: Retransmissions forced by transport timeouts (all nodes).
+    retransmissions: int = 0
+    #: Faults injected by the fault plan, by fault name (empty if none).
+    injected_faults: dict = field(default_factory=dict)
+    #: Per-message-kind traffic table (TrafficStats.kind_breakdown):
+    #: separates prefetch drops from protocol retransmits in output.
+    traffic_by_kind: dict = field(default_factory=dict)
     extra: dict = field(default_factory=dict)
 
     # -- aggregation ----------------------------------------------------------
@@ -54,6 +61,10 @@ class RunReport:
             total.barrier_waits += events.barrier_waits
             total.barrier_stall += events.barrier_stall
             total.context_switches += events.context_switches
+            total.retransmissions += events.retransmissions
+            total.transport_timeouts += events.transport_timeouts
+            total.acks_sent += events.acks_sent
+            total.duplicates_suppressed += events.duplicates_suppressed
             total.run_lengths_sum += events.run_lengths_sum
             total.run_lengths_count += events.run_lengths_count
         return total
@@ -105,6 +116,9 @@ class RunReport:
             "messages": float(self.total_messages),
             "kbytes": self.total_kbytes,
             "drops": float(self.message_drops),
+            "retransmits": float(events.retransmissions),
+            "timeouts": float(events.transport_timeouts),
+            "injected_faults": float(sum(self.injected_faults.values())),
             "misses": float(events.remote_misses),
             "avg_miss_us": events.avg_miss_stall,
             "lock_stalls": float(events.remote_lock_misses),

@@ -1,9 +1,28 @@
-"""ATM cluster interconnect model (links, switch, messages, traffic stats)."""
+"""ATM cluster interconnect model (links, switch, messages, traffic
+stats), plus the robustness layers: deterministic fault injection and
+the reliable request/reply transport."""
 
+from repro.network.faults import FaultPlan, FaultyNetwork, LinkDegradation, NodeStall
 from repro.network.link import Link, LinkConfig
 from repro.network.message import Message, MessageKind
 from repro.network.network import Network
 from repro.network.stats import TrafficStats
 from repro.network.switch import Switch
+from repro.network.transport import ReliableTransport, TransportConfig, TransportStats
 
-__all__ = ["Link", "LinkConfig", "Message", "MessageKind", "Network", "Switch", "TrafficStats"]
+__all__ = [
+    "FaultPlan",
+    "FaultyNetwork",
+    "Link",
+    "LinkConfig",
+    "LinkDegradation",
+    "Message",
+    "MessageKind",
+    "Network",
+    "NodeStall",
+    "ReliableTransport",
+    "Switch",
+    "TrafficStats",
+    "TransportConfig",
+    "TransportStats",
+]

@@ -1,0 +1,252 @@
+"""Deterministic, seed-driven fault injection for the interconnect.
+
+The paper's platform runs over *unreliable* UDP/AAL5 datagrams; the base
+protocol survives loss only because a retransmitting transport sits
+above the wire (Section 3).  This module supplies the loss:
+:class:`FaultyNetwork` wraps the star interconnect and perturbs traffic
+according to a :class:`FaultPlan` —
+
+- probabilistic message **drop** (the datagram vanishes in the fabric);
+- probabilistic **duplication** (a ghost copy follows the original);
+- **reordering** via random injection jitter (a delayed message can be
+  overtaken by later ones on the same uplink);
+- timed **link-degradation windows**: a bandwidth cut and/or latency
+  spike over an interval of simulated time, optionally scoped to nodes;
+- timed **per-node stall windows**: a node's NIC goes quiet — nothing
+  leaves it and nothing is delivered to it until the window ends.
+
+Every decision draws from one named stream of the experiment's
+:class:`~repro.sim.rng.RandomSource`, so a (seed, plan) pair replays
+bit-for-bit.  Every injected fault is recorded in
+:class:`~repro.network.stats.TrafficStats` by message kind.
+
+Magically reliable messages (``Message.reliable`` without a transport
+layer) are exempt from drops and duplication — they model a lossless
+channel — but still suffer delay faults, which any channel can.  With
+:class:`~repro.network.transport.ReliableTransport` installed, protocol
+messages travel as droppable datagrams and nothing is exempt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import FaultConfigError
+from repro.network.link import LinkConfig
+from repro.network.message import Message
+from repro.network.network import Network
+from repro.sim import Simulator
+
+__all__ = ["LinkDegradation", "NodeStall", "FaultPlan", "FaultyNetwork"]
+
+
+def _check_window(what: str, start_us: float, end_us: float) -> None:
+    if start_us < 0:
+        raise FaultConfigError(f"{what}: start_us must be >= 0, got {start_us}")
+    if end_us <= start_us:
+        raise FaultConfigError(
+            f"{what}: window must have end_us > start_us, got [{start_us}, {end_us}]"
+        )
+
+
+def _check_prob(what: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise FaultConfigError(f"{what} must be a probability in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class LinkDegradation:
+    """A timed window during which affected traffic runs degraded.
+
+    ``bandwidth_factor`` scales effective bandwidth (0.25 = quartered:
+    every affected message pays 3x its serialization time extra);
+    ``extra_latency_us`` is a flat added latency.  ``nodes`` scopes the
+    window to messages touching those nodes (as source or destination);
+    ``None`` degrades the whole fabric.
+    """
+
+    start_us: float
+    end_us: float
+    bandwidth_factor: float = 1.0
+    extra_latency_us: float = 0.0
+    nodes: Optional[frozenset[int]] = None
+
+    def __post_init__(self) -> None:
+        _check_window("degradation", self.start_us, self.end_us)
+        if not 0.0 < self.bandwidth_factor <= 1.0:
+            raise FaultConfigError(
+                f"bandwidth_factor must be in (0, 1], got {self.bandwidth_factor}"
+            )
+        if self.extra_latency_us < 0:
+            raise FaultConfigError(
+                f"extra_latency_us must be >= 0, got {self.extra_latency_us}"
+            )
+        if self.bandwidth_factor == 1.0 and self.extra_latency_us == 0.0:
+            raise FaultConfigError("degradation window degrades nothing")
+        if self.nodes is not None:
+            object.__setattr__(self, "nodes", frozenset(self.nodes))
+            if any(node < 0 for node in self.nodes):
+                raise FaultConfigError(f"negative node id in degradation: {self.nodes}")
+
+    def applies(self, message: Message, now: float) -> bool:
+        if not self.start_us <= now < self.end_us:
+            return False
+        return self.nodes is None or message.src in self.nodes or message.dst in self.nodes
+
+    def extra_delay_us(self, message: Message, config: LinkConfig) -> float:
+        slowdown = 1.0 / self.bandwidth_factor - 1.0
+        return self.extra_latency_us + config.serialization_us(message.size_bytes) * slowdown
+
+
+@dataclass(frozen=True)
+class NodeStall:
+    """A timed window during which one node's NIC is unresponsive.
+
+    Messages the node tries to send, and messages arriving for it, are
+    held and released when the window ends (modelling a paused process
+    or a swamped host, not packet loss).
+    """
+
+    node: int
+    start_us: float
+    end_us: float
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise FaultConfigError(f"stall node id must be >= 0, got {self.node}")
+        _check_window("stall", self.start_us, self.end_us)
+
+    def hold_us(self, node: int, now: float) -> float:
+        if node == self.node and self.start_us <= now < self.end_us:
+            return self.end_us - now
+        return 0.0
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything the fault injector may do to traffic, in one place."""
+
+    #: Per-message probability that a droppable datagram vanishes.
+    drop_prob: float = 0.0
+    #: Per-message probability that a ghost duplicate is also delivered.
+    duplicate_prob: float = 0.0
+    #: Per-message probability of injection jitter (enables reordering).
+    reorder_prob: float = 0.0
+    #: Jitter magnitude: delay drawn uniformly from [0, jitter_us].
+    jitter_us: float = 0.0
+    degradations: tuple[LinkDegradation, ...] = ()
+    stalls: tuple[NodeStall, ...] = ()
+
+    def __post_init__(self) -> None:
+        _check_prob("drop_prob", self.drop_prob)
+        _check_prob("duplicate_prob", self.duplicate_prob)
+        _check_prob("reorder_prob", self.reorder_prob)
+        if self.jitter_us < 0:
+            raise FaultConfigError(f"jitter_us must be >= 0, got {self.jitter_us}")
+        if self.reorder_prob > 0 and self.jitter_us == 0:
+            raise FaultConfigError("reorder_prob > 0 requires jitter_us > 0")
+        object.__setattr__(self, "degradations", tuple(self.degradations))
+        object.__setattr__(self, "stalls", tuple(self.stalls))
+        for item in self.degradations:
+            if not isinstance(item, LinkDegradation):
+                raise FaultConfigError(f"not a LinkDegradation: {item!r}")
+        for item in self.stalls:
+            if not isinstance(item, NodeStall):
+                raise FaultConfigError(f"not a NodeStall: {item!r}")
+
+    @property
+    def is_noop(self) -> bool:
+        return (
+            self.drop_prob == 0.0
+            and self.duplicate_prob == 0.0
+            and self.reorder_prob == 0.0
+            and not self.degradations
+            and not self.stalls
+        )
+
+    def stall_hold_us(self, node: int, now: float) -> float:
+        return max((stall.hold_us(node, now) for stall in self.stalls), default=0.0)
+
+
+class FaultyNetwork(Network):
+    """The star interconnect with a :class:`FaultPlan` applied to it.
+
+    Faults act at the injection boundary (between the sender's NIC and
+    its uplink) and at the delivery boundary (for destination stalls):
+
+    - an injected *drop* consumes the message before the wire; the send
+      returns False, so senders that watch the return value (the
+      prefetch engine's ENOBUFS-style throttle) observe it, while
+      fire-and-forget senders remain oblivious — the reliable transport
+      recovers via its timeout either way;
+    - a *duplicate* injects a ghost copy after the original;
+    - *delay*, *degrade* and *stall* faults postpone injection (or, for
+      a stalled destination, delivery) without loss.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        num_nodes: int,
+        plan: FaultPlan,
+        rng: np.random.Generator,
+        link_config: Optional[LinkConfig] = None,
+        switch_latency_us: float = 10.0,
+    ) -> None:
+        if not isinstance(plan, FaultPlan):
+            raise FaultConfigError(f"not a FaultPlan: {plan!r}")
+        super().__init__(sim, num_nodes, link_config=link_config, switch_latency_us=switch_latency_us)
+        self.plan = plan
+        self._rng = rng
+
+    # -- send path ---------------------------------------------------------
+
+    def send(self, message: Message) -> bool:
+        self._check_destination(message)
+        plan = self.plan
+        now = self.sim.now
+        if not message.reliable and plan.drop_prob > 0 and self._rng.random() < plan.drop_prob:
+            self.stats.record_injected("drop", message)
+            self.stats.record_drop(message)
+            return False
+        delay = 0.0
+        if plan.reorder_prob > 0 and self._rng.random() < plan.reorder_prob:
+            jitter = float(self._rng.uniform(0.0, plan.jitter_us))
+            if jitter > 0:
+                self.stats.record_injected("delay", message)
+                delay += jitter
+        for window in plan.degradations:
+            if window.applies(message, now):
+                self.stats.record_injected("degrade", message)
+                delay += window.extra_delay_us(message, self.link_config)
+        hold = plan.stall_hold_us(message.src, now)
+        if hold > 0:
+            self.stats.record_injected("stall", message)
+            delay += hold
+        if not message.reliable and plan.duplicate_prob > 0 and self._rng.random() < plan.duplicate_prob:
+            self.stats.record_injected("duplicate", message)
+            ghost_delay = delay + float(self._rng.uniform(0.0, max(plan.jitter_us, 1.0)))
+            self.sim.schedule(ghost_delay, self._inject, message.clone())
+        if delay > 0:
+            self.sim.schedule(delay, self._inject_delayed, message, now)
+            return True  # fate decided later; injection faults are not drops
+        return self._inject(message)
+
+    def _inject_delayed(self, message: Message, sent_at: float) -> None:
+        """Inject a fault-delayed message, backdating ``sent_at`` to the
+        original send call so the injected delay shows up as latency."""
+        self._inject(message)
+        message.sent_at = sent_at
+
+    # -- delivery path -----------------------------------------------------
+
+    def _deliver(self, message: Message) -> None:
+        hold = self.plan.stall_hold_us(message.dst, self.sim.now)
+        if hold > 0:
+            self.stats.record_injected("stall", message)
+            self.sim.schedule(hold, super()._deliver, message)
+            return
+        super()._deliver(message)

@@ -42,6 +42,10 @@ class LinkConfig:
             raise NetworkError(f"bandwidth must be positive, got {bandwidth_mbps}")
         if queue_capacity_bytes <= 0:
             raise NetworkError("queue capacity must be positive")
+        if propagation_us < 0:
+            raise NetworkError(f"propagation delay must be >= 0, got {propagation_us}")
+        if header_bytes < 0:
+            raise NetworkError(f"header bytes must be >= 0, got {header_bytes}")
         self.bandwidth_mbps = bandwidth_mbps
         self.propagation_us = propagation_us
         self.header_bytes = header_bytes

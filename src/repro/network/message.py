@@ -35,6 +35,8 @@ class MessageKind(str, Enum):
     BARRIER_RELEASE = "barrier_release"
     PREFETCH_REQUEST = "prefetch_request"
     PREFETCH_REPLY = "prefetch_reply"
+    #: Transport-level acknowledgement (see repro.network.transport).
+    ACK = "ack"
 
     @property
     def is_prefetch(self) -> bool:
@@ -51,8 +53,13 @@ class Message:
         kind: protocol message type.
         size_bytes: payload size (headers added by the link model).
         payload: protocol-specific content (diff lists, vector clocks...).
-        reliable: reliable messages are never dropped; unreliable ones
-            (prefetch traffic) are dropped when a queue is full.
+        reliable: the message must arrive.  Without a transport layer the
+            link model honours this magically (never dropped, only
+            delayed); with :class:`~repro.network.transport.ReliableTransport`
+            installed, reliable messages travel as droppable datagrams
+            (``seq >= 0``) and reliability comes from retransmission.
+        seq: transport sequence number; ``-1`` for untracked datagrams
+            (prefetch traffic, acks, magically reliable messages).
     """
 
     src: int
@@ -61,6 +68,7 @@ class Message:
     size_bytes: int
     payload: dict[str, Any] = field(default_factory=dict)
     reliable: bool = True
+    seq: int = -1
     msg_id: int = field(default_factory=lambda: next(_message_ids))
     sent_at: float = -1.0
     delivered_at: float = -1.0
@@ -70,6 +78,23 @@ class Message:
             raise ValueError(f"message to self: node {self.src}")
         if self.size_bytes < 0:
             raise ValueError(f"negative message size: {self.size_bytes}")
+
+    def clone(self) -> "Message":
+        """A fresh wire copy (new msg_id, clean timestamps).
+
+        Used for retransmissions and injected duplicates: each physical
+        transmission owns its timestamps, while payload and ``seq``
+        (the logical identity) are shared.
+        """
+        return Message(
+            src=self.src,
+            dst=self.dst,
+            kind=self.kind,
+            size_bytes=self.size_bytes,
+            payload=self.payload,
+            reliable=self.reliable,
+            seq=self.seq,
+        )
 
     @property
     def latency(self) -> float:

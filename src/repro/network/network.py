@@ -64,17 +64,30 @@ class Network:
     def send(self, message: Message) -> bool:
         """Inject a message at its source uplink.
 
-        Returns False if the message was dropped at the uplink queue
-        (possible only for unreliable messages).  A drop at the switch
-        downlink is recorded in stats but not reported to the sender —
-        exactly like a real datagram network.
+        Returns False if the message was dropped before reaching the
+        wire (uplink queue full, or an injected fault — possible only
+        for droppable messages).  A drop at the switch downlink is
+        recorded in stats but not reported to the sender — exactly like
+        a real datagram network.
         """
+        self._check_destination(message)
+        return self._inject(message)
+
+    def _check_destination(self, message: Message) -> None:
         if message.dst not in self._handlers:
             raise NetworkError(f"destination node {message.dst} not attached")
+
+    def _inject(self, message: Message) -> bool:
+        """Hand the message to its source uplink, with send accounting.
+
+        A message counts as *sent* only once the uplink accepts it; an
+        uplink-queue drop is recorded as a drop, not a send.
+        """
         message.sent_at = self.sim.now
-        self.stats.record_send(message)
         accepted = self.uplinks[message.src].send(message)
-        if not accepted:
+        if accepted:
+            self.stats.record_send(message)
+        else:
             self.stats.record_drop(message)
         return accepted
 

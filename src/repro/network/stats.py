@@ -3,6 +3,18 @@
 Tracks, per message kind and overall: message counts, payload bytes,
 drops, and latency sums — enough to regenerate the "Total Traffic" and
 "All Messages" columns of the paper's Tables 1 and 2.
+
+The reliability layers add two more families of counters:
+
+- *injected faults* (:meth:`TrafficStats.record_injected`), recorded by
+  the fault-injection layer per fault kind (drop, duplicate, delay,
+  degrade, stall) and message kind;
+- *retransmissions* (:meth:`TrafficStats.record_retransmit`), recorded
+  by the reliable transport whenever a timeout forces a resend.
+
+:meth:`TrafficStats.kind_breakdown` flattens everything into one
+per-kind table, so experiment output can separate prefetch-drop
+behaviour from protocol-retransmit behaviour.
 """
 
 from __future__ import annotations
@@ -12,7 +24,10 @@ from dataclasses import dataclass, field
 
 from repro.network.message import Message, MessageKind
 
-__all__ = ["TrafficStats"]
+__all__ = ["TrafficStats", "FAULT_KINDS"]
+
+#: The fault vocabulary of the injection layer (repro.network.faults).
+FAULT_KINDS = ("drop", "duplicate", "delay", "degrade", "stall")
 
 
 @dataclass
@@ -24,6 +39,11 @@ class TrafficStats:
     drops_by_kind: dict[MessageKind, int] = field(default_factory=lambda: defaultdict(int))
     latency_sum_by_kind: dict[MessageKind, float] = field(default_factory=lambda: defaultdict(float))
     delivered_by_kind: dict[MessageKind, int] = field(default_factory=lambda: defaultdict(int))
+    retransmits_by_kind: dict[MessageKind, int] = field(default_factory=lambda: defaultdict(int))
+    #: fault name -> message kind -> count of injected faults.
+    injected_by_fault: dict[str, dict[MessageKind, int]] = field(
+        default_factory=lambda: defaultdict(lambda: defaultdict(int))
+    )
 
     def record_send(self, message: Message) -> None:
         self.messages_by_kind[message.kind] += 1
@@ -35,6 +55,12 @@ class TrafficStats:
     def record_delivery(self, message: Message) -> None:
         self.delivered_by_kind[message.kind] += 1
         self.latency_sum_by_kind[message.kind] += message.latency
+
+    def record_retransmit(self, message: Message) -> None:
+        self.retransmits_by_kind[message.kind] += 1
+
+    def record_injected(self, fault: str, message: Message) -> None:
+        self.injected_by_fault[fault][message.kind] += 1
 
     # -- aggregates -------------------------------------------------------
 
@@ -50,11 +76,55 @@ class TrafficStats:
     def total_drops(self) -> int:
         return sum(self.drops_by_kind.values())
 
+    @property
+    def total_retransmits(self) -> int:
+        return sum(self.retransmits_by_kind.values())
+
+    @property
+    def total_injected_faults(self) -> int:
+        return sum(sum(by_kind.values()) for by_kind in self.injected_by_fault.values())
+
+    def injected_count(self, fault: str) -> int:
+        return sum(self.injected_by_fault.get(fault, {}).values())
+
     def mean_latency(self, kind: MessageKind) -> float:
         delivered = self.delivered_by_kind.get(kind, 0)
         if delivered == 0:
             return 0.0
         return self.latency_sum_by_kind[kind] / delivered
+
+    def kind_breakdown(self) -> dict[str, dict[str, float]]:
+        """Per-message-kind table: sent/delivered/dropped/retransmits/faults.
+
+        Keys are the ``MessageKind`` values (strings), so the table is
+        JSON-friendly for reports and experiment output.
+        """
+        kinds: set[MessageKind] = set()
+        for counters in (
+            self.messages_by_kind,
+            self.delivered_by_kind,
+            self.drops_by_kind,
+            self.retransmits_by_kind,
+        ):
+            kinds.update(counters)
+        for by_kind in self.injected_by_fault.values():
+            kinds.update(by_kind)
+        table: dict[str, dict[str, float]] = {}
+        for kind in sorted(kinds, key=lambda k: k.value):
+            row: dict[str, float] = {
+                "sent": self.messages_by_kind.get(kind, 0),
+                "kbytes": self.bytes_by_kind.get(kind, 0) / 1024.0,
+                "delivered": self.delivered_by_kind.get(kind, 0),
+                "dropped": self.drops_by_kind.get(kind, 0),
+                "retransmits": self.retransmits_by_kind.get(kind, 0),
+                "mean_latency_us": self.mean_latency(kind),
+            }
+            for fault in FAULT_KINDS:
+                count = self.injected_by_fault.get(fault, {}).get(kind, 0)
+                if count:
+                    row[f"injected_{fault}s"] = count
+            table[kind.value] = row
+        return table
 
     def summary(self) -> dict[str, float]:
         """Flat dict used by reports and tests."""
@@ -62,4 +132,6 @@ class TrafficStats:
             "messages": self.total_messages,
             "kbytes": self.total_bytes / 1024.0,
             "drops": self.total_drops,
+            "retransmits": self.total_retransmits,
+            "injected_faults": self.total_injected_faults,
         }

@@ -1,0 +1,247 @@
+"""Request/reply reliability over unreliable datagrams.
+
+TreadMarks runs over UDP: datagrams drop, duplicate and reorder, and the
+DSM is correct anyway because a retransmitting transport sits between
+the protocol and the wire (paper, Section 3).  This module is that
+layer.  One :class:`ReliableTransport` per node:
+
+- **sender side** — every reliable protocol message gets a per
+  (sender, destination) sequence number and goes out as a droppable
+  datagram; a timer retransmits it with exponential backoff plus
+  deterministic jitter until the destination acknowledges, up to a
+  bounded retry count (then :class:`~repro.errors.TransportError`);
+- **receiver side** — every tracked datagram is acknowledged (acks are
+  themselves unreliable: a lost ack just provokes a retransmission),
+  and duplicates — from retransmission races or injected faults — are
+  suppressed before the protocol ever sees them.
+
+The DSM protocol above is therefore unchanged: diff requests/replies,
+write-notice propagation, lock grants and barrier messages simply stop
+relying on the link model's "reliable messages are never lost" magic.
+Prefetch traffic (``reliable=False``) deliberately bypasses the
+transport — the paper drops prefetches rather than retransmit them.
+
+CPU accounting: initial sends are charged by the caller as before;
+retransmissions and acks charge ``msg_send_cpu`` at handler priority,
+so reliability overhead shows up in the DSM share of the breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Generator
+
+import numpy as np
+
+from repro.errors import ConfigError, TransportError
+from repro.network.message import Message, MessageKind
+from repro.metrics.counters import Category
+from repro.sim import spawn
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.node import Node
+
+__all__ = ["TransportConfig", "TransportStats", "ReliableTransport"]
+
+#: Matches repro.machine.node.HANDLER_PRIORITY (not imported: the
+#: machine package imports repro.network, so importing back would cycle).
+_HANDLER_PRIORITY = 0
+
+#: Wire size of an acknowledgement (src, dst, seq + framing handled by
+#: the link model like any other datagram).
+ACK_BYTES = 16
+
+
+@dataclass(frozen=True)
+class TransportConfig:
+    """Timeout/retry policy for the reliable transport."""
+
+    #: Base retransmission timeout.  Generous relative to the fabric's
+    #: RTT (a 4 KB diff costs ~230 us of serialization each way) so a
+    #: fault-free run never retransmits spuriously.
+    timeout_us: float = 10_000.0
+    #: Multiplier applied to the timeout after every expiry.
+    backoff: float = 2.0
+    #: Retransmissions per message before giving up with TransportError.
+    max_retries: int = 10
+    #: Timeout jitter: each timer is stretched by up to this fraction,
+    #: drawn from the experiment's seeded RNG (decorrelates senders).
+    jitter_frac: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.timeout_us <= 0:
+            raise ConfigError(f"timeout_us must be positive, got {self.timeout_us}")
+        if self.backoff < 1.0:
+            raise ConfigError(f"backoff must be >= 1, got {self.backoff}")
+        if self.max_retries < 0:
+            raise ConfigError(f"max_retries must be >= 0, got {self.max_retries}")
+        if not 0.0 <= self.jitter_frac <= 1.0:
+            raise ConfigError(f"jitter_frac must be in [0, 1], got {self.jitter_frac}")
+
+
+@dataclass
+class TransportStats:
+    """Per-node transport counters (aggregated into the run report)."""
+
+    data_sent: int = 0
+    retransmissions: int = 0
+    timeouts: int = 0
+    acks_sent: int = 0
+    acks_received: int = 0
+    duplicates_suppressed: int = 0
+
+
+@dataclass
+class _Pending:
+    """One in-flight reliable message awaiting its ack."""
+
+    message: Message
+    attempts: int = 1
+    #: Bumped on every (re)send and on ack; stale timers check it.
+    epoch: int = 0
+
+
+@dataclass
+class _ReceiveWindow:
+    """Duplicate suppression state for one peer.
+
+    Sequence numbers from a peer are delivered exactly once: a
+    contiguous watermark plus the sparse set of out-of-order arrivals
+    above it (bounded by the peer's in-flight window).
+    """
+
+    upto: int = -1
+    above: set[int] = field(default_factory=set)
+
+    def accept(self, seq: int) -> bool:
+        """Record ``seq``; True if this is its first arrival."""
+        if seq <= self.upto or seq in self.above:
+            return False
+        self.above.add(seq)
+        while self.upto + 1 in self.above:
+            self.upto += 1
+            self.above.remove(self.upto)
+        return True
+
+
+class ReliableTransport:
+    """Sequence numbers, acks, timeouts and retries for one node."""
+
+    def __init__(self, node: "Node", config: TransportConfig, rng: np.random.Generator) -> None:
+        self.node = node
+        self.sim = node.sim
+        self.network = node.network
+        self.config = config
+        self.stats = TransportStats()
+        self._rng = rng
+        self._next_seq: dict[int, int] = {}  # destination -> next seq
+        self._pending: dict[tuple[int, int], _Pending] = {}  # (dst, seq) -> state
+        self._windows: dict[int, _ReceiveWindow] = {}  # source -> dedup state
+
+    # -- sender side -------------------------------------------------------
+
+    def send_tracked(self, message: Message) -> bool:
+        """Take ownership of a reliable message and transmit it.
+
+        Called by :meth:`Node.send_message` after the send CPU cost has
+        been charged.  The message leaves as a droppable datagram; the
+        transport guarantees (eventual) delivery, not this transmission.
+        """
+        seq = self._next_seq.get(message.dst, 0)
+        self._next_seq[message.dst] = seq + 1
+        message.seq = seq
+        message.reliable = False
+        pending = _Pending(message)
+        self._pending[(message.dst, seq)] = pending
+        self.stats.data_sent += 1
+        self.network.send(message)
+        self._arm_timer(message.dst, seq, pending)
+        return True
+
+    def _timeout_us(self, attempts: int) -> float:
+        base = self.config.timeout_us * self.config.backoff ** (attempts - 1)
+        jitter = 1.0 + self.config.jitter_frac * float(self._rng.random())
+        return base * jitter
+
+    def _arm_timer(self, dst: int, seq: int, pending: _Pending) -> None:
+        pending.epoch += 1
+        self.sim.schedule(
+            self._timeout_us(pending.attempts), self._on_timeout, dst, seq, pending.epoch
+        )
+
+    def _on_timeout(self, dst: int, seq: int, epoch: int) -> None:
+        pending = self._pending.get((dst, seq))
+        if pending is None or pending.epoch != epoch:
+            return  # acked (or resent) in the meantime
+        self.stats.timeouts += 1
+        self.node.events.transport_timeouts += 1
+        if pending.attempts > self.config.max_retries:
+            del self._pending[(dst, seq)]
+            message = pending.message
+            raise TransportError(
+                f"node {self.node.node_id}: {message.kind.value} seq {seq} to node {dst} "
+                f"unacknowledged after {pending.attempts} attempts"
+            )
+        pending.attempts += 1
+        # Re-arm before the resend process runs: a retransmission stuck
+        # behind a busy CPU must still be covered by a live timer.
+        self._arm_timer(dst, seq, pending)
+        spawn(self.sim, self._retransmit(dst, seq), name=f"rexmit[{self.node.node_id}]")
+
+    def _retransmit(self, dst: int, seq: int) -> Generator:
+        pending = self._pending.get((dst, seq))
+        if pending is None:
+            return
+        yield from self.node.occupy(
+            self.node.costs.msg_send_cpu, Category.DSM, priority=_HANDLER_PRIORITY
+        )
+        if (dst, seq) not in self._pending:
+            return  # acked while waiting for the CPU
+        self.stats.retransmissions += 1
+        self.node.events.retransmissions += 1
+        copy = pending.message.clone()
+        self.network.stats.record_retransmit(copy)
+        self.network.send(copy)
+
+    # -- receiver side -----------------------------------------------------
+
+    def on_receive(self, message: Message) -> Generator:
+        """Transport filter for every arriving message.
+
+        Runs in the node's handler process (receive cost already
+        charged).  Returns True if the message should be dispatched to
+        the protocol, False if the transport consumed it (an ack or a
+        suppressed duplicate).
+        """
+        if message.kind is MessageKind.ACK:
+            self._on_ack(message)
+            return False
+        if message.seq < 0:
+            return True  # untracked datagram (prefetch traffic)
+        window = self._windows.setdefault(message.src, _ReceiveWindow())
+        first = window.accept(message.seq)
+        if not first:
+            self.stats.duplicates_suppressed += 1
+            self.node.events.duplicates_suppressed += 1
+        # Ack every arrival, duplicate or not: the duplicate usually
+        # means our previous ack was lost.
+        yield from self.node.occupy(
+            self.node.costs.msg_send_cpu, Category.DSM, priority=_HANDLER_PRIORITY
+        )
+        self.stats.acks_sent += 1
+        self.node.events.acks_sent += 1
+        self.network.send(
+            Message(
+                src=self.node.node_id,
+                dst=message.src,
+                kind=MessageKind.ACK,
+                size_bytes=ACK_BYTES,
+                reliable=False,
+                payload={"seq": message.seq},
+            )
+        )
+        return first
+
+    def _on_ack(self, message: Message) -> None:
+        self.stats.acks_received += 1
+        self._pending.pop((message.src, message.payload["seq"]), None)

@@ -66,6 +66,12 @@ class PrefetchStats:
     late: int = 0
     invalidated: int = 0
     no_pf: int = 0
+    #: Requests the local NIC refused (uplink full or injected drop) —
+    #: the sender-visible loss signal that drives the throttle.
+    drops_observed: int = 0
+    #: Remote prefetches withheld while the drop-driven throttle is in
+    #: its cool-off window (the paper's RADIX mitigation).
+    throttled: int = 0
 
     @property
     def covered(self) -> int:
@@ -84,6 +90,13 @@ class PrefetchStats:
 class PrefetchEngine:
     """Per-node prefetch machinery; installed onto a :class:`DsmNode`."""
 
+    #: Drop-driven throttle: after a send-visible drop, remote
+    #: prefetches are withheld for a cool-off that doubles per
+    #: consecutive drop (the paper throttles RADIX's prefetches when the
+    #: network starts dropping them, Section 5.1).
+    THROTTLE_BASE_US = 1_000.0
+    THROTTLE_MAX_US = 32_000.0
+
     def __init__(self, dsm: "DsmNode") -> None:
         self.dsm = dsm
         self.stats = PrefetchStats()
@@ -92,6 +105,8 @@ class PrefetchEngine:
         self._pending: dict[int, tuple[int, int]] = {}  # request id -> (page, writer)
         self._next_request_id = 0
         self._dedup_done: set[str] = set()
+        self._drop_streak = 0
+        self._cooloff_until = -1.0
         dsm.prefetch = self
 
     # -- thread-facing op ----------------------------------------------------
@@ -132,6 +147,13 @@ class PrefetchEngine:
             self.stats.unnecessary += 1
             yield from self.dsm.node.occupy(costs.prefetch_issue_local, Category.PREFETCH)
             return
+        if self.dsm.sim.now < self._cooloff_until:
+            # The network has been dropping our requests: hold remote
+            # prefetches back and let the demand fetch (reliable) do the
+            # work — burning 140us per doomed request only adds load.
+            self.stats.throttled += 1
+            yield from self.dsm.node.occupy(costs.prefetch_issue_local, Category.PREFETCH)
+            return
         record = self._records.setdefault(page_id, _PageRecord())
         self.stats.remote_pages += 1
         # Paper: ~140us of software overhead per prefetch generating a
@@ -144,7 +166,7 @@ class PrefetchEngine:
             self._pending[request_id] = (page_id, writer)
             record.outstanding += 1
             self.stats.request_messages += 1
-            self.dsm.node.network.send(
+            accepted = self.dsm.node.network.send(
                 Message(
                     src=self.dsm.node_id,
                     dst=writer,
@@ -159,6 +181,21 @@ class PrefetchEngine:
                     },
                 )
             )
+            if not accepted:
+                # The request never left the node (queue full or an
+                # injected drop).  Deliberately NOT retried here: the
+                # real access will retry — once, reliably — and the
+                # record's outstanding count classifies it "too late".
+                self._note_drop()
+
+    def _note_drop(self) -> None:
+        self.stats.drops_observed += 1
+        self._drop_streak += 1
+        cooloff = min(
+            self.THROTTLE_MAX_US,
+            self.THROTTLE_BASE_US * 2.0 ** (self._drop_streak - 1),
+        )
+        self._cooloff_until = max(self._cooloff_until, self.dsm.sim.now + cooloff)
 
     def _writers_not_cached(self, page_id: int, state) -> list[tuple[int, int]]:
         """Writers whose missing intervals are not yet cached/applied."""
@@ -274,6 +311,8 @@ class PrefetchEngine:
         pending = self._pending.pop(request_id, None)
         if pending is None:
             return  # reply for a request we no longer track
+        # A reply made it through: the network is passing traffic again.
+        self._drop_streak = 0
         page_id, writer = pending
         cached = self._cache.setdefault(page_id, CachedPage())
         cached.diffs.extend(msg.payload["diffs"])

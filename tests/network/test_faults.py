@@ -1,0 +1,229 @@
+"""Unit tests for the fault-injection layer (plan validation, each fault
+kind, determinism, stats recording)."""
+
+import pytest
+
+from repro.errors import FaultConfigError
+from repro.network import (
+    FaultPlan,
+    FaultyNetwork,
+    LinkConfig,
+    LinkDegradation,
+    Message,
+    MessageKind,
+    NodeStall,
+)
+from repro.sim import RandomSource, Simulator
+
+
+def build(plan, num_nodes=4, seed=11, **link_kwargs):
+    sim = Simulator()
+    net = FaultyNetwork(
+        sim,
+        num_nodes,
+        plan,
+        RandomSource(seed).stream("network.faults"),
+        link_config=LinkConfig(**link_kwargs),
+    )
+    inboxes = {n: [] for n in range(num_nodes)}
+    for n in range(num_nodes):
+        net.attach(n, lambda m, n=n: inboxes[n].append(m))
+    return sim, net, inboxes
+
+
+def msg(src, dst, size=64, kind=MessageKind.PREFETCH_REQUEST, reliable=False):
+    return Message(src=src, dst=dst, kind=kind, size_bytes=size, reliable=reliable)
+
+
+# -- plan validation -------------------------------------------------------
+
+
+def test_plan_rejects_bad_probabilities():
+    with pytest.raises(FaultConfigError):
+        FaultPlan(drop_prob=1.5)
+    with pytest.raises(FaultConfigError):
+        FaultPlan(duplicate_prob=-0.1)
+    with pytest.raises(FaultConfigError):
+        FaultPlan(reorder_prob=0.5)  # jitter_us missing
+    with pytest.raises(FaultConfigError):
+        FaultPlan(jitter_us=-1.0)
+
+
+def test_degradation_validation():
+    with pytest.raises(FaultConfigError):
+        LinkDegradation(start_us=100.0, end_us=50.0, bandwidth_factor=0.5)
+    with pytest.raises(FaultConfigError):
+        LinkDegradation(start_us=0.0, end_us=10.0, bandwidth_factor=0.0)
+    with pytest.raises(FaultConfigError):
+        LinkDegradation(start_us=0.0, end_us=10.0, bandwidth_factor=2.0)
+    with pytest.raises(FaultConfigError):
+        LinkDegradation(start_us=0.0, end_us=10.0)  # degrades nothing
+    with pytest.raises(FaultConfigError):
+        LinkDegradation(start_us=0.0, end_us=10.0, extra_latency_us=-5.0)
+
+
+def test_stall_validation():
+    with pytest.raises(FaultConfigError):
+        NodeStall(node=-1, start_us=0.0, end_us=10.0)
+    with pytest.raises(FaultConfigError):
+        NodeStall(node=0, start_us=10.0, end_us=10.0)
+
+
+def test_noop_plan():
+    assert FaultPlan().is_noop
+    assert not FaultPlan(drop_prob=0.1).is_noop
+
+
+# -- fault kinds -----------------------------------------------------------
+
+
+def test_drops_hit_roughly_the_configured_rate():
+    sim, net, inboxes = build(FaultPlan(drop_prob=0.25))
+    refused = 0
+    for i in range(400):
+        if not net.send(msg(0, 1)):
+            refused += 1
+    sim.run()
+    dropped = net.stats.injected_count("drop")
+    assert dropped == refused  # injected drops are sender-visible
+    assert 60 <= dropped <= 140  # ~100 expected
+    assert len(inboxes[1]) == 400 - dropped
+    assert net.stats.drops_by_kind[MessageKind.PREFETCH_REQUEST] == dropped
+    # A fault-dropped message is never counted as sent.
+    assert net.stats.messages_by_kind[MessageKind.PREFETCH_REQUEST] == 400 - dropped
+
+
+def test_reliable_messages_exempt_from_drop_and_duplicate():
+    plan = FaultPlan(drop_prob=1.0, duplicate_prob=1.0)
+    sim, net, inboxes = build(plan)
+    for _ in range(10):
+        assert net.send(msg(0, 1, kind=MessageKind.DIFF_REQUEST, reliable=True))
+    sim.run()
+    assert len(inboxes[1]) == 10
+    assert net.stats.total_injected_faults == 0
+
+
+def test_duplicates_delivered_as_extra_copies():
+    sim, net, inboxes = build(FaultPlan(duplicate_prob=1.0))
+    net.send(msg(0, 1))
+    sim.run()
+    assert len(inboxes[1]) == 2
+    assert net.stats.injected_count("duplicate") == 1
+    # The ghost is a distinct wire message with the same logical content.
+    a, b = inboxes[1]
+    assert a.msg_id != b.msg_id
+    assert a.payload is b.payload
+
+
+def test_jitter_reorders_messages():
+    plan = FaultPlan(reorder_prob=0.5, jitter_us=5_000.0)
+    sim, net, inboxes = build(plan)
+    for i in range(50):
+        net.send(msg(0, 1, size=32, kind=MessageKind.PREFETCH_REQUEST))
+        inboxes[1].clear
+    sim.run()
+    assert net.stats.injected_count("delay") > 0
+
+
+def test_jitter_actually_changes_arrival_order():
+    plan = FaultPlan(reorder_prob=0.5, jitter_us=5_000.0)
+    sim, net, inboxes = build(plan)
+    sent = []
+    for i in range(50):
+        m = msg(0, 1, size=32)
+        m.payload["i"] = i
+        sent.append(i)
+        net.send(m)
+    sim.run()
+    arrived = [m.payload["i"] for m in inboxes[1]]
+    assert sorted(arrived) == sorted(set(arrived))  # no duplication
+    assert arrived != sorted(arrived)  # order was perturbed
+
+
+def test_degradation_window_slows_affected_traffic():
+    window = LinkDegradation(
+        start_us=0.0, end_us=1e6, bandwidth_factor=0.25, extra_latency_us=500.0
+    )
+    sim, net, inboxes = build(FaultPlan(degradations=(window,)))
+    net.send(msg(0, 1, size=4096))
+    sim.run()
+    degraded_latency = inboxes[1][0].latency
+
+    sim2, net2, inboxes2 = build(FaultPlan())
+    net2.send(msg(0, 1, size=4096))
+    sim2.run()
+    clean_latency = inboxes2[1][0].latency
+    # 4x bandwidth cut: three extra serialization times plus the spike.
+    expected_extra = 3 * net.link_config.serialization_us(4096) + 500.0
+    assert degraded_latency == pytest.approx(clean_latency + expected_extra)
+    assert net.stats.injected_count("degrade") == 1
+
+
+def test_degradation_window_scoped_to_nodes():
+    window = LinkDegradation(
+        start_us=0.0, end_us=1e6, extra_latency_us=1000.0, nodes=frozenset({2})
+    )
+    sim, net, inboxes = build(FaultPlan(degradations=(window,)))
+    net.send(msg(0, 1, size=64))
+    net.send(msg(0, 2, size=64))
+    sim.run()
+    assert net.stats.injected_count("degrade") == 1
+    assert inboxes[2][0].latency > inboxes[1][0].latency + 900.0
+
+
+def test_degradation_window_expires():
+    window = LinkDegradation(start_us=0.0, end_us=100.0, extra_latency_us=1000.0)
+    sim, net, inboxes = build(FaultPlan(degradations=(window,)))
+    sim.schedule(200.0, lambda: net.send(msg(0, 1)))
+    sim.run()
+    assert net.stats.injected_count("degrade") == 0
+
+
+def test_stalled_destination_holds_delivery_until_window_end():
+    stall = NodeStall(node=1, start_us=0.0, end_us=10_000.0)
+    sim, net, inboxes = build(FaultPlan(stalls=(stall,)))
+    net.send(msg(0, 1, size=32))
+    net.send(msg(0, 2, size=32))
+    sim.run()
+    assert inboxes[1][0].delivered_at >= 10_000.0
+    assert inboxes[2][0].delivered_at < 1_000.0
+    assert net.stats.injected_count("stall") == 1
+
+
+def test_stalled_source_holds_sends():
+    stall = NodeStall(node=0, start_us=0.0, end_us=5_000.0)
+    sim, net, inboxes = build(FaultPlan(stalls=(stall,)))
+    net.send(msg(0, 1, size=32))
+    sim.run()
+    assert inboxes[1][0].delivered_at >= 5_000.0
+
+
+def test_injection_is_deterministic():
+    def run_once():
+        sim, net, inboxes = build(
+            FaultPlan(drop_prob=0.2, duplicate_prob=0.1, reorder_prob=0.3, jitter_us=500.0),
+            seed=99,
+        )
+        for i in range(200):
+            net.send(msg(0, 1, size=48))
+        sim.run()
+        return (
+            sim.events_handled,
+            len(inboxes[1]),
+            net.stats.injected_count("drop"),
+            net.stats.injected_count("duplicate"),
+            net.stats.injected_count("delay"),
+        )
+
+    assert run_once() == run_once()
+
+
+def test_kind_breakdown_reports_injected_faults():
+    sim, net, _ = build(FaultPlan(drop_prob=1.0))
+    net.send(msg(0, 1))
+    sim.run()
+    table = net.stats.kind_breakdown()
+    row = table[MessageKind.PREFETCH_REQUEST.value]
+    assert row["injected_drops"] == 1
+    assert row["dropped"] == 1
+    assert row["sent"] == 0

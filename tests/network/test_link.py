@@ -101,3 +101,29 @@ def test_link_statistics():
     assert link.bytes_sent == cfg.wire_bytes(100) + cfg.wire_bytes(200)
     assert link.busy_time > 0
     assert 0 < link.utilization(sim.now) <= 1.0
+
+
+def test_negative_propagation_rejected():
+    with pytest.raises(NetworkError):
+        LinkConfig(propagation_us=-1.0)
+
+
+def test_negative_header_bytes_rejected():
+    with pytest.raises(NetworkError):
+        LinkConfig(header_bytes=-8)
+
+
+def test_utilization_under_back_to_back_sends():
+    """Three back-to-back messages keep the link busy the whole run, so
+    utilization is exactly 1; idle time afterwards dilutes it."""
+    sim = Simulator()
+    cfg = LinkConfig(bandwidth_mbps=100.0, propagation_us=0.0, header_bytes=0)
+    link = Link(sim, cfg, lambda m: None)
+    for _ in range(3):
+        assert link.send(make_msg(1000))
+    sim.run()
+    per_msg = cfg.serialization_us(1000)
+    assert link.busy_time == pytest.approx(3 * per_msg)
+    assert link.utilization(sim.now) == pytest.approx(1.0)
+    # Half as much idle time again halves the utilization figure.
+    assert link.utilization(sim.now * 2) == pytest.approx(0.5)

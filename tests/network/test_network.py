@@ -118,3 +118,62 @@ def test_mean_latency_per_kind():
     sim.run()
     assert net.stats.mean_latency(MessageKind.DIFF_REQUEST) > 0
     assert net.stats.mean_latency(MessageKind.LOCK_REQUEST) == 0.0
+
+
+def test_uplink_rejected_message_not_counted_as_sent():
+    """Regression: a message the uplink refuses (queue full) must be
+    recorded as a drop, never as a send."""
+    sim, net, inboxes = build(num_nodes=2, queue_capacity_bytes=1000)
+    # One reliable message fills the source uplink queue.
+    assert net.send(msg(0, 1, size=900))
+    assert not net.send(msg(0, 1, size=900, kind=MessageKind.PREFETCH_REQUEST, reliable=False))
+    assert net.stats.messages_by_kind.get(MessageKind.PREFETCH_REQUEST, 0) == 0
+    assert net.stats.drops_by_kind[MessageKind.PREFETCH_REQUEST] == 1
+    assert net.stats.total_messages == 1
+    sim.run()
+    assert len(inboxes[1]) == 1  # only the accepted message arrived
+
+
+def test_switch_downlink_drop_recorded_and_invisible_to_sender():
+    """An unreliable message accepted at the uplink can still die at a
+    congested switch downlink: counted as sent AND dropped, and the
+    send() call reported success."""
+    sim, net, inboxes = build(num_nodes=4, queue_capacity_bytes=16 * 1024)
+    # Pace each source at its own uplink rate: uplinks stay shallow, but
+    # the shared destination downlink sees 3x its drain rate.
+    gap = net.link_config.serialization_us(4096) * 1.05
+    accepted = []
+    for src in (1, 2, 3):
+        for i in range(10):
+            sim.schedule(
+                i * gap,
+                lambda src=src: accepted.append(
+                    net.send(msg(src, 0, size=4096, kind=MessageKind.PREFETCH_REPLY, reliable=False))
+                ),
+            )
+    sim.run()
+    assert all(accepted)  # the uplinks took everything
+    dropped = net.dropped_at_switch()
+    assert dropped > 0
+    assert net.stats.drops_by_kind[MessageKind.PREFETCH_REPLY] == dropped
+    assert net.stats.messages_by_kind[MessageKind.PREFETCH_REPLY] == 30
+    assert len(inboxes[0]) == 30 - dropped
+    assert net.stats.delivered_by_kind[MessageKind.PREFETCH_REPLY] == 30 - dropped
+
+
+def test_kind_breakdown_reconciles_sent_delivered_dropped():
+    sim, net, _ = build(num_nodes=4, queue_capacity_bytes=16 * 1024)
+    gap = net.link_config.serialization_us(4096) * 1.05
+    for src in (1, 2, 3):
+        for i in range(10):
+            sim.schedule(
+                i * gap,
+                lambda src=src: net.send(
+                    msg(src, 0, size=4096, kind=MessageKind.PREFETCH_REPLY, reliable=False)
+                ),
+            )
+    sim.run()
+    row = net.stats.kind_breakdown()[MessageKind.PREFETCH_REPLY.value]
+    assert row["sent"] == 30  # paced sends: no uplink drops
+    assert row["sent"] == row["delivered"] + row["dropped"]
+    assert row["mean_latency_us"] > 0
