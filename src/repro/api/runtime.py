@@ -36,6 +36,7 @@ from repro.network import FaultPlan, LinkConfig, TransportConfig
 from repro.prefetch.engine import PrefetchEngine, PrefetchStats
 from repro.sim import RandomSource
 from repro.threads import DsmThread, NodeScheduler, SchedulingPolicy
+from repro.trace import NULL_TRACER, TraceConfig, Tracer
 
 __all__ = ["RunConfig", "DsmRuntime"]
 
@@ -64,6 +65,11 @@ class RunConfig:
     #: degradation and stall windows); ``None`` = pristine network.
     fault_plan: Optional[FaultPlan] = None
     compute_quantum: float = 250.0
+    #: Structured event tracing (``repro.trace``): ``None`` (default)
+    #: disables collection entirely; a :class:`TraceConfig` (or ``True``
+    #: for the defaults) records every instrumented event for export and
+    #: for the ``PhaseTimeline`` accounting audit.
+    trace: Optional[TraceConfig] = None
     #: Safety valve for runaway simulations (events, not microseconds).
     max_events: Optional[int] = 50_000_000
 
@@ -72,6 +78,13 @@ class RunConfig:
             raise ConfigError("threads_per_node must be >= 1")
         if self.num_nodes < 2:
             raise ConfigError("num_nodes must be >= 2")
+        if self.trace is not None and not isinstance(self.trace, TraceConfig):
+            if self.trace is True:
+                object.__setattr__(self, "trace", TraceConfig())
+            elif self.trace is False:
+                object.__setattr__(self, "trace", None)
+            else:
+                raise ConfigError(f"trace must be a TraceConfig or bool, got {self.trace!r}")
 
     @property
     def total_threads(self) -> int:
@@ -101,6 +114,9 @@ class DsmRuntime:
     def __init__(self, config: RunConfig) -> None:
         self.config = config
         self.random = RandomSource(config.seed)
+        #: The run's tracer: a collecting Tracer when config.trace is
+        #: set, else the shared null tracer (zero collection overhead).
+        self.tracer: Tracer = Tracer(config.trace) if config.trace is not None else NULL_TRACER
         self.cluster = Cluster(
             num_nodes=config.num_nodes,
             page_size=config.page_size,
@@ -109,6 +125,7 @@ class DsmRuntime:
             fault_plan=config.fault_plan,
             transport=config.transport,
             rng=self.random,
+            tracer=self.tracer,
         )
         self.space = SharedAddressSpace(config.page_size)
         self.dsm_nodes: list[DsmNode] = [

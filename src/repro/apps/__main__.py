@@ -5,6 +5,7 @@ Examples::
     python -m repro.apps SOR
     python -m repro.apps RADIX --config 4T --nodes 8
     python -m repro.apps FFT --config P --preset small --seed 7
+    python -m repro.apps SOR --trace sor.trace.json   # open in Perfetto
 """
 
 from __future__ import annotations
@@ -16,6 +17,7 @@ import time
 from repro.api.runtime import DsmRuntime, RunConfig
 from repro.apps.registry import APP_ORDER, make_app
 from repro.experiments.runner import parse_label
+from repro.trace import PhaseTimeline, TraceConfig
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -40,6 +42,12 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="runtime-driven prefetching instead of explicit insertion",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="record an event trace; writes Chrome/Perfetto JSON "
+        "(or a flat event log if PATH ends in .jsonl)",
+    )
     args = parser.parse_args(argv)
 
     threads_per_node, prefetch = parse_label(args.config)
@@ -55,10 +63,12 @@ def main(argv: list[str] | None = None) -> int:
         prefetch=prefetch,
         history_prefetch=args.history_prefetch,
         seed=args.seed,
+        trace=TraceConfig() if args.trace else None,
     )
 
     started = time.time()
-    report = DsmRuntime(config).execute(app, verify=not args.no_verify)
+    runtime = DsmRuntime(config)
+    report = runtime.execute(app, verify=not args.no_verify)
     elapsed = time.time() - started
 
     verified = "skipped" if args.no_verify else "passed"
@@ -88,6 +98,24 @@ def main(argv: list[str] | None = None) -> int:
             f"(hits {stats.hits}, late {stats.late}, "
             f"invalidated {stats.invalidated})"
         )
+    if args.trace:
+        tracer = runtime.tracer
+        if args.trace.endswith(".jsonl"):
+            tracer.write_jsonl(args.trace)
+        else:
+            tracer.write_chrome(args.trace)
+        print(f"  trace: {len(tracer)} events -> {args.trace}")
+        if not tracer.complete:
+            print(f"  trace: WARNING {tracer.dropped_events} events discarded (ring full)")
+        # The accounting audit: the event stream must reproduce the
+        # aggregate breakdown exactly.
+        mismatches = PhaseTimeline.from_events(tracer.events).verify_against(report)
+        if mismatches:
+            print("  trace: TIMELINE MISMATCH vs TimeBreakdown accounting:")
+            for line in mismatches:
+                print(f"    {line}")
+            return 1
+        print("  trace: PhaseTimeline agrees with TimeBreakdown accounting")
     return 0
 
 

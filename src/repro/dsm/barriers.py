@@ -74,6 +74,17 @@ class BarrierSubsystem:
         episode.arrived += 1
         wake = Event(self.dsm.sim, name=f"barrier{barrier_id}@{self.dsm.node_id}")
         episode.waiters.append(wake)
+        tr = self.dsm.sim.trace
+        if tr.enabled:
+            tr.instant(
+                self.dsm.sim.now,
+                "protocol",
+                "barrier_arrive",
+                self.dsm.node_id,
+                barrier=barrier_id,
+                episode=self._episode[barrier_id],
+                arrived=episode.arrived,
+            )
         yield from self.dsm.occupy_dsm(costs.barrier_local_gather)
         if episode.arrived < local_thread_count:
             return wake
@@ -141,6 +152,18 @@ class BarrierSubsystem:
         self.dsm.wn_log.add_all(notices)
         if state.arrivals < self.dsm.num_nodes:
             return
+        tr = self.dsm.sim.trace
+        if tr.enabled:
+            # The global release instant: PhaseTimeline uses these as
+            # barrier-epoch boundaries.
+            tr.instant(
+                self.dsm.sim.now,
+                "protocol",
+                "barrier_release",
+                self.dsm.node_id,
+                barrier=barrier_id,
+                episode=episode,
+            )
         # Everyone is here: release all nodes.
         from repro.dsm.writenotice import WriteNoticeLog
 
@@ -180,5 +203,16 @@ class BarrierSubsystem:
         self._episode[barrier_id] = episode + 1
         waiters = state.waiters
         del self._local[key]
+        tr = self.dsm.sim.trace
+        if tr.enabled:
+            tr.instant(
+                self.dsm.sim.now,
+                "protocol",
+                "barrier_resume",
+                self.dsm.node_id,
+                barrier=barrier_id,
+                episode=episode,
+                waiters=len(waiters),
+            )
         for wake in waiters:
             wake.succeed(None)

@@ -100,6 +100,18 @@ class LockSubsystem:
         state.local_waiters.append(wake)
         if not state.has_token and not state.request_outstanding:
             state.request_outstanding = True
+            tr = self.dsm.sim.trace
+            if tr.enabled:
+                # Request->grant round trip; at most one outstanding per
+                # (node, lock), so the acquire count disambiguates.
+                tr.async_begin(
+                    self.dsm.sim.now,
+                    "protocol",
+                    "lock_wait",
+                    self.dsm.node_id,
+                    f"n{self.dsm.node_id}:L{lock_id}:{state.remote_acquires}",
+                    lock=lock_id,
+                )
             manager = self.manager_of(lock_id)
             if manager == self.dsm.node_id:
                 # The manager requests its own lock back: do the queue
@@ -149,6 +161,11 @@ class LockSubsystem:
             # Hand off between local threads without any messages.
             yield from self.dsm.occupy_dsm(costs.lock_local_handoff)
             state.local_handoffs += 1
+            tr = self.dsm.sim.trace
+            if tr.enabled:
+                tr.instant(
+                    self.dsm.sim.now, "protocol", "lock_handoff", self.dsm.node_id, lock=lock_id
+                )
             wake = state.local_waiters.popleft()
             wake.succeed(None)  # stays held
             return
@@ -235,6 +252,17 @@ class LockSubsystem:
         costs = self.dsm.node.costs
         yield from self.dsm.occupy_dsm(costs.lock_handler)
         yield from self.dsm.apply_notices_charged(msg.payload["notices"])
+        tr = self.dsm.sim.trace
+        if tr.enabled:
+            tr.async_end(
+                self.dsm.sim.now,
+                "protocol",
+                "lock_wait",
+                self.dsm.node_id,
+                f"n{self.dsm.node_id}:L{lock_id}:{state.remote_acquires}",
+                lock=lock_id,
+                granted_by=msg.src,
+            )
         state.has_token = True
         state.request_outstanding = False
         state.remote_acquires += 1

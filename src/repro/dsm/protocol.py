@@ -145,6 +145,16 @@ class DsmNode:
         if notices:
             cost = self.node.costs.write_notice_apply * len(notices)
             yield from self.node.occupy(cost, Category.DSM)
+            tr = self.sim.trace
+            if tr.enabled:
+                tr.instant(
+                    self.sim.now,
+                    "protocol",
+                    "write_notices",
+                    self.node_id,
+                    count=len(notices),
+                    full=advance_vc,
+                )
         for notice in notices:
             if notice.proc == self.node_id:
                 continue
@@ -202,6 +212,12 @@ class DsmNode:
         """The fault handler: gather diffs until the page is valid."""
         self.faults += 1
         costs = self.node.costs
+        tr = self.sim.trace
+        fault_id = f"n{self.node_id}:f{self.faults}"
+        if tr.enabled:
+            tr.async_begin(
+                self.sim.now, "protocol", "page_fault", self.node_id, fault_id, page=page_id
+            )
         yield from self.node.occupy(costs.fault_handler, Category.DSM)
         state = self.coherence(page_id)
         consumed_cache = False
@@ -257,6 +273,19 @@ class DsmNode:
                     reply_event = Event(self.sim, name=f"diffreq{request_id}")
                     self._pending_requests[request_id] = reply_event
                     replies.append(reply_event)
+                    if tr.enabled:
+                        # The request/reply round trip: closed by
+                        # handle_diff_reply, rendered as an async span
+                        # linking the two sides in Perfetto.
+                        tr.async_begin(
+                            self.sim.now,
+                            "protocol",
+                            "diff_rtt",
+                            self.node_id,
+                            f"n{self.node_id}:dr{request_id}",
+                            page=page_id,
+                            writer=writer,
+                        )
                     yield from self.send(
                         Message(
                             src=self.node_id,
@@ -289,6 +318,15 @@ class DsmNode:
             if consumed_cache and not getattr(done, "needed_remote", False):
                 self.prefetch.count_hit(page_id)
             self.prefetch.on_page_validated(page_id)
+        if tr.enabled:
+            tr.async_end(
+                self.sim.now,
+                "protocol",
+                "page_fault",
+                self.node_id,
+                fault_id,
+                remote=bool(getattr(done, "needed_remote", False)),
+            )
         done.succeed(None)
 
     def apply_stored_diffs(self, page_id: int, stored: list[StoredDiff]) -> Generator:
@@ -302,6 +340,17 @@ class DsmNode:
                 continue
             cost = self.node.costs.diff_apply_us(item.diff.modified_bytes)
             yield from self.node.occupy(cost, Category.DSM)
+            tr = self.sim.trace
+            if tr.enabled:
+                tr.instant(
+                    self.sim.now,
+                    "protocol",
+                    "diff_apply",
+                    self.node_id,
+                    page=page_id,
+                    writer=item.proc,
+                    bytes=item.diff.modified_bytes,
+                )
             # Per-byte happened-before enforcement: a byte is written
             # only if no LATER interval's diff already supplied it —
             # fetch batches interleave arbitrarily (each apply yields
@@ -370,6 +419,16 @@ class DsmNode:
                     diff=diff,
                 )
             )
+            tr = self.sim.trace
+            if tr.enabled:
+                tr.instant(
+                    self.sim.now,
+                    "protocol",
+                    "diff_create",
+                    self.node_id,
+                    page=page_id,
+                    bytes=diff.modified_bytes,
+                )
             # Service time is charged after the fact; the reply waits.
             cost = self.node.costs.diff_create_us(len(page), diff.modified_bytes)
             yield from self.node.occupy(cost, Category.DSM)
@@ -447,6 +506,16 @@ class DsmNode:
         pending = self._pending_requests.pop(msg.payload["request_id"], None)
         if pending is None:
             raise ProtocolError(f"unexpected diff reply {msg.payload['request_id']}")
+        tr = self.sim.trace
+        if tr.enabled:
+            tr.async_end(
+                self.sim.now,
+                "protocol",
+                "diff_rtt",
+                self.node_id,
+                f"n{self.node_id}:dr{msg.payload['request_id']}",
+                writer=msg.src,
+            )
         pending.succeed((msg.src, msg.payload["diffs"], msg.payload["covers_through"]))
 
     # -- dispatch -------------------------------------------------------------------

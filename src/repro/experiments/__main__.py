@@ -37,6 +37,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--no-verify", action="store_true", help="skip result verification (faster)"
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="record per-run event traces; PATH is a template — each "
+        "(app, config) run writes PATH with '.APP-LABEL' inserted before "
+        "the suffix (Chrome/Perfetto JSON, or flat logs if .jsonl)",
+    )
     args = parser.parse_args(argv)
 
     wanted = list(ALL_EXPERIMENTS) if "all" in args.experiments else args.experiments
@@ -50,6 +57,7 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         verify=not args.no_verify,
         verbose=True,
+        trace_template=args.trace,
     )
     for experiment_id in wanted:
         started = time.time()

@@ -5,12 +5,14 @@ since several figures/tables share the same runs.
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Optional
 
 from repro.api.runtime import DsmRuntime, RunConfig
 from repro.apps.registry import APP_ORDER, make_app
 from repro.errors import ConfigError
 from repro.metrics.report import RunReport
+from repro.trace import PhaseTimeline, TraceConfig
 
 __all__ = ["CONFIG_LABELS", "ExperimentRunner", "parse_label"]
 
@@ -41,13 +43,24 @@ class ExperimentRunner:
         seed: int = 42,
         verify: bool = True,
         verbose: bool = False,
+        trace_template: Optional[str] = None,
     ) -> None:
         self.num_nodes = num_nodes
         self.preset = preset
         self.seed = seed
         self.verify = verify
         self.verbose = verbose
+        #: When set, every run records a trace written to a path derived
+        #: from this template: ``figure1.json`` -> ``figure1.FFT-O.json``.
+        self.trace_template = trace_template
         self._cache: dict[tuple[str, str], RunReport] = {}
+
+    def trace_path(self, app_name: str, label: str) -> Path:
+        """Per-run output path derived from the trace template."""
+        template = Path(self.trace_template)
+        return template.with_name(
+            f"{template.stem}.{app_name}-{label}{template.suffix or '.json'}"
+        )
 
     def run(self, app_name: str, label: str) -> RunReport:
         key = (app_name, label)
@@ -66,12 +79,35 @@ class ExperimentRunner:
             threads_per_node=threads_per_node,
             prefetch=prefetch,
             seed=self.seed,
+            trace=TraceConfig() if self.trace_template else None,
         )
         if self.verbose:
             print(f"  running {app_name} [{label}] ...", flush=True)
-        report = DsmRuntime(config).execute(app, verify=self.verify)
+        runtime = DsmRuntime(config)
+        report = runtime.execute(app, verify=self.verify)
+        if self.trace_template:
+            self._export_trace(runtime, report, app_name, label)
         self._cache[key] = report
         return report
+
+    def _export_trace(
+        self, runtime: DsmRuntime, report: RunReport, app_name: str, label: str
+    ) -> None:
+        tracer = runtime.tracer
+        path = self.trace_path(app_name, label)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        if path.suffix == ".jsonl":
+            tracer.write_jsonl(path)
+        else:
+            tracer.write_chrome(path)
+        if self.verbose:
+            print(f"    trace: {len(tracer)} events -> {path}", flush=True)
+        mismatches = PhaseTimeline.from_events(tracer.events).verify_against(report)
+        if mismatches:
+            raise ConfigError(
+                f"trace/accounting mismatch for {app_name} [{label}]: "
+                + "; ".join(mismatches)
+            )
 
     def baseline(self, app_name: str) -> RunReport:
         return self.run(app_name, "O")

@@ -25,6 +25,7 @@ from repro.network import (
     TransportConfig,
 )
 from repro.sim import RandomSource, Simulator
+from repro.trace.tracer import Tracer
 
 __all__ = ["Cluster"]
 
@@ -41,12 +42,15 @@ class Cluster:
         fault_plan: Optional[FaultPlan] = None,
         transport: Optional[TransportConfig] = None,
         rng: Optional[RandomSource] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if num_nodes < 2:
             raise ConfigError(f"a cluster needs >= 2 nodes, got {num_nodes}")
         if page_size <= 0 or page_size % 8:
             raise ConfigError(f"page size must be a positive multiple of 8, got {page_size}")
         self.sim = Simulator()
+        if tracer is not None:
+            self.sim.trace = tracer
         self.num_nodes = num_nodes
         self.page_size = page_size
         self.costs = costs or CostModel()

@@ -82,6 +82,11 @@ class Node:
         try:
             yield self.sim.timeout(duration)
             self.breakdown.charge(category, duration)
+            tr = self.sim.trace
+            if tr.enabled:
+                # One cpu slice per charge: the PhaseTimeline audit
+                # rebuilds the TimeBreakdown from exactly these events.
+                tr.slice(self.sim.now - duration, duration, "cpu", category.value, self.node_id)
         finally:
             self.cpu.release()
 

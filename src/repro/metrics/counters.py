@@ -10,7 +10,7 @@ attributed to memory or synchronization by the scheduler.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from enum import Enum
 
 __all__ = ["Category", "StallKind", "TimeBreakdown", "EventCounters"]
@@ -99,6 +99,21 @@ class EventCounters:
     # Thread run lengths: busy time between consecutive long-latency events.
     run_lengths_sum: float = 0.0
     run_lengths_count: int = 0
+
+    def merged_with(self, other: "EventCounters") -> "EventCounters":
+        """Field-wise sum.  Iterates the dataclass fields so a counter
+        added later is aggregated without touching this method."""
+        merged = EventCounters()
+        for spec in fields(self):
+            setattr(
+                merged,
+                spec.name,
+                getattr(self, spec.name) + getattr(other, spec.name),
+            )
+        return merged
+
+    def as_dict(self) -> dict[str, float]:
+        return {spec.name: getattr(self, spec.name) for spec in fields(self)}
 
     def record_run_length(self, length: float) -> None:
         if length > 0:

@@ -7,12 +7,19 @@ The experiment harness renders these into the paper's figures/tables.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+import json
+from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING, Optional
 
 from repro.metrics.counters import Category, EventCounters, TimeBreakdown
 
+if TYPE_CHECKING:
+    from repro.prefetch.engine import PrefetchStats
+
 __all__ = ["RunReport"]
+
+#: Bumped whenever the serialized layout changes incompatibly.
+_SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -29,7 +36,8 @@ class RunReport:
     total_messages: int
     total_kbytes: float
     message_drops: int
-    prefetch_stats: Optional[object] = None  # PrefetchStats when prefetching is on
+    #: Aggregated prefetch counters when prefetching is on, else None.
+    prefetch_stats: Optional["PrefetchStats"] = None
     #: Retransmissions forced by transport timeouts (all nodes).
     retransmissions: int = 0
     #: Faults injected by the fault plan, by fault name (empty if none).
@@ -53,20 +61,7 @@ class RunReport:
     def events(self) -> EventCounters:
         total = EventCounters()
         for events in self.node_events:
-            total.remote_misses += events.remote_misses
-            total.remote_miss_stall += events.remote_miss_stall
-            total.cache_faults += events.cache_faults
-            total.remote_lock_misses += events.remote_lock_misses
-            total.remote_lock_stall += events.remote_lock_stall
-            total.barrier_waits += events.barrier_waits
-            total.barrier_stall += events.barrier_stall
-            total.context_switches += events.context_switches
-            total.retransmissions += events.retransmissions
-            total.transport_timeouts += events.transport_timeouts
-            total.acks_sent += events.acks_sent
-            total.duplicates_suppressed += events.duplicates_suppressed
-            total.run_lengths_sum += events.run_lengths_sum
-            total.run_lengths_count += events.run_lengths_count
+            total = total.merged_with(events)
         return total
 
     def category_fraction(self, category: Category) -> float:
@@ -108,6 +103,75 @@ class RunReport:
     @property
     def avg_miss_latency_us(self) -> float:
         return self.events.avg_miss_stall
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict: enum keys become their string values."""
+        return {
+            "schema": _SCHEMA_VERSION,
+            "app_name": self.app_name,
+            "config_label": self.config_label,
+            "num_nodes": self.num_nodes,
+            "threads_per_node": self.threads_per_node,
+            "wall_time_us": self.wall_time_us,
+            "node_breakdowns": [b.as_dict() for b in self.node_breakdowns],
+            "node_events": [e.as_dict() for e in self.node_events],
+            "total_messages": self.total_messages,
+            "total_kbytes": self.total_kbytes,
+            "message_drops": self.message_drops,
+            "prefetch_stats": (
+                asdict(self.prefetch_stats) if self.prefetch_stats is not None else None
+            ),
+            "retransmissions": self.retransmissions,
+            "injected_faults": dict(self.injected_faults),
+            "traffic_by_kind": {k: dict(v) for k, v in self.traffic_by_kind.items()},
+            "extra": dict(self.extra),
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunReport":
+        version = data.get("schema")
+        if version != _SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported RunReport schema {version!r} "
+                f"(this build reads schema {_SCHEMA_VERSION})"
+            )
+        breakdowns = []
+        for times in data["node_breakdowns"]:
+            breakdown = TimeBreakdown()
+            for name, value in times.items():
+                breakdown.times[Category(name)] = value
+            breakdowns.append(breakdown)
+        prefetch_stats = None
+        if data.get("prefetch_stats") is not None:
+            from repro.prefetch.engine import PrefetchStats
+
+            prefetch_stats = PrefetchStats(**data["prefetch_stats"])
+        return cls(
+            app_name=data["app_name"],
+            config_label=data["config_label"],
+            num_nodes=data["num_nodes"],
+            threads_per_node=data["threads_per_node"],
+            wall_time_us=data["wall_time_us"],
+            node_breakdowns=breakdowns,
+            node_events=[EventCounters(**entry) for entry in data["node_events"]],
+            total_messages=data["total_messages"],
+            total_kbytes=data["total_kbytes"],
+            message_drops=data["message_drops"],
+            prefetch_stats=prefetch_stats,
+            retransmissions=data.get("retransmissions", 0),
+            injected_faults=dict(data.get("injected_faults", {})),
+            traffic_by_kind=dict(data.get("traffic_by_kind", {})),
+            extra=dict(data.get("extra", {})),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunReport":
+        return cls.from_dict(json.loads(text))
 
     def summary(self) -> dict[str, float]:
         events = self.events

@@ -211,6 +211,17 @@ class FaultyNetwork(Network):
         if not message.reliable and plan.drop_prob > 0 and self._rng.random() < plan.drop_prob:
             self.stats.record_injected("drop", message)
             self.stats.record_drop(message)
+            tr = self.sim.trace
+            if tr.enabled:
+                tr.instant(
+                    now,
+                    "network",
+                    "msg_drop",
+                    message.src,
+                    kind=message.kind.value,
+                    dst=message.dst,
+                    at="fault",
+                )
             return False
         delay = 0.0
         if plan.reorder_prob > 0 and self._rng.random() < plan.reorder_prob:
@@ -228,6 +239,16 @@ class FaultyNetwork(Network):
             delay += hold
         if not message.reliable and plan.duplicate_prob > 0 and self._rng.random() < plan.duplicate_prob:
             self.stats.record_injected("duplicate", message)
+            tr = self.sim.trace
+            if tr.enabled:
+                tr.instant(
+                    now,
+                    "network",
+                    "msg_duplicate",
+                    message.src,
+                    kind=message.kind.value,
+                    dst=message.dst,
+                )
             ghost_delay = delay + float(self._rng.uniform(0.0, max(plan.jitter_us, 1.0)))
             self.sim.schedule(ghost_delay, self._inject, message.clone())
         if delay > 0:

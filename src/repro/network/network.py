@@ -46,7 +46,7 @@ class Network:
             self.link_config,
             self._deliver,
             latency_us=switch_latency_us,
-            on_drop=self.stats.record_drop,
+            on_drop=self._on_switch_drop,
         )
         self.uplinks: list[Link] = [
             Link(sim, self.link_config, self.switch.accept, name=f"up[{node}]")
@@ -85,15 +85,64 @@ class Network:
         """
         message.sent_at = self.sim.now
         accepted = self.uplinks[message.src].send(message)
+        tr = self.sim.trace
         if accepted:
             self.stats.record_send(message)
+            if tr.enabled:
+                # In-flight span, closed at delivery; a dropped message
+                # leaves an unterminated async slice (by design).
+                tr.async_begin(
+                    self.sim.now,
+                    "network",
+                    f"msg:{message.kind.value}",
+                    message.src,
+                    f"m{message.msg_id}",
+                    dst=message.dst,
+                    bytes=message.size_bytes,
+                    seq=message.seq,
+                )
         else:
             self.stats.record_drop(message)
+            if tr.enabled:
+                tr.instant(
+                    self.sim.now,
+                    "network",
+                    "msg_drop",
+                    message.src,
+                    kind=message.kind.value,
+                    dst=message.dst,
+                    at="uplink",
+                )
         return accepted
+
+    def _on_switch_drop(self, message: Message) -> None:
+        self.stats.record_drop(message)
+        tr = self.sim.trace
+        if tr.enabled:
+            tr.instant(
+                self.sim.now,
+                "network",
+                "msg_drop",
+                message.src,
+                kind=message.kind.value,
+                dst=message.dst,
+                at="switch",
+                msg=f"m{message.msg_id}",
+            )
 
     def _deliver(self, message: Message) -> None:
         message.delivered_at = self.sim.now
         self.stats.record_delivery(message)
+        tr = self.sim.trace
+        if tr.enabled:
+            tr.async_end(
+                self.sim.now,
+                "network",
+                f"msg:{message.kind.value}",
+                message.dst,
+                f"m{message.msg_id}",
+                src=message.src,
+            )
         self._handlers[message.dst](message)
 
     # -- inspection --------------------------------------------------------

@@ -175,6 +175,18 @@ class ReliableTransport:
             return  # acked (or resent) in the meantime
         self.stats.timeouts += 1
         self.node.events.transport_timeouts += 1
+        tr = self.sim.trace
+        if tr.enabled:
+            tr.instant(
+                self.sim.now,
+                "transport",
+                "transport_timeout",
+                self.node.node_id,
+                dst=dst,
+                seq=seq,
+                attempts=pending.attempts,
+                kind=pending.message.kind.value,
+            )
         if pending.attempts > self.config.max_retries:
             del self._pending[(dst, seq)]
             message = pending.message
@@ -200,6 +212,18 @@ class ReliableTransport:
         self.stats.retransmissions += 1
         self.node.events.retransmissions += 1
         copy = pending.message.clone()
+        tr = self.sim.trace
+        if tr.enabled:
+            tr.instant(
+                self.sim.now,
+                "transport",
+                "retransmit",
+                self.node.node_id,
+                dst=dst,
+                seq=seq,
+                attempts=pending.attempts,
+                kind=copy.kind.value,
+            )
         self.network.stats.record_retransmit(copy)
         self.network.send(copy)
 
@@ -223,6 +247,17 @@ class ReliableTransport:
         if not first:
             self.stats.duplicates_suppressed += 1
             self.node.events.duplicates_suppressed += 1
+            tr = self.sim.trace
+            if tr.enabled:
+                tr.instant(
+                    self.sim.now,
+                    "transport",
+                    "duplicate_suppressed",
+                    self.node.node_id,
+                    src=message.src,
+                    seq=message.seq,
+                    kind=message.kind.value,
+                )
         # Ack every arrival, duplicate or not: the duplicate usually
         # means our previous ack was lost.
         yield from self.node.occupy(

@@ -152,6 +152,15 @@ class PrefetchEngine:
             # prefetches back and let the demand fetch (reliable) do the
             # work — burning 140us per doomed request only adds load.
             self.stats.throttled += 1
+            tr = self.dsm.sim.trace
+            if tr.enabled:
+                tr.instant(
+                    self.dsm.sim.now,
+                    "prefetch",
+                    "prefetch_throttled",
+                    self.dsm.node_id,
+                    page=page_id,
+                )
             yield from self.dsm.node.occupy(costs.prefetch_issue_local, Category.PREFETCH)
             return
         record = self._records.setdefault(page_id, _PageRecord())
@@ -160,12 +169,22 @@ class PrefetchEngine:
         # remote message; extra writers add a per-message send cost.
         overhead = costs.prefetch_issue_remote + (len(writers) - 1) * costs.msg_send_cpu
         yield from self.dsm.node.occupy(overhead, Category.PREFETCH)
+        tr = self.dsm.sim.trace
         for writer, t_have in writers:
             request_id = self._next_request_id
             self._next_request_id += 1
             self._pending[request_id] = (page_id, writer)
             record.outstanding += 1
             self.stats.request_messages += 1
+            if tr.enabled:
+                tr.instant(
+                    self.dsm.sim.now,
+                    "prefetch",
+                    "prefetch_issue",
+                    self.dsm.node_id,
+                    page=page_id,
+                    writer=writer,
+                )
             accepted = self.dsm.node.network.send(
                 Message(
                     src=self.dsm.node_id,
@@ -196,6 +215,16 @@ class PrefetchEngine:
             self.THROTTLE_BASE_US * 2.0 ** (self._drop_streak - 1),
         )
         self._cooloff_until = max(self._cooloff_until, self.dsm.sim.now + cooloff)
+        tr = self.dsm.sim.trace
+        if tr.enabled:
+            tr.instant(
+                self.dsm.sim.now,
+                "prefetch",
+                "prefetch_drop",
+                self.dsm.node_id,
+                streak=self._drop_streak,
+                cooloff_us=cooloff,
+            )
 
     def _writers_not_cached(self, page_id: int, state) -> list[tuple[int, int]]:
         """Writers whose missing intervals are not yet cached/applied."""
@@ -230,17 +259,36 @@ class PrefetchEngine:
             return
         record.classified = True
         if record.outstanding > 0:
+            # The demand access beat the prefetch reply (or the reply was
+            # dropped): the fetch path retries the request reliably.
             self.stats.late += 1
+            outcome = "late"
         elif record.had_reply:
             self.stats.invalidated += 1
+            outcome = "invalidated"
         else:
             self.stats.no_pf += 1
+            outcome = "no_pf"
+        tr = self.dsm.sim.trace
+        if tr.enabled:
+            tr.instant(
+                self.dsm.sim.now,
+                "prefetch",
+                f"prefetch_{outcome}",
+                self.dsm.node_id,
+                page=page_id,
+            )
 
     def count_hit(self, page_id: int) -> None:
         record = self._records.get(page_id)
         if record is not None and not record.classified:
             self.stats.hits += 1
             record.classified = True
+            tr = self.dsm.sim.trace
+            if tr.enabled:
+                tr.instant(
+                    self.dsm.sim.now, "prefetch", "prefetch_hit", self.dsm.node_id, page=page_id
+                )
 
     def on_page_validated(self, page_id: int) -> None:
         """The miss epoch ended: forget this page's prefetch record."""

@@ -178,13 +178,22 @@ class Simulator:
 
     Ties at the same timestamp are broken by insertion order, which makes
     every run fully deterministic.
+
+    The simulator also carries the run's tracer (``self.trace``): every
+    layer owns a ``sim`` reference, so attaching the tracer here gives
+    the whole stack an instrumentation point without extra plumbing.
+    The default is the shared null tracer (``trace.enabled`` is False),
+    so untraced runs pay one attribute check per potential event.
     """
 
     def __init__(self) -> None:
+        from repro.trace.tracer import NULL_TRACER  # deferred: keep sim dep-free
+
         self._now: float = 0.0
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self._sequence = itertools.count()
         self._handled = 0
+        self.trace = NULL_TRACER
 
     @property
     def now(self) -> float:

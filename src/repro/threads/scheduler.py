@@ -157,6 +157,9 @@ class NodeScheduler:
         idle = max(0.0, interval - handler_time)
         kind = woken.stall_kind if woken is not None and woken.stall_kind else StallKind.MEMORY
         self.node.breakdown.charge(kind.idle_category, idle)
+        tr = sim.trace
+        if tr.enabled and idle > 0:
+            tr.slice(sim.now - idle, idle, "cpu", kind.idle_category.value, self.node.node_id)
 
     # -- blocking/waking -------------------------------------------------------
 
@@ -193,11 +196,28 @@ class NodeScheduler:
     def _block(self, thread: DsmThread, request: WaitRequest) -> None:
         self._begin_stall(thread)
         thread.block(request.event, request.kind, self.node.sim.now)
+        tr = self.node.sim.trace
+        if tr.enabled:
+            tr.begin(
+                self.node.sim.now,
+                "sched",
+                f"stall:{request.kind.value}",
+                self.node.node_id,
+                tid=thread.tid,
+            )
 
         def on_wake(_event: Event) -> None:
             started = thread.block_start
             thread.unblock()
             self._end_stall(thread, request.kind, started, request.event)
+            if tr.enabled:
+                tr.end(
+                    self.node.sim.now,
+                    "sched",
+                    f"stall:{request.kind.value}",
+                    self.node.node_id,
+                    tid=thread.tid,
+                )
             if self._ready_signal is not None and not self._ready_signal.triggered:
                 self._last_woken = thread
                 self._ready_signal.succeed(None)
@@ -210,12 +230,20 @@ class NodeScheduler:
         sim = self.node.sim
         t_start = sim.now
         charged_start = self.node.breakdown.charged_cpu
+        tr = sim.trace
+        stall_name = f"stall:{request.kind.value}"
+        if tr.enabled:
+            tr.begin(t_start, "sched", stall_name, self.node.node_id, tid=thread.tid)
         yield request.event
         self._end_stall(thread, request.kind, t_start, request.event)
+        if tr.enabled:
+            tr.end(sim.now, "sched", stall_name, self.node.node_id, tid=thread.tid)
         interval = sim.now - t_start
         handler_time = self.node.breakdown.charged_cpu - charged_start
         idle = max(0.0, interval - handler_time)
         self.node.breakdown.charge(request.kind.idle_category, idle)
+        if tr.enabled and idle > 0:
+            tr.slice(sim.now - idle, idle, "cpu", request.kind.idle_category.value, self.node.node_id)
 
     def _should_switch(self, kind: StallKind) -> bool:
         if len(self.threads) <= 1:
@@ -234,6 +262,16 @@ class NodeScheduler:
         ):
             yield from self.node.occupy(self.node.costs.context_switch, Category.MT)
             self.node.events.context_switches += 1
+            tr = self.node.sim.trace
+            if tr.enabled:
+                tr.instant(
+                    self.node.sim.now,
+                    "sched",
+                    "context_switch",
+                    self.node.node_id,
+                    from_tid=self._last_run.tid,
+                    to_tid=thread.tid,
+                )
         self._last_run = thread
         thread.state = ThreadState.RUNNING
 

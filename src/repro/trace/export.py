@@ -1,0 +1,140 @@
+"""Trace exporters: Chrome/Perfetto ``trace_event`` JSON and flat JSONL.
+
+The Chrome format (the "JSON Array Format" of the trace_event spec) is
+loadable by Perfetto (https://ui.perfetto.dev) and the legacy
+``chrome://tracing`` viewer.  The track layout is:
+
+- one *process* per simulated node (``pid`` = node id);
+- per node, a ``cpu`` thread carrying the CPU-charge slices (busy, DSM
+  overhead, prefetch overhead, MT overhead), an ``idle`` thread
+  carrying the attributed idle slices, and a ``protocol`` thread
+  carrying node-scoped instants (faults, notices, drops, retransmits);
+- one thread per application thread, carrying its stall begin/end
+  slices and scheduling instants;
+- async (``b``/``e``) pairs for every in-flight message and for every
+  request/reply round trip, which Perfetto renders as spans/arrows
+  linking the two sides.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+from repro.metrics.counters import Category
+from repro.trace.tracer import TraceEvent
+
+__all__ = ["chrome_trace", "write_chrome_trace", "write_jsonl", "jsonl_lines"]
+
+#: Synthetic tid values for node-scoped tracks (application thread
+#: tracks use ``APP_TID_BASE + tid`` so they can never collide).
+CPU_TID = 0
+IDLE_TID = 1
+PROTOCOL_TID = 2
+APP_TID_BASE = 10
+
+_IDLE_NAMES = frozenset((Category.MEMORY_IDLE.value, Category.SYNC_IDLE.value))
+
+
+def _track_of(event: TraceEvent) -> int:
+    """Map a TraceEvent onto its Chrome (tid) track within the node."""
+    if event.tid is not None:
+        return APP_TID_BASE + event.tid
+    if event.cat == "cpu":
+        return IDLE_TID if event.name in _IDLE_NAMES else CPU_TID
+    return PROTOCOL_TID
+
+
+def chrome_trace(events: Iterable[TraceEvent]) -> dict[str, Any]:
+    """Render events into a Chrome trace_event JSON object."""
+    rows: list[dict[str, Any]] = []
+    #: (pid, tid) -> thread name, discovered from the event stream.
+    threads: dict[tuple[int, int], str] = {}
+    for event in events:
+        tid = _track_of(event)
+        key = (event.node, tid)
+        if key not in threads:
+            if tid == CPU_TID:
+                threads[key] = "cpu"
+            elif tid == IDLE_TID:
+                threads[key] = "idle"
+            elif tid == PROTOCOL_TID:
+                threads[key] = "protocol"
+            else:
+                threads[key] = f"thread {event.tid}"
+        row: dict[str, Any] = {
+            "name": event.name,
+            "cat": event.cat,
+            "ph": event.ph,
+            "ts": event.ts,
+            "pid": event.node,
+            "tid": tid,
+        }
+        if event.ph == "X":
+            row["dur"] = event.dur
+        if event.ph == "i":
+            row["s"] = "t"  # instant scope: thread
+        if event.id is not None:
+            row["id"] = event.id
+        if event.args:
+            row["args"] = event.args
+        rows.append(row)
+    # The spec does not require sorted timestamps but viewers load large
+    # traces faster when sorted; Python's stable sort preserves emission
+    # order at equal timestamps, which keeps B before E and b before e.
+    rows.sort(key=lambda r: r["ts"])
+    meta: list[dict[str, Any]] = []
+    for pid in sorted({node for node, _ in threads}):
+        meta.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "ts": 0.0,
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"node {pid}"},
+            }
+        )
+    for (pid, tid), label in sorted(threads.items()):
+        meta.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "ts": 0.0,
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": label},
+            }
+        )
+        meta.append(
+            {
+                "name": "thread_sort_index",
+                "ph": "M",
+                "ts": 0.0,
+                "pid": pid,
+                "tid": tid,
+                "args": {"sort_index": tid},
+            }
+        )
+    return {
+        "traceEvents": meta + rows,
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.trace", "time_unit": "us"},
+    }
+
+
+def write_chrome_trace(events: Iterable[TraceEvent], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(events), handle)
+
+
+def jsonl_lines(events: Iterable[TraceEvent]) -> Iterable[str]:
+    for event in events:
+        yield json.dumps(event.as_dict(), separators=(",", ":"))
+
+
+def write_jsonl(events: Iterable[TraceEvent], path: str) -> None:
+    """Flat one-event-per-line log (for grep/jq-style analysis)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for line in jsonl_lines(events):
+            handle.write(line + "\n")

@@ -1,0 +1,306 @@
+"""Structured event tracing for the simulator and protocol stack.
+
+The paper's analysis lives and dies on *where time goes*; the aggregate
+counters (:mod:`repro.metrics`) answer "how much", this module answers
+"in what order".  A :class:`Tracer` collects typed :class:`TraceEvent`
+records from instrumentation hooks threaded through the simulator
+kernel, the DSM protocol, the thread scheduler, the prefetch engine and
+the network/transport layers.
+
+Design constraints:
+
+- **Zero overhead when off.**  Every call site is guarded by a single
+  attribute check (``if tracer.enabled:``); the default tracer is the
+  module-level :data:`NULL_TRACER` whose ``enabled`` is ``False``, so
+  an untraced run pays one boolean load per potential event and builds
+  no event objects.
+- **Observe, never perturb.**  Emitting an event appends to a Python
+  list (or bounded deque); no RNG draws, no simulator scheduling, no
+  shared mutable protocol state.  A traced run must produce a
+  bit-identical :class:`~repro.metrics.report.RunReport` (there is a
+  determinism guard test for this).
+
+Phases follow the Chrome ``trace_event`` vocabulary so export is a
+straight mapping: ``X`` complete slices (with duration), ``B``/``E``
+begin/end pairs, ``i`` instants, and ``b``/``e`` async pairs (used for
+in-flight messages and request/reply round trips, which render as
+arrows/spans in Perfetto).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Optional
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "TraceCategory",
+    "TraceConfig",
+    "TraceEvent",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+]
+
+
+class TraceCategory:
+    """The category vocabulary (mirrors :class:`repro.metrics.Category`
+    for CPU-charge events, plus the subsystem categories)."""
+
+    #: CPU/idle time charges — names carry the metrics category value.
+    CPU = "cpu"
+    #: Coherence protocol: page faults, diffs, write notices, locks, barriers.
+    PROTOCOL = "protocol"
+    #: Wire-level message lifecycle: send, deliver, drop, duplicate.
+    NETWORK = "network"
+    #: Reliable-transport activity: timeouts, retransmits, dedup.
+    TRANSPORT = "transport"
+    #: Thread scheduling: stalls, context switches, idle.
+    SCHED = "sched"
+    #: Prefetch engine outcomes.
+    PREFETCH = "prefetch"
+
+    ALL = (CPU, PROTOCOL, NETWORK, TRANSPORT, SCHED, PREFETCH)
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """How a run's tracer collects events."""
+
+    #: ``"memory"`` keeps every event; ``"ring"`` keeps the newest
+    #: ``ring_capacity`` (older events are discarded and counted).
+    sink: str = "memory"
+    ring_capacity: int = 1_000_000
+    #: Restrict collection to these categories (``None`` = everything).
+    #: Note: the :class:`~repro.trace.timeline.PhaseTimeline` consistency
+    #: audit needs the ``cpu`` category.
+    categories: Optional[frozenset[str]] = None
+
+    def __post_init__(self) -> None:
+        if self.sink not in ("memory", "ring"):
+            raise ConfigError(f"trace sink must be 'memory' or 'ring', got {self.sink!r}")
+        if self.ring_capacity < 1:
+            raise ConfigError(f"ring_capacity must be >= 1, got {self.ring_capacity}")
+        if self.categories is not None:
+            object.__setattr__(self, "categories", frozenset(self.categories))
+            unknown = set(self.categories) - set(TraceCategory.ALL)
+            if unknown:
+                raise ConfigError(f"unknown trace categories: {sorted(unknown)}")
+
+
+@dataclass(slots=True)
+class TraceEvent:
+    """One structured event, stamped with simulated time.
+
+    Attributes:
+        ts: simulated time in microseconds.
+        ph: Chrome trace phase (``X``, ``B``, ``E``, ``i``, ``b``, ``e``).
+        cat: one of :class:`TraceCategory`.
+        name: event name (e.g. ``page_fault``, ``busy``, ``msg:diff_request``).
+        node: originating node id.
+        tid: application thread id for thread-scoped events, else ``None``
+            (the event lands on the node's protocol/cpu track).
+        dur: duration in microseconds (``X`` events only).
+        id: correlation id for async pairs (``b``/``e``).
+        args: small JSON-friendly payload (page ids, byte counts, ...).
+    """
+
+    ts: float
+    ph: str
+    cat: str
+    name: str
+    node: int
+    tid: Optional[int] = None
+    dur: float = 0.0
+    id: Optional[str] = None
+    args: Optional[dict[str, Any]] = None
+
+    def as_dict(self) -> dict[str, Any]:
+        """Flat JSON form (the JSONL exporter's row format)."""
+        row: dict[str, Any] = {
+            "ts": self.ts,
+            "ph": self.ph,
+            "cat": self.cat,
+            "name": self.name,
+            "node": self.node,
+        }
+        if self.tid is not None:
+            row["tid"] = self.tid
+        if self.ph == "X":
+            row["dur"] = self.dur
+        if self.id is not None:
+            row["id"] = self.id
+        if self.args:
+            row["args"] = self.args
+        return row
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records from instrumentation hooks.
+
+    The tracer is attached to the :class:`~repro.sim.Simulator` (as
+    ``sim.trace``) so every layer that owns a ``sim`` reference can
+    reach it without extra plumbing; ``ts`` is stamped by the caller
+    from ``sim.now``.
+    """
+
+    enabled = True
+
+    def __init__(self, config: Optional[TraceConfig] = None) -> None:
+        self.config = config or TraceConfig()
+        self._events: Any
+        if self.config.sink == "ring":
+            self._events = deque(maxlen=self.config.ring_capacity)
+        else:
+            self._events = []
+        #: Events discarded by a full ring sink (0 for memory sinks).
+        self.dropped_events = 0
+        self._categories = self.config.categories
+
+    # -- collection --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    @property
+    def events(self) -> Iterable[TraceEvent]:
+        return self._events
+
+    @property
+    def complete(self) -> bool:
+        """True when no event was discarded (safe for the timeline audit)."""
+        return self.dropped_events == 0
+
+    def emit(self, event: TraceEvent) -> None:
+        if self._categories is not None and event.cat not in self._categories:
+            return
+        events = self._events
+        if isinstance(events, deque) and len(events) == events.maxlen:
+            self.dropped_events += 1
+        events.append(event)
+
+    # -- typed emit helpers ------------------------------------------------
+
+    def instant(
+        self,
+        ts: float,
+        cat: str,
+        name: str,
+        node: int,
+        tid: Optional[int] = None,
+        **args: Any,
+    ) -> None:
+        self.emit(TraceEvent(ts, "i", cat, name, node, tid=tid, args=args or None))
+
+    def slice(
+        self,
+        ts: float,
+        dur: float,
+        cat: str,
+        name: str,
+        node: int,
+        tid: Optional[int] = None,
+        **args: Any,
+    ) -> None:
+        """A complete (``X``) slice starting at ``ts`` lasting ``dur``."""
+        self.emit(TraceEvent(ts, "X", cat, name, node, tid=tid, dur=dur, args=args or None))
+
+    def begin(
+        self,
+        ts: float,
+        cat: str,
+        name: str,
+        node: int,
+        tid: Optional[int] = None,
+        **args: Any,
+    ) -> None:
+        self.emit(TraceEvent(ts, "B", cat, name, node, tid=tid, args=args or None))
+
+    def end(
+        self,
+        ts: float,
+        cat: str,
+        name: str,
+        node: int,
+        tid: Optional[int] = None,
+        **args: Any,
+    ) -> None:
+        self.emit(TraceEvent(ts, "E", cat, name, node, tid=tid, args=args or None))
+
+    def async_begin(
+        self,
+        ts: float,
+        cat: str,
+        name: str,
+        node: int,
+        id: str,
+        tid: Optional[int] = None,
+        **args: Any,
+    ) -> None:
+        self.emit(TraceEvent(ts, "b", cat, name, node, tid=tid, id=id, args=args or None))
+
+    def async_end(
+        self,
+        ts: float,
+        cat: str,
+        name: str,
+        node: int,
+        id: str,
+        tid: Optional[int] = None,
+        **args: Any,
+    ) -> None:
+        self.emit(TraceEvent(ts, "e", cat, name, node, tid=tid, id=id, args=args or None))
+
+    # -- export convenience (implemented in repro.trace.export) ------------
+
+    def chrome_trace(self) -> dict[str, Any]:
+        from repro.trace.export import chrome_trace
+
+        return chrome_trace(self.events)
+
+    def write_chrome(self, path: str) -> None:
+        from repro.trace.export import write_chrome_trace
+
+        write_chrome_trace(self.events, path)
+
+    def write_jsonl(self, path: str) -> None:
+        from repro.trace.export import write_jsonl
+
+        write_jsonl(self.events, path)
+
+    def timeline(self):
+        from repro.trace.timeline import PhaseTimeline
+
+        return PhaseTimeline.from_events(self.events)
+
+
+class NullTracer(Tracer):
+    """The default tracer: collects nothing, costs one attribute check.
+
+    Instrumented call sites are written as::
+
+        tr = self.sim.trace
+        if tr.enabled:
+            tr.instant(...)
+
+    so with the null tracer installed the per-event cost is a single
+    boolean load and branch.  The emit methods are still no-ops (not
+    errors) as a second line of defence.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(TraceConfig())
+
+    def emit(self, event: TraceEvent) -> None:  # pragma: no cover - defensive
+        pass
+
+
+#: Shared do-nothing tracer; installed on every Simulator by default.
+NULL_TRACER = NullTracer()

@@ -1,0 +1,145 @@
+"""RunReport aggregation, edge cases, and JSON serialization."""
+
+import dataclasses
+
+import pytest
+
+from repro.metrics.counters import Category, EventCounters, TimeBreakdown
+from repro.metrics.report import RunReport
+
+
+def make_report(wall=1000.0, num_nodes=2, breakdowns=None, events=None, **kwargs):
+    if breakdowns is None:
+        breakdowns = []
+        for _ in range(num_nodes):
+            breakdown = TimeBreakdown()
+            breakdown.charge(Category.BUSY, 400.0)
+            breakdown.charge(Category.DSM, 100.0)
+            breakdowns.append(breakdown)
+    if events is None:
+        events = [EventCounters() for _ in range(num_nodes)]
+    defaults = dict(
+        app_name="SOR",
+        config_label="O",
+        num_nodes=num_nodes,
+        threads_per_node=1,
+        wall_time_us=wall,
+        node_breakdowns=breakdowns,
+        node_events=events,
+        total_messages=10,
+        total_kbytes=4.0,
+        message_drops=0,
+    )
+    defaults.update(kwargs)
+    return RunReport(**defaults)
+
+
+# -- EventCounters.merged_with ------------------------------------------------
+
+
+def test_merged_with_sums_every_field():
+    """Every dataclass field participates in the merge — a counter added
+    later cannot be silently forgotten by the aggregation."""
+    a, b = EventCounters(), EventCounters()
+    for offset, spec in enumerate(dataclasses.fields(EventCounters)):
+        setattr(a, spec.name, type(getattr(a, spec.name))(offset + 1))
+        setattr(b, spec.name, type(getattr(b, spec.name))(2 * (offset + 1)))
+    merged = a.merged_with(b)
+    for offset, spec in enumerate(dataclasses.fields(EventCounters)):
+        assert getattr(merged, spec.name) == 3 * (offset + 1), spec.name
+    # Inputs unchanged.
+    assert a.remote_misses == 1
+
+
+def test_report_events_aggregates_all_nodes():
+    events = [EventCounters(remote_misses=2, acks_sent=5), EventCounters(remote_misses=3)]
+    report = make_report(events=events)
+    total = report.events
+    assert total.remote_misses == 5
+    assert total.acks_sent == 5
+    # as_dict covers the same field set.
+    assert set(total.as_dict()) == {f.name for f in dataclasses.fields(EventCounters)}
+
+
+# -- breakdown edge cases -----------------------------------------------------
+
+
+def test_category_fraction_normal_and_zero_wall():
+    report = make_report()
+    # 2 nodes x 400us busy over 2 x 1000us wall.
+    assert report.category_fraction(Category.BUSY) == pytest.approx(0.4)
+    assert make_report(wall=0.0).category_fraction(Category.BUSY) == 0.0
+    assert make_report(wall=-5.0).category_fraction(Category.BUSY) == 0.0
+
+
+def test_category_fraction_empty_node_list():
+    report = make_report(breakdowns=[], events=[])
+    assert report.category_fraction(Category.BUSY) == 0.0
+    assert report.breakdown.total == 0.0
+    assert report.events.remote_misses == 0
+
+
+def test_normalized_breakdown_self_baseline_and_explicit_baseline():
+    report = make_report()
+    own = report.normalized_breakdown()
+    assert own["busy"] == pytest.approx(40.0)
+    assert own["dsm_overhead"] == pytest.approx(10.0)
+    # Against a 2x-slower baseline the same charges halve.
+    slow = make_report(wall=2000.0)
+    vs = report.normalized_breakdown(baseline=slow)
+    assert vs["busy"] == pytest.approx(20.0)
+
+
+def test_normalized_breakdown_zero_wall_returns_all_zero():
+    report = make_report(wall=0.0)
+    values = report.normalized_breakdown()
+    assert set(values) == {category.value for category in Category}
+    assert all(v == 0.0 for v in values.values())
+
+
+def test_normalized_total_edge_cases():
+    fast, slow = make_report(wall=500.0), make_report(wall=1000.0)
+    assert fast.normalized_total(baseline=slow) == pytest.approx(50.0)
+    assert fast.normalized_total() == pytest.approx(100.0)
+    assert fast.normalized_total(baseline=make_report(wall=0.0)) == 0.0
+
+
+def test_speedup_over_handles_zero_wall_times():
+    fast, slow = make_report(wall=500.0), make_report(wall=1000.0)
+    assert fast.speedup_over(slow) == pytest.approx(2.0)
+    assert make_report(wall=0.0).speedup_over(slow) == 0.0
+    assert fast.speedup_over(make_report(wall=0.0)) == 0.0
+
+
+# -- JSON serialization -------------------------------------------------------
+
+
+def test_json_round_trip_without_prefetch():
+    report = make_report(injected_faults={"drop": 3}, traffic_by_kind={"diff_request": {"sends": 4}})
+    clone = RunReport.from_json(report.to_json())
+    assert clone.to_dict() == report.to_dict()
+    assert clone.app_name == "SOR"
+    assert clone.prefetch_stats is None
+    assert clone.node_breakdowns[0].times[Category.BUSY] == 400.0
+    assert isinstance(clone.node_events[0], EventCounters)
+    assert clone.injected_faults == {"drop": 3}
+
+
+def test_json_round_trip_with_prefetch_stats():
+    from repro.prefetch.engine import PrefetchStats
+
+    report = make_report(prefetch_stats=PrefetchStats(issued=7, hits=4, late=1))
+    clone = RunReport.from_json(report.to_json(indent=2))
+    assert isinstance(clone.prefetch_stats, PrefetchStats)
+    assert clone.prefetch_stats.issued == 7
+    assert clone.prefetch_stats.coverage_factor == report.prefetch_stats.coverage_factor
+
+
+def test_from_dict_rejects_unknown_schema():
+    data = make_report().to_dict()
+    data["schema"] = 999
+    with pytest.raises(ValueError):
+        RunReport.from_dict(data)
+    del data["schema"]
+    with pytest.raises(ValueError):
+        RunReport.from_dict(data)

@@ -1,0 +1,167 @@
+"""End-to-end tracing tests: every benchmark exports a valid
+Perfetto-loadable trace whose reconstructed timeline agrees exactly with
+the aggregate accounting — and tracing never perturbs the simulation."""
+
+import pytest
+
+from repro import DsmRuntime, RunConfig
+from repro.apps import APP_ORDER, make_app
+from repro.metrics.counters import Category
+from repro.network import FaultPlan, TransportConfig
+from repro.trace import PhaseTimeline, TraceConfig, validate_chrome_trace
+
+CHAOS_PLAN = FaultPlan(drop_prob=0.05, duplicate_prob=0.02, reorder_prob=0.2, jitter_us=200.0)
+
+
+def run(app_name, trace=True, seed=42, **config_kwargs):
+    config = RunConfig(num_nodes=4, seed=seed, trace=trace, **config_kwargs)
+    runtime = DsmRuntime(config)
+    app = make_app(app_name, preset="small")
+    app.use_prefetch = config.prefetch
+    report = runtime.execute(app)
+    return runtime, report
+
+
+@pytest.mark.parametrize("app_name", APP_ORDER)
+def test_every_app_traces_validates_and_reconciles(app_name):
+    """The tentpole guarantee, per app: the exported Chrome trace is
+    well-formed and the PhaseTimeline rebuilt from the event stream
+    matches TimeBreakdown per node and per category."""
+    runtime, report = run(app_name)
+    tracer = runtime.tracer
+    assert len(tracer) > 0 and tracer.complete
+    assert validate_chrome_trace(tracer.chrome_trace()) == []
+    assert tracer.timeline().verify_against(report) == []
+
+
+def test_timeline_agreement_is_exact_not_approximate():
+    """Per-node per-category totals replay the very float additions
+    TimeBreakdown.charge made, so they are equal — not approximately."""
+    runtime, report = run("SOR")
+    timeline = runtime.tracer.timeline()
+    for node, breakdown in enumerate(report.node_breakdowns):
+        assert timeline.node_total(node) == breakdown.times
+
+
+def test_epochs_segment_on_barrier_releases():
+    runtime, report = run("SOR")
+    timeline = runtime.tracer.timeline()
+    assert timeline.barrier_releases  # SOR is barrier-driven
+    epochs = timeline.epochs()
+    assert len(epochs) == len(
+        [b for b in timeline.barrier_releases if 0.0 < b < timeline.end_ts]
+    ) + 1
+    # Epochs tile the run with no gaps or overlap...
+    for left, right in zip(epochs, epochs[1:]):
+        assert left.end == right.start
+    assert epochs[0].start == 0.0
+    assert epochs[-1].end == timeline.end_ts
+    # ...and partition the charged time exactly.
+    for category in Category:
+        assert sum(s.total(category) for s in epochs) == pytest.approx(
+            timeline.totals()[category]
+        )
+    # Real work lands in every epoch except possibly the tail sliver
+    # after the final release.
+    busy_epochs = sum(1 for s in epochs if s.total(Category.BUSY) > 0)
+    assert busy_epochs >= len(epochs) - 1
+
+
+def test_multithreaded_prefetch_run_reconciles_too():
+    runtime, report = run("SOR", threads_per_node=2, prefetch=True)
+    tracer = runtime.tracer
+    names = {event.name for event in tracer}
+    assert "prefetch_issue" in names
+    assert "context_switch" in names
+    assert validate_chrome_trace(tracer.chrome_trace()) == []
+    assert tracer.timeline().verify_against(report) == []
+
+
+def test_chaos_run_traces_drops_and_retransmits_with_async_arrows():
+    """Fault-injection runs must show the loss/recovery story: drop and
+    retransmit instants, and in-flight message spans where a dropped
+    message is exactly an unterminated async begin."""
+    runtime, report = run(
+        "SOR",
+        fault_plan=CHAOS_PLAN,
+        transport=TransportConfig(timeout_us=3_000.0, max_retries=20),
+    )
+    tracer = runtime.tracer
+    names = [event.name for event in tracer]
+    assert "msg_drop" in names
+    assert "retransmit" in names
+    assert "transport_timeout" in names
+    assert "msg_duplicate" in names
+    assert "duplicates_suppressed" not in names  # counter, not an event name
+    assert "duplicate_suppressed" in names
+    # Async message lifecycle: a span opens for every message the wire
+    # accepted; the ones the fabric ate after acceptance (switch-queue
+    # drops) stay unterminated — begins exceed ends by exactly that.
+    begins = sum(1 for e in tracer if e.ph == "b" and e.name.startswith("msg:"))
+    ends = sum(1 for e in tracer if e.ph == "e" and e.name.startswith("msg:"))
+    switch_drops = sum(
+        1 for e in tracer if e.name == "msg_drop" and (e.args or {}).get("at") == "switch"
+    )
+    assert begins > 0
+    assert begins - ends == switch_drops
+    # ...and the validator explicitly tolerates that.
+    assert validate_chrome_trace(tracer.chrome_trace()) == []
+    assert tracer.timeline().verify_against(report) == []
+
+
+def test_tracing_does_not_perturb_the_simulation():
+    """Determinism guard: trace on vs off => bit-identical RunReport."""
+    _, traced = run("SOR", trace=True, threads_per_node=2, prefetch=True)
+    _, untraced = run("SOR", trace=False, threads_per_node=2, prefetch=True)
+    assert traced.to_json() == untraced.to_json()
+    assert traced.wall_time_us == untraced.wall_time_us
+
+
+def test_tracing_is_deterministic_itself():
+    """Same seed => the same event stream.
+
+    Correlation ids embed Message.msg_id, which is unique per *process*
+    (a global counter), not per run — so compare with ids canonically
+    renumbered by first occurrence; everything else must be identical.
+    """
+
+    def stream():
+        runtime, _ = run("SOR", seed=7)
+        mapping = {}
+        rows = []
+        for event in runtime.tracer:
+            row = event.as_dict()
+            if "id" in row:
+                row["id"] = mapping.setdefault(row["id"], f"#{len(mapping)}")
+            rows.append(row)
+        return rows
+
+    assert stream() == stream()
+
+
+def test_ring_sink_survives_overflow_and_flags_incomplete():
+    runtime, report = run("SOR", trace=TraceConfig(sink="ring", ring_capacity=100))
+    tracer = runtime.tracer
+    assert len(tracer) == 100
+    assert not tracer.complete
+    assert tracer.dropped_events > 0
+    # A truncated stream cannot reconcile — and says so.
+    assert tracer.timeline().verify_against(report) != []
+
+
+def test_category_filter_limits_collection_but_keeps_audit():
+    runtime, report = run("SOR", trace=TraceConfig(categories=frozenset({"cpu"})))
+    tracer = runtime.tracer
+    assert all(event.cat == "cpu" for event in tracer)
+    # cpu events alone still carry the full accounting.
+    assert tracer.timeline().verify_against(report) == []
+
+
+def test_runconfig_coerces_and_rejects_trace_values():
+    from repro.errors import ConfigError
+
+    assert RunConfig(trace=True).trace == TraceConfig()
+    assert RunConfig(trace=False).trace is None
+    assert RunConfig(trace=None).trace is None
+    with pytest.raises(ConfigError):
+        RunConfig(trace="yes")
