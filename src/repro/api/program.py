@@ -41,3 +41,30 @@ class Program:
         Raise :class:`AssertionError` (or any exception) on mismatch.
         """
         raise ProgramError(f"program {self.name!r} provides no verifier")
+
+    # -- fault-tolerance hooks (repro.ft) ---------------------------------
+
+    def snapshot_local(self):
+        """Node-local (non-DSM) state to include in a checkpoint.
+
+        Programs that model per-processor *local-memory* structures as
+        plain Python state on the program object (e.g. WATER's shared
+        per-processor accumulation buffers) must return it here, or a
+        crash rollback would replay thread bodies against state the
+        discarded execution already mutated.  The returned value is
+        deep-copied by the checkpointing layer.
+        """
+        return None
+
+    def restore_local(self, snapshot) -> None:
+        """Reinstall state captured by :meth:`snapshot_local`.
+
+        Called *after* thread replay during recovery: replay re-runs the
+        bodies' local mutations, and this call discards those re-runs in
+        favour of the checkpointed truth.
+
+        Caveat: this replaces state on the *program object*; generator
+        locals are untouched.  Thread bodies must therefore re-bind any
+        reference into this state after each barrier (the recovery
+        points) rather than holding one across it.
+        """

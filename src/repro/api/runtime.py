@@ -29,6 +29,7 @@ from repro.api.program import Program
 from repro.api.shared import SharedMatrix, SharedVector
 from repro.dsm.protocol import DsmNode
 from repro.errors import ConfigError
+from repro.ft import FtConfig, FtManager, ProtocolSanitizer
 from repro.machine import Cluster, CostModel
 from repro.memory import SharedAddressSpace, Segment, apply_diff
 from repro.metrics.report import RunReport
@@ -70,6 +71,13 @@ class RunConfig:
     #: for the defaults) records every instrumented event for export and
     #: for the ``PhaseTimeline`` accounting audit.
     trace: Optional[TraceConfig] = None
+    #: Fault tolerance (``repro.ft``): failure detection, coordinated
+    #: barrier checkpoints, and crash recovery.  Auto-enabled with the
+    #: defaults whenever the fault plan schedules node crashes.
+    ft: Optional[FtConfig] = None
+    #: Runtime protocol-invariant checking (``repro.ft.sanitizer``).
+    #: Off by default: when off the hook sites cost one attribute check.
+    sanitizer: bool = False
     #: Safety valve for runaway simulations (events, not microseconds).
     max_events: Optional[int] = 50_000_000
 
@@ -78,6 +86,9 @@ class RunConfig:
             raise ConfigError("threads_per_node must be >= 1")
         if self.num_nodes < 2:
             raise ConfigError("num_nodes must be >= 2")
+        if self.ft is None and self.fault_plan is not None and self.fault_plan.crashes:
+            # A crash schedule without recovery would hang the run.
+            object.__setattr__(self, "ft", FtConfig())
         if self.trace is not None and not isinstance(self.trace, TraceConfig):
             if self.trace is True:
                 object.__setattr__(self, "trace", TraceConfig())
@@ -150,6 +161,12 @@ class DsmRuntime:
 
             for scheduler, engine in zip(self.schedulers, self.prefetch_engines):
                 scheduler.history = HistoryPrefetcher(engine, config.page_size)
+        if config.sanitizer:
+            self.cluster.sim.sanitizer = ProtocolSanitizer(config.num_nodes)
+        #: Fault-tolerance layer (failure detection, checkpoint/recovery).
+        self.ft: Optional[FtManager] = (
+            FtManager(self, config.ft) if config.ft is not None else None
+        )
 
     # -- allocation helpers -------------------------------------------------
 
@@ -180,10 +197,18 @@ class DsmRuntime:
             node_id = tid // tpn
             thread = DsmThread(tid, node_id, program.thread_body(self, tid))
             self.schedulers[node_id].add_thread(thread)
-        done_events = [scheduler.start() for scheduler in self.schedulers]
+        if self.ft is not None:
+            # Takes the initial checkpoint (the rollback target for a
+            # crash before the first barrier) and arms the crash plan.
+            self.ft.start(program)
+        for scheduler in self.schedulers:
+            scheduler.start()
         self.cluster.run(max_events=self.config.max_events)
-        for scheduler, done in zip(self.schedulers, done_events):
-            if not done.triggered:
+        # Recovery replaces scheduler processes, so consult the *current*
+        # done_event, not the one start() returned before any rollback.
+        for scheduler in self.schedulers:
+            done = scheduler.done_event
+            if done is None or not done.triggered:
                 raise ConfigError(
                     f"node {scheduler.node.node_id} never finished — deadlock?"
                 )
@@ -206,6 +231,9 @@ class DsmRuntime:
                         name,
                         getattr(prefetch_stats, name) + getattr(engine.stats, name),
                     )
+        extra = {}
+        if self.ft is not None:
+            extra["ft"] = self.ft.summary()
         return RunReport(
             app_name=program.name,
             config_label=self.config.label,
@@ -225,6 +253,7 @@ class DsmRuntime:
                 if sum(by_kind.values())
             },
             traffic_by_kind=stats.kind_breakdown(),
+            extra=extra,
         )
 
     # -- verification support ------------------------------------------------------

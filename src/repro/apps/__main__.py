@@ -6,6 +6,7 @@ Examples::
     python -m repro.apps RADIX --config 4T --nodes 8
     python -m repro.apps FFT --config P --preset small --seed 7
     python -m repro.apps SOR --trace sor.trace.json   # open in Perfetto
+    python -m repro.apps SOR --crash 0.5 --loss 0.05  # crash + recovery
 """
 
 from __future__ import annotations
@@ -17,6 +18,7 @@ import time
 from repro.api.runtime import DsmRuntime, RunConfig
 from repro.apps.registry import APP_ORDER, make_app
 from repro.experiments.runner import parse_label
+from repro.network.faults import FaultPlan, NodeCrash
 from repro.trace import PhaseTimeline, TraceConfig
 
 
@@ -48,6 +50,33 @@ def main(argv: list[str] | None = None) -> int:
         help="record an event trace; writes Chrome/Perfetto JSON "
         "(or a flat event log if PATH ends in .jsonl)",
     )
+    parser.add_argument(
+        "--crash",
+        type=float,
+        metavar="FRAC",
+        help="crash-stop one node at FRAC of the fault-free wall time "
+        "(a baseline run measures it first) and recover from the last "
+        "coordinated checkpoint",
+    )
+    parser.add_argument(
+        "--crash-node",
+        type=int,
+        default=3,
+        metavar="N",
+        help="which node crashes (default 3; node 0 cannot crash)",
+    )
+    parser.add_argument(
+        "--loss",
+        type=float,
+        default=0.0,
+        metavar="PROB",
+        help="datagram drop probability (default 0)",
+    )
+    parser.add_argument(
+        "--sanitizer",
+        action="store_true",
+        help="check LRC protocol invariants at every transition",
+    )
     args = parser.parse_args(argv)
 
     threads_per_node, prefetch = parse_label(args.config)
@@ -57,14 +86,36 @@ def main(argv: list[str] | None = None) -> int:
         app.prefetch_dedup = True
         if args.app == "RADIX":
             app.throttle_prefetch = True
-    config = RunConfig(
-        num_nodes=args.nodes,
-        threads_per_node=threads_per_node,
-        prefetch=prefetch,
-        history_prefetch=args.history_prefetch,
-        seed=args.seed,
-        trace=TraceConfig() if args.trace else None,
-    )
+
+    def build_config(fault_plan=None, trace=False, sanitizer=False):
+        return RunConfig(
+            num_nodes=args.nodes,
+            threads_per_node=threads_per_node,
+            prefetch=prefetch,
+            history_prefetch=args.history_prefetch,
+            seed=args.seed,
+            fault_plan=fault_plan,
+            sanitizer=sanitizer,
+            trace=TraceConfig() if trace else None,
+        )
+
+    plan = None
+    if args.crash is not None:
+        baseline = DsmRuntime(build_config()).execute(
+            make_app(args.app, args.preset), verify=False
+        )
+        crash_at = baseline.wall_time_us * args.crash
+        plan = FaultPlan(
+            drop_prob=args.loss,
+            crashes=(NodeCrash(node=args.crash_node, at_us=crash_at),),
+        )
+        print(
+            f"baseline wall time {baseline.wall_time_us / 1000:.2f} ms; "
+            f"crashing node {args.crash_node} at {crash_at / 1000:.2f} ms"
+        )
+    elif args.loss > 0:
+        plan = FaultPlan(drop_prob=args.loss)
+    config = build_config(fault_plan=plan, trace=bool(args.trace), sanitizer=args.sanitizer)
 
     started = time.time()
     runtime = DsmRuntime(config)
@@ -89,6 +140,15 @@ def main(argv: list[str] | None = None) -> int:
         f"  traffic: {report.total_messages} messages, "
         f"{report.total_kbytes:.0f} KB, {report.message_drops} drops"
     )
+    if "ft" in report.extra:
+        ft = report.extra["ft"]
+        print(
+            f"  fault tolerance: {ft['crashes']} crash(es), "
+            f"{ft['detections']} detected, {ft['recoveries']} recovered; "
+            f"{ft['checkpoints']} checkpoints "
+            f"({ft['checkpoint_bytes'] / 1024:.0f} KB), "
+            f"downtime {ft['downtime_us'] / 1000:.1f} ms"
+        )
     if report.prefetch_stats is not None:
         stats = report.prefetch_stats
         print(

@@ -177,6 +177,11 @@ class WaterNsquared(AppBase):
             acc += local
             yield Compute(self.flops_us(3 * self.n))
             yield Barrier(BARRIER_MAIN)
+            # Re-bind from the authoritative store: a barrier is a
+            # potential recovery point, and a rollback replaces the
+            # buffers (a stale local reference would see the replay's
+            # double-accumulated copy).
+            acc = self._node_acc[(node_id, _step)]
             if tid % tpn == 0:
                 num_parts = self.force_partitions(runtime)
                 part_bounds = [
@@ -204,6 +209,16 @@ class WaterNsquared(AppBase):
             yield self.pos.write_rows(lo, positions[lo:hi] + self.dt * my_forces)
             yield self.force.write_rows(lo, np.zeros((hi - lo, 3)))
             yield Barrier(BARRIER_MAIN)
+
+    def snapshot_local(self):
+        # The per-processor accumulation buffers are node-local memory,
+        # not DSM state: without checkpointing them a crash rollback
+        # would replay threads' ``acc += local`` on top of the discarded
+        # execution's values and double-count every contribution.
+        return {key: buf.copy() for key, buf in self._node_acc.items()}
+
+    def restore_local(self, snapshot) -> None:
+        self._node_acc = snapshot
 
     def verify(self, runtime) -> None:
         positions = self._initial.copy()
@@ -381,6 +396,8 @@ class WaterSpatial(AppBase):
                     acc[mol] = contribution
             yield Compute(self.flops_us(3 * len(local)))
             yield Barrier(BARRIER_MAIN)
+            # Re-bind after the barrier (recovery point) — see WATER-NSQ.
+            acc = self._node_acc[(node_id, step)]
             if tid % tpn == 0 and acc:
                 num_parts = self.force_partitions(runtime)
                 by_partition: dict[int, list[int]] = {}
@@ -417,6 +434,21 @@ class WaterSpatial(AppBase):
             chain.append(mol)
             mol = int(records[mol][6])
         return chain
+
+    def snapshot_local(self):
+        # Accumulation buffers and traversal histories are node-local
+        # memory (see WaterNsquared.snapshot_local).
+        return {
+            "acc": {
+                key: {mol: vec.copy() for mol, vec in acc.items()}
+                for key, acc in self._node_acc.items()
+            },
+            "history": {key: list(order) for key, order in self._history.items()},
+        }
+
+    def restore_local(self, snapshot) -> None:
+        self._node_acc = snapshot["acc"]
+        self._history = snapshot["history"]
 
     def verify(self, runtime) -> None:
         expected = sp_reference(self._initial, self.c) * self.steps

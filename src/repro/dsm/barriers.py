@@ -152,6 +152,21 @@ class BarrierSubsystem:
         self.dsm.wn_log.add_all(notices)
         if state.arrivals < self.dsm.num_nodes:
             return
+        # Everyone is (provably) blocked at the barrier, cluster-wide:
+        # this is the one globally quiescent instant, which makes it the
+        # consistent cut for coordinated checkpoints.
+        ft = self.dsm.ft
+        if ft is not None and ft.wants_checkpoint(barrier_id, episode):
+            yield from ft.coordinated_checkpoint(barrier_id, episode, dict(state.node_vcs))
+        yield from self._release_all(barrier_id, episode, state)
+
+    def _release_all(self, barrier_id, episode, state):
+        """Fan the release (and unseen notices) out to every node.
+
+        Factored out of :meth:`_manager_arrival` so recovery can *replay*
+        the fan-out: rolling back to the barrier cut re-runs exactly this
+        loop, re-sending every node the write notices it was missing.
+        """
         tr = self.dsm.sim.trace
         if tr.enabled:
             # The global release instant: PhaseTimeline uses these as
@@ -164,7 +179,6 @@ class BarrierSubsystem:
                 barrier=barrier_id,
                 episode=episode,
             )
-        # Everyone is here: release all nodes.
         from repro.dsm.writenotice import WriteNoticeLog
 
         for node_id, node_vc in state.node_vcs.items():
@@ -185,7 +199,16 @@ class BarrierSubsystem:
                         },
                     )
                 )
-        del self._manager[key]
+        del self._manager[(barrier_id, episode)]
+
+    def resume_release(self, barrier_id: int, episode: int):
+        """Replay the release fan-out after a rollback to this episode's cut."""
+        state = self._manager.get((barrier_id, episode))
+        if state is None or state.arrivals < self.dsm.num_nodes:
+            raise ProtocolError(
+                f"cannot resume release of incomplete episode ({barrier_id}, {episode})"
+            )
+        yield from self._release_all(barrier_id, episode, state)
 
     def handle_release(self, msg: Message):
         yield from self.dsm.occupy_dsm(self.dsm.node.costs.barrier_handler)
@@ -216,3 +239,42 @@ class BarrierSubsystem:
             )
         for wake in waiters:
             wake.succeed(None)
+
+    # -- checkpoint / recovery ----------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Barrier state at the checkpoint cut.
+
+        Waiter events are deliberately NOT captured: recovery rebuilds
+        the threads and re-registers a fresh wake event per thread via
+        :meth:`register_restored_waiter`.
+        """
+        return {
+            "episode": dict(self._episode),
+            "own_sent_upto": self._own_sent_upto,
+            "local": {key: ep.arrived for key, ep in self._local.items()},
+            "manager": {
+                key: (ms.arrivals, dict(ms.node_vcs)) for key, ms in self._manager.items()
+            },
+        }
+
+    def restore_state(self, snap: dict) -> None:
+        self._episode = dict(snap["episode"])
+        self._own_sent_upto = snap["own_sent_upto"]
+        self._local = {
+            key: _NodeEpisode(arrived=arrived) for key, arrived in snap["local"].items()
+        }
+        self._manager = {
+            key: _ManagerEpisode(arrivals=arrivals, node_vcs=dict(vcs))
+            for key, (arrivals, vcs) in snap["manager"].items()
+        }
+
+    def register_restored_waiter(self, barrier_id: int) -> Event:
+        """Re-attach a rebuilt thread to its in-progress barrier episode."""
+        key = (barrier_id, self._episode[barrier_id])
+        state = self._local.get(key)
+        if state is None:
+            raise ProtocolError(f"no in-progress barrier episode {key} to rejoin")
+        wake = Event(self.dsm.sim, name=f"barrier{barrier_id}@{self.dsm.node_id}")
+        state.waiters.append(wake)
+        return wake

@@ -59,6 +59,20 @@ class DiffStore:
     def pages(self) -> list[int]:
         return list(self._by_page)
 
+    def snapshot_state(self) -> dict:
+        # StoredDiff (and the Diff inside) is immutable: lists are
+        # copied, entries shared.
+        return {
+            "by_page": {pid: list(diffs) for pid, diffs in self._by_page.items()},
+            "flushes": self.total_flushes,
+            "bytes": self.total_diff_bytes,
+        }
+
+    def restore_state(self, snap: dict) -> None:
+        self._by_page = {pid: list(diffs) for pid, diffs in snap["by_page"].items()}
+        self.total_flushes = snap["flushes"]
+        self.total_diff_bytes = snap["bytes"]
+
     def garbage_collect_before(self, page_id: int, interval_idx: int) -> int:
         """Drop diffs every node already has; returns bytes reclaimed."""
         diffs = self._by_page.get(page_id)
@@ -95,6 +109,18 @@ class IntervalManager:
         """Advance the scalar clock past a timestamp seen at sync."""
         if lamport > self.lamport:
             self.lamport = lamport
+
+    def snapshot_state(self) -> dict:
+        return {
+            "lamport": self.lamport,
+            "dirty": set(self._dirty_pages),
+            "closed": self._closed_intervals,
+        }
+
+    def restore_state(self, snap: dict) -> None:
+        self.lamport = snap["lamport"]
+        self._dirty_pages = set(snap["dirty"])
+        self._closed_intervals = snap["closed"]
 
     def take_dirty(self) -> set[int]:
         """Return and clear the open interval's dirty-page set."""

@@ -272,3 +272,40 @@ class LockSubsystem:
             raise ProtocolError(f"lock {lock_id} granted to node with no waiters")
         state.held = True
         state.local_waiters.popleft().succeed(None)
+
+    # -- checkpoint / recovery --------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Lock state at the checkpoint cut (scalars only).
+
+        The cut is a barrier with every thread arrived, so no lock can
+        be held, waited on, or mid-handoff; a non-quiescent lock means
+        the cut is not consistent and the checkpoint must be refused.
+        """
+        from repro.errors import CheckpointError
+
+        snap: dict[int, dict] = {}
+        for lock_id, state in self._locks.items():
+            if state.held or state.local_waiters or state.pending_remote_grant is not None:
+                raise CheckpointError(
+                    f"lock {lock_id} active at the barrier cut on node {self.dsm.node_id}"
+                )
+            snap[lock_id] = {
+                "has_token": state.has_token,
+                "request_outstanding": state.request_outstanding,
+                "last_requester": state.last_requester,
+                "remote_acquires": state.remote_acquires,
+                "local_handoffs": state.local_handoffs,
+            }
+        return snap
+
+    def restore_state(self, snap: dict) -> None:
+        self._locks = {}
+        for lock_id, fields in snap.items():
+            state = LockState(lock_id)
+            state.has_token = fields["has_token"]
+            state.request_outstanding = fields["request_outstanding"]
+            state.last_requester = fields["last_requester"]
+            state.remote_acquires = fields["remote_acquires"]
+            state.local_handoffs = fields["local_handoffs"]
+            self._locks[lock_id] = state

@@ -82,3 +82,31 @@ class PageCoherence:
     def note_diffs_applied(self, proc: int, covers_through: int) -> None:
         if covers_through > self.applied_upto[proc]:
             self.applied_upto[proc] = covers_through
+
+    # -- checkpoint / recovery -------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Deep-copied coherence metadata (``fetch_event`` excluded: no
+        fetch can be in flight at a consistent cut, and events cannot
+        cross a rollback)."""
+        return {
+            "applied_upto": list(self.applied_upto),
+            "needed_upto": list(self.needed_upto),
+            "dirty": self.dirty,
+            "twin": None if self.twin is None else self.twin.copy(),
+            "write_protected": self.write_protected,
+            "byte_lamports": None if self.byte_lamports is None else self.byte_lamports.copy(),
+        }
+
+    @classmethod
+    def from_snapshot(cls, page_id: int, num_nodes: int, snap: dict) -> "PageCoherence":
+        state = cls(page_id, num_nodes)
+        state.applied_upto = list(snap["applied_upto"])
+        state.needed_upto = list(snap["needed_upto"])
+        state.dirty = snap["dirty"]
+        state.twin = None if snap["twin"] is None else snap["twin"].copy()
+        state.write_protected = snap["write_protected"]
+        state.byte_lamports = (
+            None if snap["byte_lamports"] is None else snap["byte_lamports"].copy()
+        )
+        return state

@@ -68,6 +68,10 @@ class DsmNode:
         self._next_request_id = 0
         #: optional prefetch engine (installed by the runtime when on).
         self.prefetch: Optional["PrefetchEngine"] = None
+        #: optional fault-tolerance manager (installed by the runtime);
+        #: receives heartbeat/membership messages and barrier-epoch
+        #: checkpoint opportunities.
+        self.ft = None
         # statistics
         self.faults = 0
         self.diff_requests_served = 0
@@ -113,6 +117,9 @@ class DsmNode:
         if not pages:
             return []
         new_idx = self.vc.advance_own()
+        san = self.sim.sanitizer
+        if san.enabled:
+            san.on_interval_closed(self.node_id, new_idx)
         self.intervals.lamport += 1
         lamport = self.intervals.lamport
         self._flushed_in_open.clear()
@@ -155,15 +162,23 @@ class DsmNode:
                     count=len(notices),
                     full=advance_vc,
                 )
+        san = self.sim.sanitizer
         for notice in notices:
             if notice.proc == self.node_id:
                 continue
+            if san.enabled:
+                san.on_write_notice(
+                    self.node_id, notice.proc, notice.interval_idx, notice.page_id
+                )
             # Page-filtered sets stay out of the per-proc log (see
             # WriteNoticeLog.add): they must not be forwarded by grants
             # nor advance any vector clock.
             self.wn_log.add(notice, full=advance_vc)
             if advance_vc:
+                old = self.vc[notice.proc]
                 self.vc.observe(notice.proc, notice.interval_idx)
+                if san.enabled:
+                    san.on_vc_update(self.node_id, notice.proc, old, self.vc[notice.proc])
             self.intervals.observe_lamport(notice.lamport)
             self.coherence(notice.page_id).note_write_notice(notice.proc, notice.interval_idx)
             if self.prefetch is not None:
@@ -188,6 +203,9 @@ class DsmNode:
         yield from self.node.occupy(self.node.costs.twin_create, Category.DSM)
         state.twin = self.node.pages.snapshot(page_id)
         state.dirty = True
+        san = self.sim.sanitizer
+        if san.enabled:
+            san.on_twin_created(self.node_id, page_id)
         self.intervals.record_write(page_id)
 
     # -- fault / fetch path ------------------------------------------------------
@@ -205,7 +223,12 @@ class DsmNode:
             return state.fetch_event
         fetch_done = Event(self.sim, name=f"fetch(p{page_id})@{self.node_id}")
         state.fetch_event = fetch_done
-        spawn(self.sim, self._fetch(page_id, fetch_done), name=f"fetch[{self.node_id}]")
+        spawn(
+            self.sim,
+            self._fetch(page_id, fetch_done),
+            name=f"fetch[{self.node_id}]",
+            group=f"node{self.node_id}",
+        )
         return fetch_done
 
     def _fetch(self, page_id: int, done: Event) -> Generator:
@@ -333,11 +356,16 @@ class DsmNode:
         """Apply incoming diffs in happened-before (lamport) order."""
         state = self.coherence(page_id)
         page = self.node.pages.page(page_id)
+        san = self.sim.sanitizer
         for item in sorted(stored, key=lambda s: (s.lamport, s.proc)):
             if item.covers_through <= state.applied_upto[item.proc]:
                 # Already covered (e.g. a stale prefetch-heap entry);
                 # re-applying could revert newer data.
                 continue
+            if san.enabled:
+                san.on_diff_applied(
+                    self.node_id, page_id, item.proc, item.covers_through, item.lamport
+                )
             cost = self.node.costs.diff_apply_us(item.diff.modified_bytes)
             yield from self.node.occupy(cost, Category.DSM)
             tr = self.sim.trace
@@ -406,6 +434,9 @@ class DsmNode:
             # happen atomically, so a local write racing the flush lands
             # cleanly in the *next* interval with a fresh twin.
             page = self.node.pages.page(page_id)
+            san = self.sim.sanitizer
+            if san.enabled:
+                san.on_flush(self.node_id, page_id, had_twin=state.twin is not None)
             diff = make_diff(page_id, state.twin, page)
             state.dirty = False
             state.twin = None
@@ -537,12 +568,62 @@ class DsmNode:
             yield from self.barriers.handle_arrive(msg)
         elif kind is MessageKind.BARRIER_RELEASE:
             yield from self.barriers.handle_release(msg)
+        elif kind in (MessageKind.HEARTBEAT, MessageKind.FT_DOWN, MessageKind.FT_UP):
+            if self.ft is not None:
+                yield from self.ft.handle_message(self.node_id, msg)
         elif kind.is_prefetch:
             if self.prefetch is None:
                 raise ProtocolError("prefetch message with no prefetch engine installed")
             yield from self.prefetch.dispatch(msg)
         else:  # pragma: no cover - MessageKind is closed
             raise ProtocolError(f"unhandled message kind {kind}")
+
+    # -- checkpoint / recovery ------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Deep-copy the node's full protocol state at a consistent cut.
+
+        Taken at a barrier cut (all threads cluster-wide blocked at the
+        barrier), so no fetch, flush, or diff request can be in flight;
+        the pending-request and flush-event maps are therefore not part
+        of the snapshot and are simply cleared on restore.
+        """
+        return {
+            "vc": self.vc.snapshot(),
+            "intervals": self.intervals.snapshot_state(),
+            "wn_log": self.wn_log.snapshot_state(),
+            "diff_store": self.diff_store.snapshot_state(),
+            "locks": self.locks.snapshot_state(),
+            "barriers": self.barriers.snapshot_state(),
+            "coherence": {
+                pid: state.snapshot_state() for pid, state in self._coherence.items()
+            },
+            "flushed_in_open": set(self._flushed_in_open),
+            "next_request_id": self._next_request_id,
+            "pages": self.node.pages.snapshot_all(),
+        }
+
+    def restore_state(self, snap: dict) -> None:
+        """Rewind to a :meth:`snapshot_state` cut (coordinated rollback)."""
+        self.vc.restore(snap["vc"])
+        self.intervals.restore_state(snap["intervals"])
+        self.wn_log.restore_state(snap["wn_log"])
+        self.diff_store.restore_state(snap["diff_store"])
+        self.locks.restore_state(snap["locks"])
+        self.barriers.restore_state(snap["barriers"])
+        self._coherence = {
+            pid: PageCoherence.from_snapshot(pid, self.num_nodes, page_snap)
+            for pid, page_snap in snap["coherence"].items()
+        }
+        self._flushed_in_open = set(snap["flushed_in_open"])
+        self._next_request_id = snap["next_request_id"]
+        self.node.pages.restore_all(snap["pages"])
+        # Counting stats (faults, requests served) are deliberately NOT
+        # rolled back: redone work is real work, and monotone counters
+        # keep trace correlation ids unique across the rollback.
+        # Any in-flight request/flush belongs to the discarded execution.
+        self._pending_requests.clear()
+        self._flush_events.clear()
 
     # Convenience alias used by the lock/barrier subsystems.
     def occupy_dsm(self, duration: float):

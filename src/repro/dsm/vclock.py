@@ -33,6 +33,14 @@ class VectorClock:
     def snapshot(self) -> tuple[int, ...]:
         return tuple(self._clock)
 
+    def restore(self, snapshot: tuple[int, ...]) -> None:
+        """Rewind to a checkpointed snapshot (coordinated recovery only)."""
+        if len(snapshot) != self.num_nodes:
+            raise ProtocolError(
+                f"snapshot has {len(snapshot)} components, clock has {self.num_nodes}"
+            )
+        self._clock = list(snapshot)
+
     @property
     def size_bytes(self) -> int:
         """Wire size when piggybacked on a message."""

@@ -101,6 +101,21 @@ class WriteNoticeLog:
     def total(self) -> int:
         return sum(len(known) for known in self._by_proc)
 
+    def snapshot_state(self) -> dict:
+        # WriteNotice is frozen: lists/sets are copied, entries shared.
+        return {
+            "by_proc": [list(known) for known in self._by_proc],
+            "by_page": {pid: list(ns) for pid, ns in self._by_page.items()},
+            "seen_full": set(self._seen_full),
+            "seen_page": set(self._seen_page),
+        }
+
+    def restore_state(self, snap: dict) -> None:
+        self._by_proc = [list(known) for known in snap["by_proc"]]
+        self._by_page = {pid: list(ns) for pid, ns in snap["by_page"].items()}
+        self._seen_full = set(snap["seen_full"])
+        self._seen_page = set(snap["seen_page"])
+
     @staticmethod
     def wire_bytes(notices: list[WriteNotice]) -> int:
         return WIRE_BYTES_PER_NOTICE * len(notices)

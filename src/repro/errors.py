@@ -27,8 +27,12 @@ class FaultConfigError(ReproError):
     """A fault-injection plan is malformed (bad probability, window...)."""
 
 
-class MemoryError_(ReproError):
+class PagedMemoryError(ReproError):
     """Paged-memory misuse (out-of-range address, bad allocation...)."""
+
+
+#: Deprecated alias; the trailing underscore shadowed the builtin name.
+MemoryError_ = PagedMemoryError
 
 
 class ProtocolError(ReproError):
@@ -42,3 +46,13 @@ class ProgramError(ReproError):
 
 class ConfigError(ReproError):
     """An experiment or system configuration is invalid."""
+
+
+class FailureError(ReproError):
+    """The fault-tolerance layer hit an unrecoverable condition (e.g. a
+    crash scheduled for a node that cannot fail, or a recovery attempted
+    with no checkpoint available)."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint could not be taken or restored consistently."""

@@ -1,5 +1,6 @@
 """Experiment harness: regenerate every figure and table of the paper."""
 
+from repro.experiments.crash import crash_matrix
 from repro.experiments.figures import figure1, figure2, figure3, figure4, figure5
 from repro.experiments.runner import CONFIG_LABELS, ExperimentRunner, parse_label
 from repro.experiments.tables import table1, table2
@@ -12,12 +13,14 @@ ALL_EXPERIMENTS = {
     "fig5": figure5,
     "tab1": table1,
     "tab2": table2,
+    "crash": crash_matrix,
 }
 
 __all__ = [
     "ALL_EXPERIMENTS",
     "CONFIG_LABELS",
     "ExperimentRunner",
+    "crash_matrix",
     "figure1",
     "figure2",
     "figure3",

@@ -5,6 +5,8 @@ Examples::
     python -m repro.experiments fig1
     python -m repro.experiments tab1 fig3
     python -m repro.experiments all --preset small --nodes 4
+    python -m repro.experiments --crash
+    python -m repro.experiments --crash --crash-node 5 --crash-at 0.6 --crash-loss 0.05
 """
 
 from __future__ import annotations
@@ -23,8 +25,34 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiments",
-        nargs="+",
+        nargs="*",
         help=f"experiment ids ({', '.join(ALL_EXPERIMENTS)}) or 'all'",
+    )
+    parser.add_argument(
+        "--crash",
+        action="store_true",
+        help="run the crash-recovery matrix (shorthand for the 'crash' id)",
+    )
+    parser.add_argument(
+        "--crash-node",
+        type=int,
+        default=3,
+        metavar="N",
+        help="which node crashes (default 3; node 0 cannot crash)",
+    )
+    parser.add_argument(
+        "--crash-at",
+        type=float,
+        default=0.45,
+        metavar="FRAC",
+        help="crash time as a fraction of the fault-free wall time (default 0.45)",
+    )
+    parser.add_argument(
+        "--crash-loss",
+        type=float,
+        default=0.0,
+        metavar="PROB",
+        help="datagram loss probability during the crashed run (default 0)",
     )
     parser.add_argument("--nodes", type=int, default=8, help="cluster size (default 8)")
     parser.add_argument(
@@ -46,7 +74,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    wanted = list(ALL_EXPERIMENTS) if "all" in args.experiments else args.experiments
+    wanted = list(ALL_EXPERIMENTS) if "all" in args.experiments else list(args.experiments)
+    if args.crash and "crash" not in wanted:
+        wanted.append("crash")
+    if not wanted:
+        parser.error("no experiments requested (give ids, 'all', or --crash)")
     unknown = [e for e in wanted if e not in ALL_EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiment(s): {unknown}")
@@ -58,6 +90,9 @@ def main(argv: list[str] | None = None) -> int:
         verify=not args.no_verify,
         verbose=True,
         trace_template=args.trace,
+        crash_node=args.crash_node,
+        crash_frac=args.crash_at,
+        crash_loss=args.crash_loss,
     )
     for experiment_id in wanted:
         started = time.time()

@@ -44,12 +44,21 @@ class ExperimentRunner:
         verify: bool = True,
         verbose: bool = False,
         trace_template: Optional[str] = None,
+        crash_node: int = 3,
+        crash_frac: float = 0.45,
+        crash_loss: float = 0.0,
     ) -> None:
         self.num_nodes = num_nodes
         self.preset = preset
         self.seed = seed
         self.verify = verify
         self.verbose = verbose
+        #: Crash-matrix knobs (see ``repro.experiments.crash``): which
+        #: node dies, when (as a fraction of the fault-free wall time),
+        #: and the datagram loss probability during the crashed run.
+        self.crash_node = crash_node
+        self.crash_frac = crash_frac
+        self.crash_loss = crash_loss
         #: When set, every run records a trace written to a path derived
         #: from this template: ``figure1.json`` -> ``figure1.FFT-O.json``.
         self.trace_template = trace_template

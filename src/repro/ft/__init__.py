@@ -1,0 +1,26 @@
+"""Fault tolerance for the DSM: crash-stop failures, failure detection,
+coordinated barrier-epoch checkpointing, recovery, and the protocol
+invariant sanitizer.
+
+The package layers *above* the message-level fault injection in
+:mod:`repro.network.faults`: that module loses and delays messages, this
+one loses whole machines.  See ``README.md`` (Fault tolerance) for the
+model.
+"""
+
+from repro.ft.checkpoint import ClusterCheckpoint, NodeCheckpoint
+from repro.ft.config import FtConfig
+from repro.ft.detector import FailureDetector
+from repro.ft.manager import FtManager
+from repro.ft.sanitizer import NULL_SANITIZER, NullSanitizer, ProtocolSanitizer
+
+__all__ = [
+    "ClusterCheckpoint",
+    "FailureDetector",
+    "FtConfig",
+    "FtManager",
+    "NodeCheckpoint",
+    "NULL_SANITIZER",
+    "NullSanitizer",
+    "ProtocolSanitizer",
+]

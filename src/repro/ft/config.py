@@ -1,0 +1,51 @@
+"""Configuration for the fault-tolerance layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+__all__ = ["FtConfig"]
+
+
+@dataclass(frozen=True)
+class FtConfig:
+    """Knobs for failure detection, checkpointing, and recovery.
+
+    The defaults are deliberately aggressive relative to the transport's
+    retry budget (first timeout 10 ms, exponential backoff): a heartbeat
+    every 5 ms with a 50 ms suspicion timeout detects a crash long
+    before any retransmit sequence gives up.
+    """
+
+    #: Period of each node's heartbeat datagram to the coordinator.
+    heartbeat_period_us: float = 5_000.0
+    #: Silence (no message of any kind — heartbeats piggyback on regular
+    #: traffic) after which the coordinator declares a node dead.
+    suspicion_timeout_us: float = 50_000.0
+    #: Take a coordinated checkpoint every Nth global barrier release.
+    checkpoint_every: int = 1
+    #: Delay between declaring a node dead and restarting the cluster
+    #: from the checkpoint (models reboot + rejoin).
+    restart_delay_us: float = 20_000.0
+    #: CPU cost per byte snapshotted at a checkpoint (models copying
+    #: pages/twins/diffs to stable storage).
+    checkpoint_cpu_per_byte: float = 0.0005
+    #: CPU cost per byte restored during recovery.
+    restore_cpu_per_byte: float = 0.001
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_period_us <= 0:
+            raise ConfigError(f"heartbeat period must be positive, got {self.heartbeat_period_us}")
+        if self.suspicion_timeout_us <= 2 * self.heartbeat_period_us:
+            raise ConfigError(
+                "suspicion timeout must exceed two heartbeat periods "
+                f"({self.suspicion_timeout_us} vs {self.heartbeat_period_us})"
+            )
+        if self.checkpoint_every < 1:
+            raise ConfigError(f"checkpoint_every must be >= 1, got {self.checkpoint_every}")
+        if self.restart_delay_us < 0:
+            raise ConfigError(f"restart delay must be >= 0, got {self.restart_delay_us}")
+        if self.checkpoint_cpu_per_byte < 0 or self.restore_cpu_per_byte < 0:
+            raise ConfigError("checkpoint/restore costs must be >= 0")

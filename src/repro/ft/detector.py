@@ -1,0 +1,153 @@
+"""Heartbeat-based crash-stop failure detection.
+
+Node 0 (which already hosts the barrier manager) doubles as the
+*coordinator*: every other node sends it a small unreliable heartbeat
+datagram each ``heartbeat_period_us``, and the coordinator declares a
+node dead after ``suspicion_timeout_us`` of silence.  Two refinements
+keep the detector cheap and fast:
+
+- **Piggybacking** — *any* message delivered to the coordinator counts
+  as evidence its sender is alive (hooked via ``Node.message_observer``),
+  so heartbeats only fill silences in regular traffic.
+- **Retry-exhaustion routing** — when a node's reliable transport gives
+  up on a peer (``on_give_up``), the peer is reported to the detector
+  instead of crashing the run; the coordinator treats the report as an
+  immediate suspicion rather than waiting out the silence.
+
+Membership agreement is broadcast: on declaring a death the coordinator
+sends every survivor an ``FT_DOWN`` message, and recovery closes with an
+``FT_UP``.  Each node's view of the membership is tracked per node (the
+cluster-wide agreement the recovery protocol needs); the coordinator's
+own view is authoritative for rollback decisions.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.ft.config import FtConfig
+from repro.network.message import Message, MessageKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ft.manager import FtManager
+
+__all__ = ["FailureDetector", "COORDINATOR"]
+
+#: The failure-detection coordinator (co-located with the barrier
+#: manager, which is why crashing node 0 is rejected).
+COORDINATOR = 0
+
+
+class FailureDetector:
+    """Coordinator-side liveness tracking plus per-node membership views."""
+
+    def __init__(self, ft: "FtManager", config: FtConfig) -> None:
+        self.ft = ft
+        self.config = config
+        self.sim = ft.sim
+        self.num_nodes = ft.num_nodes
+        #: Last time the coordinator heard *anything* from each node.
+        self.last_heard: dict[int, float] = {
+            n: 0.0 for n in range(self.num_nodes) if n != COORDINATOR
+        }
+        #: Nodes reported by a transport after exhausting its retries.
+        self._exhausted: set[int] = set()
+        #: Nodes the coordinator currently considers dead.
+        self.down: set[int] = set()
+        #: Per-node membership views, updated by FT_DOWN/FT_UP delivery.
+        self.views: dict[int, set[int]] = {n: set() for n in range(self.num_nodes)}
+        # statistics
+        self.heartbeats_sent = 0
+        self.suspicions = 0
+
+    # -- evidence sources -------------------------------------------------
+
+    def observe(self, dst_node: int, message: Message) -> None:
+        """``Node.message_observer`` hook: delivered traffic is liveness."""
+        if dst_node == COORDINATOR and message.src != COORDINATOR:
+            self.last_heard[message.src] = self.sim.now
+
+    def on_give_up(self, reporter: int, dst: int, message: Message) -> None:
+        """A transport exhausted its retries against ``dst``."""
+        if dst == COORDINATOR or dst in self.down:
+            return
+        self._exhausted.add(dst)
+        tr = self.sim.trace
+        if tr.enabled:
+            tr.instant(
+                self.sim.now,
+                "ft",
+                "suspicion_reported",
+                reporter,
+                suspect=dst,
+                kind=message.kind.value,
+            )
+
+    # -- coordinator processes --------------------------------------------
+
+    def heartbeat_loop(self, node_id: int):
+        """One node's heartbeat sender (cancelled when the node crashes)."""
+        network = self.ft.cluster.network
+        while self.ft.active:
+            yield self.sim.timeout(self.config.heartbeat_period_us)
+            if not self.ft.active:
+                return
+            self.heartbeats_sent += 1
+            network.send(
+                Message(
+                    src=node_id,
+                    dst=COORDINATOR,
+                    kind=MessageKind.HEARTBEAT,
+                    size_bytes=16,
+                    reliable=False,
+                )
+            )
+
+    def watch_loop(self):
+        """The coordinator's suspicion clock (never cancelled)."""
+        while self.ft.active:
+            yield self.sim.timeout(self.config.heartbeat_period_us)
+            if not self.ft.active:
+                return
+            dead = self._collect_dead()
+            if dead:
+                yield from self.ft.recover(dead)
+
+    def _collect_dead(self) -> list[int]:
+        now = self.sim.now
+        dead = []
+        for node in range(self.num_nodes):
+            if node == COORDINATOR or node in self.down:
+                continue
+            silent = now - self.last_heard[node] > self.config.suspicion_timeout_us
+            if silent or node in self._exhausted:
+                self.suspicions += 1
+                dead.append(node)
+        return dead
+
+    # -- state maintenance -------------------------------------------------
+
+    def mark_dead(self, node: int) -> None:
+        self.down.add(node)
+        self._exhausted.discard(node)
+
+    def mark_alive(self, node: int) -> None:
+        self.down.discard(node)
+        self._exhausted.discard(node)
+        if node != COORDINATOR:
+            self.last_heard[node] = self.sim.now
+
+    def reset_liveness(self) -> None:
+        """Post-rollback: every node just restarted, silence clocks reset."""
+        now = self.sim.now
+        for node in self.last_heard:
+            self.last_heard[node] = now
+        self._exhausted.clear()
+
+    # -- membership views ---------------------------------------------------
+
+    def handle_membership(self, node_id: int, msg: Message) -> None:
+        if msg.kind is MessageKind.FT_DOWN:
+            self.views[node_id].add(msg.payload["node"])
+        elif msg.kind is MessageKind.FT_UP:
+            self.views[node_id].discard(msg.payload["node"])

@@ -1,0 +1,455 @@
+"""Crash execution, coordinated checkpointing, and recovery.
+
+The :class:`FtManager` is the runtime's fault-tolerance brain.  It
+
+- executes the :class:`~repro.network.faults.NodeCrash` schedule: at the
+  crash instant the node's links go silent (``Network.mark_down``) and
+  every simulation process it owns — message handlers, in-flight
+  fetches, its scheduler, its heartbeat sender — is cancelled as a
+  group, freezing its threads mid-flight;
+- takes **coordinated checkpoints** at barrier cuts.  The barrier
+  manager calls in at the one globally quiescent instant (final arrival
+  counted, release not yet sent); the manager snapshots every node's
+  protocol state, transport state, and thread input logs into the
+  in-simulation checkpoint store;
+- drives **recovery**: on detection the coordinator announces the death
+  (``FT_DOWN``), waits out the restart delay, rolls *every* node back to
+  the last checkpoint (a new cluster incarnation fences all in-flight
+  traffic of the discarded execution), replays the barrier release
+  fan-out — which re-delivers exactly the write notices each node was
+  missing — and announces recovery (``FT_UP``).
+
+Determinism: the rollback restores protocol state byte-for-byte and
+rebuilds threads by replaying their logged inputs, so a run with a given
+``(seed, crash plan)`` is exactly reproducible, and the post-recovery
+execution computes the same application result as a fault-free run.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import copy
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.errors import CheckpointError, ConfigError, FailureError
+from repro.ft.checkpoint import ClusterCheckpoint, NodeCheckpoint
+from repro.ft.config import FtConfig
+from repro.ft.detector import COORDINATOR, FailureDetector
+from repro.metrics.counters import Category
+from repro.network.message import Message, MessageKind
+from repro.sim import spawn
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.api.runtime import DsmRuntime
+
+__all__ = ["FtManager"]
+
+#: Payload bytes of a membership announcement.
+_ANNOUNCE_BYTES = 32
+
+
+class FtManager:
+    """Owns crash injection, the checkpoint store, and recovery."""
+
+    def __init__(self, runtime: "DsmRuntime", config: FtConfig) -> None:
+        self.runtime = runtime
+        self.config = config
+        self.cluster = runtime.cluster
+        self.sim = runtime.cluster.sim
+        self.num_nodes = runtime.cluster.num_nodes
+        self.detector = FailureDetector(self, config)
+        #: Most recent coordinated checkpoint (rollback target).
+        self.checkpoint: Optional[ClusterCheckpoint] = None
+        self._barrier_count = 0
+        self._crash_time: dict[int, float] = {}
+        self._program = None
+        # run statistics (surface in RunReport.extra["ft"])
+        self.crashes = 0
+        self.detections = 0
+        self.recoveries = 0
+        self.checkpoints = 0
+        self.checkpoint_bytes = 0
+        self.downtime_us = 0.0
+        self.recovery_us = 0.0
+
+        plan = self.cluster.fault_plan
+        crash_schedule = plan.crashes if plan is not None else ()
+        for crash in crash_schedule:
+            if crash.node == COORDINATOR:
+                raise FailureError(
+                    "node 0 cannot crash: it hosts the barrier manager "
+                    "and the failure-detection coordinator"
+                )
+            if not 0 <= crash.node < self.num_nodes:
+                raise ConfigError(
+                    f"crash schedules unknown node {crash.node} "
+                    f"(cluster has {self.num_nodes})"
+                )
+        self._crash_schedule = crash_schedule
+
+        # Wire into the stack.
+        for dsm in runtime.dsm_nodes:
+            dsm.ft = self
+        coordinator = self.cluster.nodes[COORDINATOR]
+        coordinator.message_observer = (
+            lambda msg: self.detector.observe(COORDINATOR, msg)
+        )
+        for transport in self.cluster.transports:
+            reporter = transport.node.node_id
+            transport.on_give_up = (
+                lambda dst, msg, _src=reporter: self.detector.on_give_up(_src, dst, msg)
+            )
+        for scheduler in runtime.schedulers:
+            scheduler.record_values = True
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """True while any node's workload is unfinished."""
+        return any(s.finished_at is None for s in self.runtime.schedulers)
+
+    def start(self, program) -> None:
+        """Take the initial checkpoint, arm the crash schedule, and
+        spawn the detection processes.
+
+        Called by the runtime after ``setup`` and thread creation, right
+        before the schedulers start: an early crash then has a rollback
+        target (the pristine cluster).
+        """
+        self._program = program
+        self.take_initial_checkpoint()
+        for crash in self._crash_schedule:
+            self.sim.schedule(crash.at_us, self._crash_node, crash.node)
+        self._spawn_heartbeats()
+        spawn(self.sim, self.detector.watch_loop(), name="ft.watch", group="ft", daemon=True)
+
+    def _spawn_heartbeats(self) -> None:
+        for node_id in range(self.num_nodes):
+            if node_id == COORDINATOR:
+                continue
+            spawn(
+                self.sim,
+                self.detector.heartbeat_loop(node_id),
+                name=f"ft.heartbeat[{node_id}]",
+                group=f"node{node_id}",
+                daemon=True,
+            )
+
+    # -- crash execution ---------------------------------------------------
+
+    def _crash_node(self, node_id: int) -> None:
+        """The crash instant: silence the links, cancel the node's work."""
+        network = self.cluster.network
+        if not self.active or network.is_down(node_id):
+            return
+        now = self.sim.now
+        self.crashes += 1
+        self._crash_time[node_id] = now
+        network.mark_down(node_id)
+        cancelled = self.sim.cancel_group(f"node{node_id}")
+        tr = self.sim.trace
+        if tr.enabled:
+            tr.instant(
+                now, "ft", "crash", node_id, cancelled_processes=cancelled
+            )
+
+    # -- checkpointing -----------------------------------------------------
+
+    def wants_checkpoint(self, barrier_id: int, episode: int) -> bool:
+        """Barrier-manager callback at each complete global arrival."""
+        self._barrier_count += 1
+        return self._barrier_count % self.config.checkpoint_every == 0
+
+    def take_initial_checkpoint(self) -> None:
+        """Checkpoint the pristine cluster before the schedulers start.
+
+        A crash before the first barrier then rolls back to a fresh
+        start.  Taken at t=0 outside any process, so the stable-storage
+        cost is not modelled (it overlaps application startup).
+        """
+        zero_vcs = [[0] * self.num_nodes for _ in range(self.num_nodes)]
+        self.checkpoint = self._build_checkpoint("initial", -1, -1, zero_vcs)
+
+    def coordinated_checkpoint(self, barrier_id: int, episode: int, node_vcs: dict):
+        """Snapshot every node at the barrier cut (runs in the manager's
+        arrival handler, before the release fan-out).
+
+        The checkpoint is built — and installed as the rollback target —
+        *synchronously*, before its CPU cost elapses: a crash landing
+        inside the cost window must still find the new checkpoint valid,
+        because the cut it captures precedes the crash.
+        """
+        vcs = [list(node_vcs[n]) for n in range(self.num_nodes)]
+        ckpt = self._build_checkpoint("barrier", barrier_id, episode, vcs)
+        self.checkpoint = ckpt
+        self.checkpoints += 1
+        self.checkpoint_bytes += ckpt.size_bytes
+        tr = self.sim.trace
+        now = self.sim.now
+        if tr.enabled:
+            tr.instant(
+                now,
+                "ft",
+                "checkpoint",
+                COORDINATOR,
+                barrier=barrier_id,
+                episode=episode,
+                bytes=ckpt.size_bytes,
+            )
+        max_cost = 0.0
+        for node_ckpt in ckpt.nodes:
+            cost = self.config.checkpoint_cpu_per_byte * node_ckpt.size_bytes
+            if cost <= 0:
+                continue
+            node = self.cluster.nodes[node_ckpt.node_id]
+            node.breakdown.charge(Category.CHECKPOINT, cost)
+            if tr.enabled:
+                tr.slice(now, cost, "cpu", Category.CHECKPOINT.value, node_ckpt.node_id)
+            max_cost = max(max_cost, cost)
+        if max_cost > 0:
+            # Every node writes its snapshot in parallel; the barrier
+            # release waits for the slowest writer.
+            yield self.sim.timeout(max_cost)
+
+    def _build_checkpoint(
+        self, kind: str, barrier_id: int, episode: int, node_vcs: list
+    ) -> ClusterCheckpoint:
+        ckpt = ClusterCheckpoint(
+            kind=kind,
+            barrier_id=barrier_id,
+            episode=episode,
+            taken_at=self.sim.now,
+            node_vcs=node_vcs,
+            program_local=copy.deepcopy(self._program.snapshot_local()),
+        )
+        transports = self.cluster.transports
+        for node_id in range(self.num_nodes):
+            dsm = self.runtime.dsm_nodes[node_id]
+            scheduler = self.runtime.schedulers[node_id]
+            thread_logs = [
+                (
+                    t.tid,
+                    [v.copy() if isinstance(v, np.ndarray) else v for v in t.value_log],
+                )
+                for t in scheduler.threads
+            ]
+            ckpt.nodes.append(
+                NodeCheckpoint(
+                    node_id=node_id,
+                    dsm=dsm.snapshot_state(),
+                    transport=transports[node_id].snapshot_state() if transports else None,
+                    thread_logs=thread_logs,
+                )
+            )
+        return ckpt
+
+    # -- recovery ----------------------------------------------------------
+
+    def recover(self, dead: list):
+        """Detection → announcement → coordinated rollback → resume.
+
+        Runs in the coordinator's watch loop (group ``ft``, which the
+        rollback never cancels).  Several suspicions arriving in one
+        detection tick recover together in a single rollback.
+        """
+        ckpt = self.checkpoint
+        if ckpt is None:  # pragma: no cover - start() guarantees one
+            raise CheckpointError("failure detected with no checkpoint to roll back to")
+        sim = self.sim
+        network = self.cluster.network
+        tr = sim.trace
+        t_detect = sim.now
+        for node_id in dead:
+            self.detections += 1
+            self.detector.mark_dead(node_id)
+            if tr.enabled:
+                tr.instant(
+                    t_detect,
+                    "ft",
+                    "detect",
+                    COORDINATOR,
+                    suspect=node_id,
+                    latency_us=t_detect - self._crash_time.get(node_id, t_detect),
+                )
+            # Membership agreement: tell every reachable survivor.  The
+            # announcements ride the normal (unreliable-under-faults)
+            # wire; the authoritative membership lives here at the
+            # coordinator, per-node views are bookkeeping.
+            for peer in range(self.num_nodes):
+                if peer == COORDINATOR or peer == node_id:
+                    continue
+                network.send(
+                    Message(
+                        src=COORDINATOR,
+                        dst=peer,
+                        kind=MessageKind.FT_DOWN,
+                        size_bytes=_ANNOUNCE_BYTES,
+                        payload={"node": node_id},
+                        reliable=False,
+                    )
+                )
+        # Reboot + rejoin of the crashed machines.
+        yield sim.timeout(self.config.restart_delay_us)
+        t_rollback = sim.now
+        if tr.enabled:
+            tr.instant(
+                t_rollback,
+                "ft",
+                "recover",
+                COORDINATOR,
+                nodes=list(dead),
+                checkpoint=ckpt.kind,
+                barrier=ckpt.barrier_id,
+                episode=ckpt.episode,
+            )
+        self._rollback(ckpt, dead, t_rollback)
+        # The slowest node's state restore gates the resume.
+        max_cost = 0.0
+        for node_ckpt in ckpt.nodes:
+            cost = self.config.restore_cpu_per_byte * node_ckpt.size_bytes
+            if cost <= 0:
+                continue
+            node = self.cluster.nodes[node_ckpt.node_id]
+            node.breakdown.charge(Category.RECOVERY, cost)
+            self.recovery_us += cost
+            if tr.enabled:
+                tr.slice(t_rollback, cost, "cpu", Category.RECOVERY.value, node_ckpt.node_id)
+            max_cost = max(max_cost, cost)
+        if max_cost > 0:
+            yield sim.timeout(max_cost)
+        # Detection state: everyone just restarted, all silence excused.
+        self._spawn_heartbeats()
+        self.detector.reset_liveness()
+        for node_id in dead:
+            self.detector.mark_alive(node_id)
+            for peer in range(self.num_nodes):
+                if peer == COORDINATOR or peer == node_id:
+                    continue
+                network.send(
+                    Message(
+                        src=COORDINATOR,
+                        dst=peer,
+                        kind=MessageKind.FT_UP,
+                        size_bytes=_ANNOUNCE_BYTES,
+                        payload={"node": node_id},
+                        reliable=False,
+                    )
+                )
+        self.recoveries += 1
+        if ckpt.kind == "barrier":
+            # Replay the barrier release fan-out from the cut: every node
+            # re-receives exactly the write notices it was missing.
+            barriers = self.runtime.dsm_nodes[COORDINATOR].barriers
+            spawn(
+                sim,
+                barriers.resume_release(ckpt.barrier_id, ckpt.episode),
+                name="ft.resume_release",
+                group=f"node{COORDINATOR}",
+            )
+
+    def _rollback(self, ckpt: ClusterCheckpoint, dead: list, t_rollback: float) -> None:
+        """Rewind the whole cluster to the checkpoint cut (synchronous)."""
+        sim = self.sim
+        network = self.cluster.network
+        tr = sim.trace
+        # New incarnation first: anything still in flight — including
+        # deliveries scheduled for this very timestamp — belongs to the
+        # discarded execution and must be fenced out.
+        network.incarnation += 1
+        for node_id in dead:
+            network.mark_up(node_id)
+        # Silence every node's in-flight work before touching state: a
+        # cancelled handler's ``finally`` must not run protocol code
+        # against half-restored structures (two-phase, see cancel_groups).
+        sim.cancel_groups([f"node{n}" for n in range(self.num_nodes)])
+        transports = self.cluster.transports
+        sanitizer = sim.sanitizer
+        if sanitizer.enabled:
+            # Interval ceilings rewind to each node's vc at the cut as
+            # *snapshotted* — not the vcs the barrier arrivals carried: a
+            # node can close one more interval after its own arrival
+            # (serving a mid-interval flush) and before the cut.
+            sanitizer.on_rollback([list(nc.dsm["vc"]) for nc in ckpt.nodes])
+        for node_ckpt in ckpt.nodes:
+            node_id = node_ckpt.node_id
+            node = self.cluster.nodes[node_id]
+            scheduler = self.runtime.schedulers[node_id]
+            # Close the discarded threads' generators *now*, while the
+            # CPU resource they may hold is still the old one: a GC-time
+            # close would run ``occupy``'s release against the fresh
+            # (idle) resource and die noisily.
+            for stale in scheduler.threads:
+                if stale.op_continuation is not None:
+                    with contextlib.suppress(Exception):
+                        stale.op_continuation.close()
+                with contextlib.suppress(Exception):
+                    stale.body.close()
+            node.reset_cpu()
+            self.runtime.dsm_nodes[node_id].restore_state(node_ckpt.dsm)
+            if transports:
+                transports[node_id].restore_state(node_ckpt.transport)
+            if self.runtime.prefetch_engines:
+                self.runtime.prefetch_engines[node_id].reset_volatile()
+            # Downtime: the crashed machine was dead from the crash
+            # instant until this resume.  (Survivor idle between the
+            # crash and the rollback is uncharged — their schedulers
+            # were cancelled mid-measurement; see README.)
+            if node_id in self._crash_time:
+                down = t_rollback - self._crash_time[node_id]
+                node.breakdown.charge(Category.DOWNTIME, down)
+                self.downtime_us += down
+                if tr.enabled:
+                    tr.slice(
+                        self._crash_time[node_id],
+                        down,
+                        "cpu",
+                        Category.DOWNTIME.value,
+                        node_id,
+                    )
+                del self._crash_time[node_id]
+            # Rebuild the threads from fresh bodies + logged inputs.
+            threads = [
+                scheduler.rebuild_thread(
+                    tid, self._program.thread_body(self.runtime, tid), values
+                )
+                for tid, values in node_ckpt.thread_logs
+            ]
+            scheduler.restart(threads)
+        # Program-level node-local state LAST: the replays above re-ran
+        # the bodies' local mutations (double-applying accumulations);
+        # reinstalling the checkpointed copy discards those re-runs.  A
+        # fresh deep copy each time keeps the stored checkpoint pristine
+        # for a possible second rollback to the same cut.
+        self._program.restore_local(copy.deepcopy(ckpt.program_local))
+
+    # -- message plumbing --------------------------------------------------
+
+    def handle_message(self, node_id: int, msg: Message):
+        """DSM dispatch route for HEARTBEAT / FT_DOWN / FT_UP.
+
+        Heartbeat liveness is already absorbed by the coordinator's
+        ``message_observer`` before any handler runs; membership
+        announcements update the receiving node's view.
+        """
+        if msg.kind in (MessageKind.FT_DOWN, MessageKind.FT_UP):
+            self.detector.handle_membership(node_id, msg)
+        return
+        yield  # pragma: no cover - makes this a generator for dispatch
+
+    # -- reporting ---------------------------------------------------------
+
+    def summary(self) -> dict:
+        """Fault-tolerance facts for ``RunReport.extra['ft']``."""
+        return {
+            "crashes": self.crashes,
+            "detections": self.detections,
+            "recoveries": self.recoveries,
+            "checkpoints": self.checkpoints,
+            "checkpoint_bytes": self.checkpoint_bytes,
+            "heartbeats": self.detector.heartbeats_sent,
+            "downtime_us": round(self.downtime_us, 3),
+            "recovery_us": round(self.recovery_us, 3),
+        }

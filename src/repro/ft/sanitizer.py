@@ -1,0 +1,185 @@
+"""Runtime protocol-invariant sanitizer for the LRC protocol.
+
+The sanitizer is a passive observer attached to the simulator
+(``sim.sanitizer``), mirroring the ``NULL_TRACER`` pattern: the default
+is :data:`NULL_SANITIZER` whose ``enabled`` is False, so un-sanitized
+runs pay one attribute check per hook site and nothing else.  When
+enabled it asserts, at every protocol transition:
+
+- **vector-clock monotonicity** — no component of any node's vector
+  clock ever decreases;
+- **interval creation discipline** — each processor's own intervals are
+  created with consecutive indices (no gaps, no reuse);
+- **no write notice from a dead interval** — a notice may only name an
+  interval its creator has actually closed (creation happens
+  synchronously before any propagation, so this is exact in-sim);
+- **no diff applied twice** — the (node, page, proc, coverage, lamport)
+  tuple of every applied diff is globally unique per applying node;
+- **twin/diff lifecycle discipline** — a twin is never created over an
+  existing twin, and a dirty page is never flushed without one.
+
+Violations raise :class:`~repro.errors.ProtocolError` carrying a dump of
+the most recent protocol transitions for diagnosis.
+
+The sanitizer deliberately keeps *no* RNG, sends no messages, and
+charges no time, so enabling it cannot perturb a run: sanitizer-on and
+sanitizer-off runs produce bit-identical reports.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.errors import ProtocolError
+
+__all__ = ["ProtocolSanitizer", "NullSanitizer", "NULL_SANITIZER"]
+
+#: How many recent transitions the diagnostic ring buffer keeps.
+_RING_CAPACITY = 64
+
+
+class ProtocolSanitizer:
+    """Checks LRC invariants at protocol transitions; see module docs."""
+
+    enabled = True
+
+    def __init__(self, num_nodes: int) -> None:
+        self.num_nodes = num_nodes
+        #: Highest interval index each processor has *created* (closed).
+        self._created: list[int] = [0] * num_nodes
+        #: Keys of every diff application, per applying node.
+        self._applied: set[tuple[int, int, int, int, int]] = set()
+        #: Pages currently twinned, per node.
+        self._twinned: set[tuple[int, int]] = set()
+        #: Recent transitions, newest last, for the diagnostic dump.
+        self._ring: deque[str] = deque(maxlen=_RING_CAPACITY)
+        self.checks = 0
+        self.violations = 0
+
+    # -- recording -------------------------------------------------------
+
+    def note(self, node_id: int, kind: str, detail: str) -> None:
+        self._ring.append(f"node{node_id} {kind}: {detail}")
+
+    def _violate(self, node_id: int, invariant: str, detail: str) -> None:
+        self.violations += 1
+        recent = "\n    ".join(self._ring) or "<none>"
+        raise ProtocolError(
+            f"sanitizer: {invariant} violated on node {node_id}: {detail}\n"
+            f"  recent protocol transitions (oldest first):\n    {recent}"
+        )
+
+    # -- hooks -----------------------------------------------------------
+
+    def on_vc_update(self, node_id: int, proc: int, old: int, new: int) -> None:
+        self.checks += 1
+        self.note(node_id, "vc", f"proc {proc}: {old} -> {new}")
+        if new < old:
+            self._violate(
+                node_id,
+                "vector-clock monotonicity",
+                f"component {proc} moved backwards {old} -> {new}",
+            )
+
+    def on_interval_closed(self, node_id: int, index: int) -> None:
+        self.checks += 1
+        self.note(node_id, "interval", f"closed own interval {index}")
+        expected = self._created[node_id] + 1
+        if index != expected:
+            self._violate(
+                node_id,
+                "interval creation discipline",
+                f"closed interval {index}, expected {expected} "
+                f"(last created was {self._created[node_id]})",
+            )
+        self._created[node_id] = index
+
+    def on_write_notice(self, node_id: int, proc: int, interval_idx: int, page_id: int) -> None:
+        self.checks += 1
+        self.note(
+            node_id, "notice", f"page {page_id} proc {proc} interval {interval_idx}"
+        )
+        if interval_idx > self._created[proc]:
+            self._violate(
+                node_id,
+                "no write notice from a dead interval",
+                f"notice names interval {interval_idx} of proc {proc}, but only "
+                f"{self._created[proc]} intervals exist",
+            )
+
+    def on_diff_applied(
+        self, node_id: int, page_id: int, proc: int, covers_through: int, lamport: int
+    ) -> None:
+        self.checks += 1
+        key = (node_id, page_id, proc, covers_through, lamport)
+        self.note(
+            node_id,
+            "diff",
+            f"apply page {page_id} proc {proc} covers<={covers_through} lamport {lamport}",
+        )
+        if key in self._applied:
+            self._violate(
+                node_id,
+                "no diff applied twice",
+                f"diff (page {page_id}, proc {proc}, covers_through {covers_through}, "
+                f"lamport {lamport}) was already applied on this node",
+            )
+        self._applied.add(key)
+
+    def on_twin_created(self, node_id: int, page_id: int) -> None:
+        self.checks += 1
+        key = (node_id, page_id)
+        self.note(node_id, "twin", f"create twin for page {page_id}")
+        if key in self._twinned:
+            self._violate(
+                node_id,
+                "twin/diff lifecycle discipline",
+                f"twin created over an existing twin for page {page_id}",
+            )
+        self._twinned.add(key)
+
+    def on_flush(self, node_id: int, page_id: int, had_twin: bool) -> None:
+        self.checks += 1
+        key = (node_id, page_id)
+        self.note(node_id, "flush", f"flush dirty page {page_id} (twin={had_twin})")
+        if not had_twin:
+            self._violate(
+                node_id,
+                "twin/diff lifecycle discipline",
+                f"dirty page {page_id} flushed without a twin",
+            )
+        self._twinned.discard(key)
+
+    def on_twin_dropped(self, node_id: int, page_id: int) -> None:
+        self._twinned.discard((node_id, page_id))
+        self.note(node_id, "twin", f"drop twin for page {page_id}")
+
+    # -- recovery --------------------------------------------------------
+
+    def on_rollback(self, node_vcs: Optional[list] = None) -> None:
+        """Reset derived state after a coordinated rollback.
+
+        Diff applications and twins from the discarded execution are
+        forgotten; interval ceilings rewind to the checkpoint's vector
+        clocks (each proc's own component counts its created intervals).
+        """
+        self._applied.clear()
+        self._twinned.clear()
+        if node_vcs is not None:
+            for proc in range(self.num_nodes):
+                self._created[proc] = node_vcs[proc][proc]
+        self.note(-1, "rollback", f"ceilings reset to {self._created}")
+
+
+class NullSanitizer:
+    """Inert stand-in: ``enabled`` is False so hook sites skip the call."""
+
+    enabled = False
+
+    def on_rollback(self, node_vcs: Optional[list] = None) -> None:
+        pass
+
+
+#: Shared inert sanitizer attached to every new :class:`Simulator`.
+NULL_SANITIZER = NullSanitizer()

@@ -58,6 +58,11 @@ class Node:
         #: cost per asynchronous message arrival.
         self.mt_mode = False
         self._dispatch: Optional[Callable[[Message], Generator]] = None
+        #: Optional hook invoked synchronously for every message arriving
+        #: at this node, before any handler runs.  The failure detector
+        #: piggybacks on it: any delivered traffic proves the sender was
+        #: recently alive, so explicit heartbeats only fill silences.
+        self.message_observer: Optional[Callable[[Message], None]] = None
         #: Reliable transport layer (installed by the cluster when on).
         #: With it, reliable protocol messages become tracked datagrams:
         #: retransmitted on timeout, acked and deduplicated on receipt.
@@ -66,6 +71,17 @@ class Node:
 
     def install_transport(self, transport: "ReliableTransport") -> None:
         self.transport = transport
+
+    def reset_cpu(self) -> None:
+        """Replace the CPU resource (crash rollback).
+
+        Cancelled handlers/threads may have left acquisitions or queued
+        waiters behind; a fresh resource discards them wholesale instead
+        of unwinding the queue entry by entry.
+        """
+        from repro.sim import Resource
+
+        self.cpu = Resource(self.sim, capacity=1, name=f"cpu[{self.node_id}]")
 
     # -- CPU charging -----------------------------------------------------
 
@@ -115,7 +131,14 @@ class Node:
         return self.network.send(message)
 
     def _on_message(self, message: Message) -> None:
-        spawn(self.sim, self._handle(message), name=f"handler[{self.node_id}]")
+        if self.message_observer is not None:
+            self.message_observer(message)
+        spawn(
+            self.sim,
+            self._handle(message),
+            name=f"handler[{self.node_id}]",
+            group=f"node{self.node_id}",
+        )
 
     def _handle(self, message: Message) -> Generator[Event, Any, None]:
         recv_cost = self.costs.msg_recv_cpu

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import MemoryError_
+from repro.errors import PagedMemoryError
 
 __all__ = ["Segment", "SharedAddressSpace"]
 
@@ -31,7 +31,7 @@ class Segment:
     def addr(self, offset: int) -> int:
         """Global address of a byte offset within the segment."""
         if not 0 <= offset < self.nbytes:
-            raise MemoryError_(f"offset {offset} outside segment {self.name!r} ({self.nbytes}B)")
+            raise PagedMemoryError(f"offset {offset} outside segment {self.name!r} ({self.nbytes}B)")
         return self.base + offset
 
 
@@ -40,7 +40,7 @@ class SharedAddressSpace:
 
     def __init__(self, page_size: int) -> None:
         if page_size <= 0:
-            raise MemoryError_(f"page size must be positive, got {page_size}")
+            raise PagedMemoryError(f"page size must be positive, got {page_size}")
         self.page_size = page_size
         self._next = 0
         self._segments: dict[str, Segment] = {}
@@ -61,9 +61,9 @@ class SharedAddressSpace:
         non-contiguous layouts that straddle page boundaries.
         """
         if nbytes <= 0:
-            raise MemoryError_(f"allocation must be positive, got {nbytes}")
+            raise PagedMemoryError(f"allocation must be positive, got {nbytes}")
         if name in self._segments:
-            raise MemoryError_(f"segment {name!r} already allocated")
+            raise PagedMemoryError(f"segment {name!r} already allocated")
         base = self._next
         if page_aligned and base % self.page_size:
             base += self.page_size - base % self.page_size
@@ -74,7 +74,7 @@ class SharedAddressSpace:
 
     def segment(self, name: str) -> Segment:
         if name not in self._segments:
-            raise MemoryError_(f"unknown segment {name!r}")
+            raise PagedMemoryError(f"unknown segment {name!r}")
         return self._segments[name]
 
     def segments(self) -> list[Segment]:
@@ -82,5 +82,5 @@ class SharedAddressSpace:
 
     def page_of(self, addr: int) -> int:
         if not 0 <= addr < max(self._next, 1):
-            raise MemoryError_(f"address {addr} outside allocated space [0, {self._next})")
+            raise PagedMemoryError(f"address {addr} outside allocated space [0, {self._next})")
         return addr // self.page_size

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import MemoryError_
+from repro.errors import PagedMemoryError
 
 __all__ = ["Diff", "make_diff", "apply_diff"]
 
@@ -62,9 +62,9 @@ def make_diff(page_id: int, twin: np.ndarray, current: np.ndarray) -> Diff:
     writes into a torn word.
     """
     if twin.shape != current.shape:
-        raise MemoryError_("twin and page must have identical shapes")
+        raise PagedMemoryError("twin and page must have identical shapes")
     if len(twin) % 8:
-        raise MemoryError_("pages must be a whole number of 8-byte words")
+        raise PagedMemoryError("pages must be a whole number of 8-byte words")
     changed_words = twin.view(np.uint64) != current.view(np.uint64)
     if not changed_words.any():
         return Diff(page_id)
@@ -83,7 +83,7 @@ def apply_diff(page: np.ndarray, diff: Diff) -> None:
     """Apply ``diff`` to ``page`` in place."""
     for offset, data in diff.runs:
         if offset < 0 or offset + len(data) > len(page):
-            raise MemoryError_(
+            raise PagedMemoryError(
                 f"diff run [{offset}, {offset + len(data)}) outside page of {len(page)} bytes"
             )
         page[offset : offset + len(data)] = data

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import MemoryError_
+from repro.errors import PagedMemoryError
 
 __all__ = ["PageStore"]
 
@@ -25,7 +25,7 @@ class PageStore:
 
     def __init__(self, page_size: int) -> None:
         if page_size <= 0 or page_size % 8 != 0:
-            raise MemoryError_(f"page size must be a positive multiple of 8, got {page_size}")
+            raise PagedMemoryError(f"page size must be a positive multiple of 8, got {page_size}")
         self.page_size = page_size
         self._pages: dict[int, np.ndarray] = {}
 
@@ -39,7 +39,7 @@ class PageStore:
     def page(self, page_id: int) -> np.ndarray:
         """The mutable contents of ``page_id`` (created zeroed on demand)."""
         if page_id < 0:
-            raise MemoryError_(f"negative page id {page_id}")
+            raise PagedMemoryError(f"negative page id {page_id}")
         existing = self._pages.get(page_id)
         if existing is None:
             existing = np.zeros(self.page_size, dtype=np.uint8)
@@ -49,6 +49,14 @@ class PageStore:
     def snapshot(self, page_id: int) -> np.ndarray:
         """An independent copy of the page (used to make twins)."""
         return self.page(page_id).copy()
+
+    def snapshot_all(self) -> dict[int, np.ndarray]:
+        """Independent copies of every materialized page (checkpointing)."""
+        return {pid: arr.copy() for pid, arr in self._pages.items()}
+
+    def restore_all(self, snapshot: dict[int, np.ndarray]) -> None:
+        """Replace all contents from a :meth:`snapshot_all` result."""
+        self._pages = {pid: arr.copy() for pid, arr in snapshot.items()}
 
     # -- byte-granularity region access ----------------------------------
 
@@ -88,4 +96,4 @@ class PageStore:
     @staticmethod
     def _check_range(addr: int, nbytes: int) -> None:
         if addr < 0 or nbytes < 0:
-            raise MemoryError_(f"bad region addr={addr} nbytes={nbytes}")
+            raise PagedMemoryError(f"bad region addr={addr} nbytes={nbytes}")

@@ -25,6 +25,11 @@ class Category(str, Enum):
     MT = "mt_overhead"
     MEMORY_IDLE = "memory_idle"
     SYNC_IDLE = "sync_idle"
+    # Fault-tolerance categories (repro.ft): all zero unless FT is on.
+    CHECKPOINT = "checkpoint"
+    RECOVERY = "recovery"
+    #: Wall time a crashed node spent dead (crash -> restart); idle-like.
+    DOWNTIME = "downtime"
 
 
 class StallKind(str, Enum):
@@ -60,6 +65,8 @@ class TimeBreakdown:
             + self.times[Category.DSM]
             + self.times[Category.PREFETCH]
             + self.times[Category.MT]
+            + self.times[Category.CHECKPOINT]
+            + self.times[Category.RECOVERY]
         )
 
     @property
@@ -96,6 +103,8 @@ class EventCounters:
     transport_timeouts: int = 0
     acks_sent: int = 0
     duplicates_suppressed: int = 0
+    #: Reliable messages the transport abandoned after max_retries.
+    retries_exhausted: int = 0
     # Thread run lengths: busy time between consecutive long-latency events.
     run_lengths_sum: float = 0.0
     run_lengths_count: int = 0

@@ -40,7 +40,7 @@ from repro.network.message import Message
 from repro.network.network import Network
 from repro.sim import Simulator
 
-__all__ = ["LinkDegradation", "NodeStall", "FaultPlan", "FaultyNetwork"]
+__all__ = ["LinkDegradation", "NodeStall", "NodeCrash", "FaultPlan", "FaultyNetwork"]
 
 
 def _check_window(what: str, start_us: float, end_us: float) -> None:
@@ -126,6 +126,29 @@ class NodeStall:
 
 
 @dataclass(frozen=True)
+class NodeCrash:
+    """A scheduled crash-stop failure of one node.
+
+    At ``at_us`` the node's links go silent, its in-flight simulation
+    processes are cancelled, and its threads freeze.  Recovery (the
+    :mod:`repro.ft` layer) later rolls the cluster back to the last
+    coordinated checkpoint and resumes.  Node 0 cannot crash: it hosts
+    the barrier manager and the failure-detection coordinator (the
+    paper's platform has the same asymmetry — the manager workstation is
+    the trusted base).
+    """
+
+    node: int
+    at_us: float
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise FaultConfigError(f"crash node id must be >= 0, got {self.node}")
+        if self.at_us <= 0:
+            raise FaultConfigError(f"crash time must be > 0, got {self.at_us}")
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """Everything the fault injector may do to traffic, in one place."""
 
@@ -139,6 +162,9 @@ class FaultPlan:
     jitter_us: float = 0.0
     degradations: tuple[LinkDegradation, ...] = ()
     stalls: tuple[NodeStall, ...] = ()
+    #: Crash-stop failures, executed by the repro.ft layer (the network
+    #: only carries the schedule; a plan with crashes auto-enables FT).
+    crashes: tuple[NodeCrash, ...] = ()
 
     def __post_init__(self) -> None:
         _check_prob("drop_prob", self.drop_prob)
@@ -150,12 +176,16 @@ class FaultPlan:
             raise FaultConfigError("reorder_prob > 0 requires jitter_us > 0")
         object.__setattr__(self, "degradations", tuple(self.degradations))
         object.__setattr__(self, "stalls", tuple(self.stalls))
+        object.__setattr__(self, "crashes", tuple(self.crashes))
         for item in self.degradations:
             if not isinstance(item, LinkDegradation):
                 raise FaultConfigError(f"not a LinkDegradation: {item!r}")
         for item in self.stalls:
             if not isinstance(item, NodeStall):
                 raise FaultConfigError(f"not a NodeStall: {item!r}")
+        for item in self.crashes:
+            if not isinstance(item, NodeCrash):
+                raise FaultConfigError(f"not a NodeCrash: {item!r}")
 
     @property
     def is_noop(self) -> bool:
@@ -165,6 +195,7 @@ class FaultPlan:
             and self.reorder_prob == 0.0
             and not self.degradations
             and not self.stalls
+            and not self.crashes
         )
 
     def stall_hold_us(self, node: int, now: float) -> float:
@@ -206,6 +237,7 @@ class FaultyNetwork(Network):
 
     def send(self, message: Message) -> bool:
         self._check_destination(message)
+        message.incarnation = self.incarnation
         plan = self.plan
         now = self.sim.now
         if not message.reliable and plan.drop_prob > 0 and self._rng.random() < plan.drop_prob:

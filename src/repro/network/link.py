@@ -85,7 +85,7 @@ class Link:
         self.messages_dropped = 0
         self.bytes_sent = 0
         self.busy_time = 0.0
-        spawn(sim, self._transmitter(), name=f"link({name})")
+        spawn(sim, self._transmitter(), name=f"link({name})", daemon=True)
 
     @property
     def queued_bytes(self) -> int:

@@ -37,6 +37,11 @@ class MessageKind(str, Enum):
     PREFETCH_REPLY = "prefetch_reply"
     #: Transport-level acknowledgement (see repro.network.transport).
     ACK = "ack"
+    #: Failure-detector liveness datagram (unreliable, see repro.ft).
+    HEARTBEAT = "heartbeat"
+    #: Coordinator's membership announcements (reliable).
+    FT_DOWN = "ft_down"
+    FT_UP = "ft_up"
 
     @property
     def is_prefetch(self) -> bool:
@@ -60,6 +65,10 @@ class Message:
             (``seq >= 0``) and reliability comes from retransmission.
         seq: transport sequence number; ``-1`` for untracked datagrams
             (prefetch traffic, acks, magically reliable messages).
+        incarnation: the cluster incarnation the message was sent in,
+            stamped by the network at send time.  Recovery bumps the
+            cluster incarnation; deliveries from an older incarnation
+            (in-flight traffic of a discarded execution) are dropped.
     """
 
     src: int
@@ -69,6 +78,7 @@ class Message:
     payload: dict[str, Any] = field(default_factory=dict)
     reliable: bool = True
     seq: int = -1
+    incarnation: int = 0
     msg_id: int = field(default_factory=lambda: next(_message_ids))
     sent_at: float = -1.0
     delivered_at: float = -1.0
@@ -94,6 +104,7 @@ class Message:
             payload=self.payload,
             reliable=self.reliable,
             seq=self.seq,
+            incarnation=self.incarnation,
         )
 
     @property

@@ -40,6 +40,12 @@ class Network:
         self.link_config = link_config or LinkConfig()
         self.stats = TrafficStats()
         self._handlers: dict[int, Callable[[Message], None]] = {}
+        #: Cluster incarnation: bumped by crash recovery.  Messages are
+        #: stamped at send time; deliveries from an older incarnation
+        #: (in-flight traffic of a rolled-back execution) are dropped.
+        self.incarnation = 0
+        #: Nodes currently crashed: their links are silent both ways.
+        self._down: set[int] = set()
         self.switch = Switch(
             sim,
             num_nodes,
@@ -71,7 +77,22 @@ class Network:
         a real datagram network.
         """
         self._check_destination(message)
+        message.incarnation = self.incarnation
         return self._inject(message)
+
+    # -- node up/down state ------------------------------------------------
+
+    def mark_down(self, node_id: int) -> None:
+        """Silence a node's links in both directions (crash-stop)."""
+        if not 0 <= node_id < self.num_nodes:
+            raise NetworkError(f"unknown node {node_id}")
+        self._down.add(node_id)
+
+    def mark_up(self, node_id: int) -> None:
+        self._down.discard(node_id)
+
+    def is_down(self, node_id: int) -> bool:
+        return node_id in self._down
 
     def _check_destination(self, message: Message) -> None:
         if message.dst not in self._handlers:
@@ -131,6 +152,28 @@ class Network:
             )
 
     def _deliver(self, message: Message) -> None:
+        if (
+            message.incarnation != self.incarnation
+            or message.src in self._down
+            or message.dst in self._down
+        ):
+            # Traffic from a rolled-back incarnation, or touching a
+            # crashed node: the wire eats it silently.
+            reason = "stale" if message.incarnation != self.incarnation else "down"
+            self.stats.record_drop(message)
+            tr = self.sim.trace
+            if tr.enabled:
+                tr.instant(
+                    self.sim.now,
+                    "network",
+                    "msg_drop",
+                    message.src,
+                    kind=message.kind.value,
+                    dst=message.dst,
+                    at=reason,
+                    msg=f"m{message.msg_id}",
+                )
+            return
         message.delivered_at = self.sim.now
         self.stats.record_delivery(message)
         tr = self.sim.trace

@@ -9,7 +9,9 @@ layer.  One :class:`ReliableTransport` per node:
   (sender, destination) sequence number and goes out as a droppable
   datagram; a timer retransmits it with exponential backoff plus
   deterministic jitter until the destination acknowledges, up to a
-  bounded retry count (then :class:`~repro.errors.TransportError`);
+  bounded retry count (then the message is abandoned: the give-up is
+  counted in :class:`TransportStats` and reported to ``on_give_up`` so
+  a failure detector can suspect the peer);
 - **receiver side** — every tracked datagram is acknowledged (acks are
   themselves unreliable: a lost ack just provokes a retransmission),
   and duplicates — from retransmission races or injected faults — are
@@ -33,7 +35,7 @@ from typing import TYPE_CHECKING, Generator
 
 import numpy as np
 
-from repro.errors import ConfigError, TransportError
+from repro.errors import ConfigError
 from repro.network.message import Message, MessageKind
 from repro.metrics.counters import Category
 from repro.sim import spawn
@@ -62,7 +64,7 @@ class TransportConfig:
     timeout_us: float = 10_000.0
     #: Multiplier applied to the timeout after every expiry.
     backoff: float = 2.0
-    #: Retransmissions per message before giving up with TransportError.
+    #: Retransmissions per message before the transport gives up on it.
     max_retries: int = 10
     #: Timeout jitter: each timer is stretched by up to this fraction,
     #: drawn from the experiment's seeded RNG (decorrelates senders).
@@ -89,6 +91,11 @@ class TransportStats:
     acks_sent: int = 0
     acks_received: int = 0
     duplicates_suppressed: int = 0
+    #: Messages abandoned after max_retries, by message kind.  The
+    #: transport no longer raises out of the sim loop on exhaustion: it
+    #: records the give-up here and notifies ``on_give_up`` (the failure
+    #: detector, when FT is on) so the peer can be suspected.
+    retries_exhausted: dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -137,6 +144,13 @@ class ReliableTransport:
         self._next_seq: dict[int, int] = {}  # destination -> next seq
         self._pending: dict[tuple[int, int], _Pending] = {}  # (dst, seq) -> state
         self._windows: dict[int, _ReceiveWindow] = {}  # source -> dedup state
+        #: Source of timer epochs.  Transport-wide and monotonic — never
+        #: rolled back — so timers armed before a crash rollback can
+        #: never match a pending restored after it.
+        self._timer_serial = 0
+        #: Called as ``on_give_up(dst, message)`` when retries run out
+        #: (wired to the failure detector's suspicion path under FT).
+        self.on_give_up = None
 
     # -- sender side -------------------------------------------------------
 
@@ -164,7 +178,8 @@ class ReliableTransport:
         return base * jitter
 
     def _arm_timer(self, dst: int, seq: int, pending: _Pending) -> None:
-        pending.epoch += 1
+        self._timer_serial += 1
+        pending.epoch = self._timer_serial
         self.sim.schedule(
             self._timeout_us(pending.attempts), self._on_timeout, dst, seq, pending.epoch
         )
@@ -188,17 +203,40 @@ class ReliableTransport:
                 kind=pending.message.kind.value,
             )
         if pending.attempts > self.config.max_retries:
+            # Give up gracefully: the message is abandoned, the give-up
+            # is recorded, and the peer is reported as suspect.  Raising
+            # here would unwind the whole simulation out of a timer
+            # callback; a dead peer is a liveness problem for the
+            # failure detector (or the deadlock watchdog), not a crash.
             del self._pending[(dst, seq)]
             message = pending.message
-            raise TransportError(
-                f"node {self.node.node_id}: {message.kind.value} seq {seq} to node {dst} "
-                f"unacknowledged after {pending.attempts} attempts"
-            )
+            kind = message.kind.value
+            self.stats.retries_exhausted[kind] = self.stats.retries_exhausted.get(kind, 0) + 1
+            self.node.events.retries_exhausted += 1
+            if tr.enabled:
+                tr.instant(
+                    self.sim.now,
+                    "transport",
+                    "retries_exhausted",
+                    self.node.node_id,
+                    dst=dst,
+                    seq=seq,
+                    attempts=pending.attempts,
+                    kind=kind,
+                )
+            if self.on_give_up is not None:
+                self.on_give_up(dst, message)
+            return
         pending.attempts += 1
         # Re-arm before the resend process runs: a retransmission stuck
         # behind a busy CPU must still be covered by a live timer.
         self._arm_timer(dst, seq, pending)
-        spawn(self.sim, self._retransmit(dst, seq), name=f"rexmit[{self.node.node_id}]")
+        spawn(
+            self.sim,
+            self._retransmit(dst, seq),
+            name=f"rexmit[{self.node.node_id}]",
+            group=f"node{self.node.node_id}",
+        )
 
     def _retransmit(self, dst: int, seq: int) -> Generator:
         pending = self._pending.get((dst, seq))
@@ -280,3 +318,42 @@ class ReliableTransport:
     def _on_ack(self, message: Message) -> None:
         self.stats.acks_received += 1
         self._pending.pop((message.src, message.payload["seq"]), None)
+
+    # -- checkpoint/recovery ----------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Copy of the sequencing state for a coordinated checkpoint.
+
+        The send windows (next_seq), unacked pendings and receive
+        windows are cut at the same instant, so they are mutually
+        consistent: a restored pending whose original datagram did
+        arrive pre-crash is suppressed by the restored receive window at
+        its destination and simply re-acked.
+        """
+        return {
+            "next_seq": dict(self._next_seq),
+            "pending": {
+                key: (state.message, state.attempts) for key, state in self._pending.items()
+            },
+            "windows": {
+                src: (window.upto, set(window.above)) for src, window in self._windows.items()
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a snapshot and re-arm a timer per unacked message.
+
+        Timer epochs come from ``_timer_serial``, which is *not* rolled
+        back: any timer armed before the rollback can never match a
+        restored pending.
+        """
+        self._next_seq = dict(state["next_seq"])
+        self._windows = {
+            src: _ReceiveWindow(upto=upto, above=set(above))
+            for src, (upto, above) in state["windows"].items()
+        }
+        self._pending = {}
+        for (dst, seq), (message, attempts) in state["pending"].items():
+            pending = _Pending(message, attempts=attempts)
+            self._pending[(dst, seq)] = pending
+            self._arm_timer(dst, seq, pending)

@@ -109,6 +109,21 @@ class PrefetchEngine:
         self._cooloff_until = -1.0
         dsm.prefetch = self
 
+    def reset_volatile(self) -> None:
+        """Drop all transient state at a crash rollback.
+
+        Cached diffs, in-flight requests and throttle state all describe
+        the discarded execution; statistics stay (monotone, like every
+        other counter).  The dedup ledger is cleared too: the replayed
+        epoch re-issues its prefetch ops and must not find them 'done'.
+        """
+        self._cache.clear()
+        self._records.clear()
+        self._pending.clear()
+        self._dedup_done.clear()
+        self._drop_streak = 0
+        self._cooloff_until = -1.0
+
     # -- thread-facing op ----------------------------------------------------
 
     def op_prefetch(self, op: Prefetch) -> Generator:

@@ -187,6 +187,7 @@ class Simulator:
     """
 
     def __init__(self) -> None:
+        from repro.ft.sanitizer import NULL_SANITIZER  # deferred: keep sim dep-free
         from repro.trace.tracer import NULL_TRACER  # deferred: keep sim dep-free
 
         self._now: float = 0.0
@@ -194,6 +195,11 @@ class Simulator:
         self._sequence = itertools.count()
         self._handled = 0
         self.trace = NULL_TRACER
+        self.sanitizer = NULL_SANITIZER
+        #: Live (spawned, not yet finished/cancelled) processes, in spawn
+        #: order.  Powers group cancellation and the deadlock watchdog.
+        self._processes: dict[int, Any] = {}
+        self._process_ids = itertools.count()
 
     @property
     def now(self) -> float:
@@ -227,6 +233,45 @@ class Simulator:
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
 
+    # -- process registry ------------------------------------------------
+
+    def _register_process(self, process: Any) -> int:
+        handle = next(self._process_ids)
+        self._processes[handle] = process
+        return handle
+
+    def _unregister_process(self, handle: int) -> None:
+        self._processes.pop(handle, None)
+
+    def live_processes(self, group: Optional[str] = None) -> list:
+        """Live processes, optionally restricted to one spawn group."""
+        procs = list(self._processes.values())
+        if group is None:
+            return procs
+        return [p for p in procs if p.group == group]
+
+    def cancel_group(self, group: str) -> int:
+        """Cancel every live process in ``group``; returns the count."""
+        return self.cancel_groups((group,))
+
+    def cancel_groups(self, groups: Iterable[str]) -> int:
+        """Cancel every live process in any of ``groups``, two-phase.
+
+        All victims are *marked* cancelled first, then every generator
+        is closed (in spawn order).  The split matters: a ``finally``
+        block in one victim may synchronously fire events that other
+        victims wait on; marking first makes their ``_resume`` a no-op,
+        so no protocol code runs mid-teardown.  Closing happens *now*,
+        at a controlled point, instead of at an arbitrary future GC.
+        """
+        wanted = set(groups)
+        victims = [p for p in self._processes.values() if p.group in wanted]
+        for process in victims:
+            process._mark_cancelled()
+        for process in victims:
+            process._close_generator()
+        return len(victims)
+
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Drain the event heap.
 
@@ -252,4 +297,16 @@ class Simulator:
             count += 1
             if max_events is not None and count >= max_events:
                 raise SimulationError(f"exceeded max_events={max_events}; likely a livelock")
+        if not self._heap:
+            # Liveness watchdog: the heap drained but processes are still
+            # blocked on events nobody can trigger any more — a deadlock.
+            # Daemon processes (perpetual service loops) don't count.
+            stuck = [p for p in self._processes.values() if not p.daemon]
+            if stuck:
+                waiters = ", ".join(
+                    f"{p.name!r} waiting on {p.waiting_on_name()}" for p in stuck
+                )
+                raise SimulationError(
+                    f"deadlock: event queue empty with blocked processes: {waiters}"
+                )
         return self._now

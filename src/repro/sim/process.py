@@ -17,10 +17,16 @@ Example::
     proc = spawn(sim, worker(sim))
     sim.run()
     assert proc.value == "done"
+
+Processes register with the simulator while alive, so the kernel can
+(a) detect deadlock — every process blocked with an empty event heap —
+and (b) cancel whole *groups* at once, which the fault-tolerance layer
+uses to silence a crashed node's in-flight work.
 """
 
 from __future__ import annotations
 
+import contextlib
 from typing import Any, Generator
 
 from repro.errors import SimulationError
@@ -34,20 +40,50 @@ ProcessGenerator = Generator[Event, Any, Any]
 class Process(Event):
     """Wraps a generator; succeeds with the generator's return value."""
 
-    def __init__(self, sim: Simulator, generator: ProcessGenerator, name: str = "") -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        generator: ProcessGenerator,
+        name: str = "",
+        group: str = "",
+        daemon: bool = False,
+    ) -> None:
         super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
         self._generator = generator
         self._waiting_on: Event | None = None
+        self._cancelled = False
+        #: Cancellation group (e.g. ``node3`` for everything a crash of
+        #: node 3 must silence); empty string means ungrouped.
+        self.group = group
+        #: Daemon processes (infinite service loops, e.g. link
+        #: transmitters) are expected to outlive the workload and do not
+        #: count as deadlocked when the event heap drains.
+        self.daemon = daemon
+        self._handle = sim._register_process(self)
         # Start on the next scheduler tick so the creator finishes its
         # own setup first (matches SimPy semantics).
         sim.schedule(0.0, self._resume, None, None)
 
     @property
     def is_alive(self) -> bool:
-        return not self.triggered
+        return not self.triggered and not self._cancelled
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def waiting_on_name(self) -> str:
+        """Human-readable description of what blocks this process."""
+        if self._waiting_on is None:
+            return "<scheduler tick>"
+        return self._waiting_on.name or type(self._waiting_on).__name__
+
+    def _dispatch(self) -> None:
+        self.sim._unregister_process(self._handle)
+        super()._dispatch()
 
     def _resume(self, value: Any, exception: BaseException | None) -> None:
-        if self.triggered:
+        if self.triggered or self._cancelled:
             return
         try:
             if exception is not None:
@@ -63,6 +99,7 @@ class Process(Event):
             if self._callbacks:
                 self.fail(exc)
                 return
+            self.sim._unregister_process(self._handle)
             raise
         if not isinstance(target, Event):
             self.fail(
@@ -88,7 +125,40 @@ class Process(Event):
         exc = exception if exception is not None else SimulationError("interrupted")
         self.sim.schedule(0.0, self._resume, None, exc)
 
+    def cancel(self) -> None:
+        """Stop the process without triggering it as an event.
 
-def spawn(sim: Simulator, generator: ProcessGenerator, name: str = "") -> Process:
+        The generator is closed *now* so its ``finally`` blocks run at a
+        deterministic point; any callbacks those blocks fire land on a
+        process already marked cancelled, whose ``_resume`` is a no-op.
+        The process never succeeds nor fails — waiters are abandoned, so
+        cancellation is reserved for teardown paths (crash rollback)
+        where the waiters are being discarded too.  Group teardown uses
+        the two split phases directly (see ``Simulator.cancel_groups``).
+        """
+        self._mark_cancelled()
+        self._close_generator()
+
+    def _mark_cancelled(self) -> None:
+        if self.triggered or self._cancelled:
+            return
+        self._cancelled = True
+        self._waiting_on = None
+        self.sim._unregister_process(self._handle)
+
+    def _close_generator(self) -> None:
+        if not self._cancelled:
+            return
+        with contextlib.suppress(Exception):
+            self._generator.close()
+
+
+def spawn(
+    sim: Simulator,
+    generator: ProcessGenerator,
+    name: str = "",
+    group: str = "",
+    daemon: bool = False,
+) -> Process:
     """Create and start a :class:`Process` from a generator."""
-    return Process(sim, generator, name=name)
+    return Process(sim, generator, name=name, group=group, daemon=daemon)

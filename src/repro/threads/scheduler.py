@@ -88,12 +88,18 @@ class NodeScheduler:
         self.prefetch: Optional["PrefetchEngine"] = None
         #: optional runtime-driven prefetcher (Bianchini-style ablation).
         self.history = None
+        #: Log every value sent into thread bodies (fault tolerance on):
+        #: the logs are what checkpointing a generator-based thread means.
+        self.record_values = False
         self._last_run: Optional[DsmThread] = None
         self._ready_signal: Optional[Event] = None
         self._last_woken: Optional[DsmThread] = None
         self._rr = 0
         self.finished_at: Optional[float] = None
         self.done_event: Optional[Event] = None
+        #: Trace stall spans currently open, as (name, tid) pairs, so a
+        #: crash rollback can close the spans its cancellations orphan.
+        self._open_stalls: list[tuple[str, int]] = []
 
     # -- setup -------------------------------------------------------------
 
@@ -111,9 +117,35 @@ class NodeScheduler:
             raise ProgramError(f"node {self.node.node_id} has no threads")
         self.node.mt_mode = len(self.threads) > 1
         self.done_event = spawn(
-            self.node.sim, self._main(), name=f"sched[{self.node.node_id}]"
+            self.node.sim,
+            self._main(),
+            name=f"sched[{self.node.node_id}]",
+            group=f"node{self.node.node_id}",
         )
         return self.done_event
+
+    def restart(self, threads: list[DsmThread]) -> Event:
+        """Replace the thread set and spawn a fresh scheduler process.
+
+        Used by crash recovery after the old scheduler process (and its
+        threads) were cancelled: the rebuilt threads take over and a new
+        ``done_event`` supersedes the abandoned one.
+        """
+        tr = self.node.sim.trace
+        if tr.enabled:
+            # Close the stall spans the discarded threads left open
+            # (their wake callbacks will never fire), so exported
+            # traces keep balanced begin/end pairs.
+            for name, tid in self._open_stalls:
+                tr.end(self.node.sim.now, "sched", name, self.node.node_id, tid=tid)
+        self._open_stalls.clear()
+        self.threads = threads
+        self._last_run = None
+        self._ready_signal = None
+        self._last_woken = None
+        self._rr = 0
+        self.finished_at = None
+        return self.start()
 
     @property
     def local_thread_count(self) -> int:
@@ -205,6 +237,7 @@ class NodeScheduler:
                 self.node.node_id,
                 tid=thread.tid,
             )
+            self._open_stalls.append((f"stall:{request.kind.value}", thread.tid))
 
         def on_wake(_event: Event) -> None:
             started = thread.block_start
@@ -218,6 +251,7 @@ class NodeScheduler:
                     self.node.node_id,
                     tid=thread.tid,
                 )
+                self._open_stalls.remove((f"stall:{request.kind.value}", thread.tid))
             if self._ready_signal is not None and not self._ready_signal.triggered:
                 self._last_woken = thread
                 self._ready_signal.succeed(None)
@@ -234,10 +268,12 @@ class NodeScheduler:
         stall_name = f"stall:{request.kind.value}"
         if tr.enabled:
             tr.begin(t_start, "sched", stall_name, self.node.node_id, tid=thread.tid)
+            self._open_stalls.append((stall_name, thread.tid))
         yield request.event
         self._end_stall(thread, request.kind, t_start, request.event)
         if tr.enabled:
             tr.end(sim.now, "sched", stall_name, self.node.node_id, tid=thread.tid)
+            self._open_stalls.remove((stall_name, thread.tid))
         interval = sim.now - t_start
         handler_time = self.node.breakdown.charged_cpu - charged_start
         idle = max(0.0, interval - handler_time)
@@ -278,6 +314,9 @@ class NodeScheduler:
         while True:
             continuation = getattr(thread, "op_continuation", None)
             if continuation is None:
+                if self.record_values:
+                    v = thread.pending_value
+                    thread.value_log.append(v.copy() if isinstance(v, np.ndarray) else v)
                 try:
                     op = thread.body.send(thread.pending_value)
                 except StopIteration:
@@ -409,3 +448,49 @@ class NodeScheduler:
         if self.prefetch is None:
             return  # prefetch ops are no-ops when the technique is off
         yield from self.prefetch.op_prefetch(op)
+
+    # -- checkpoint / recovery ---------------------------------------------
+
+    def rebuild_thread(self, tid: int, body: Generator, values: list) -> DsmThread:
+        """Reconstruct a thread from a fresh body and its input log.
+
+        Replaying the logged values into the fresh generator rebuilds its
+        internal state without re-running any protocol action.  A thread
+        with a non-empty log was (by the consistent-cut argument) blocked
+        at a barrier when the checkpoint was taken: after replay the body
+        has just yielded that :class:`Barrier` op, so the thread is left
+        READY with a continuation that re-waits on the restored episode.
+        ndarray values are fed as copies — the body may mutate what it
+        receives, and the log must survive for later rollbacks.
+        """
+        from repro.errors import CheckpointError
+
+        thread = DsmThread(tid, self.node.node_id, body)
+        thread.value_log = [
+            v.copy() if isinstance(v, np.ndarray) else v for v in values
+        ]
+        op: Optional[Op] = None
+        for v in values:
+            feed = v.copy() if isinstance(v, np.ndarray) else v
+            try:
+                op = body.send(feed)
+            except StopIteration:
+                thread.state = ThreadState.DONE
+                return thread
+        if values:
+            if not isinstance(op, Barrier):
+                raise CheckpointError(
+                    f"thread {tid} was checkpointed mid-{type(op).__name__}, "
+                    "not at a barrier — the cut is not consistent"
+                )
+            wake = self.dsm.barriers.register_restored_waiter(op.barrier_id)
+            thread.op_continuation = self._restored_barrier_continuation(op.barrier_id, wake)
+        return thread
+
+    def _restored_barrier_continuation(self, barrier_id: int, wake: Event) -> Generator:
+        """The tail of ``_execute_barrier`` for a restored thread: the
+        arrival already happened (it is part of the checkpointed barrier
+        state), only the wait — and the post-barrier hook — remain."""
+        yield WaitRequest(wake, StallKind.BARRIER)
+        if self.history is not None:
+            yield from self.history.on_sync_complete(("barrier", barrier_id))

@@ -38,6 +38,12 @@ class DsmThread:
         #: in-progress operation, resumed after an unblock (set by the
         #: scheduler; an op spanning several faults keeps its place).
         self.op_continuation: Optional[Generator] = None
+        #: Every value fed into ``body.send`` so far (recorded only when
+        #: the fault-tolerance layer is active).  Generators cannot be
+        #: deep-copied, so checkpointing a thread means keeping its input
+        #: log: replaying the log into a fresh body deterministically
+        #: rebuilds the generator's internal state.
+        self.value_log: list = []
         # lifetime statistics
         self.total_blocks = 0
 

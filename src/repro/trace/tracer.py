@@ -61,8 +61,10 @@ class TraceCategory:
     SCHED = "sched"
     #: Prefetch engine outcomes.
     PREFETCH = "prefetch"
+    #: Fault tolerance: crash, detection, checkpoint, recovery.
+    FT = "ft"
 
-    ALL = (CPU, PROTOCOL, NETWORK, TRANSPORT, SCHED, PREFETCH)
+    ALL = (CPU, PROTOCOL, NETWORK, TRANSPORT, SCHED, PREFETCH, FT)
 
 
 @dataclass(frozen=True)

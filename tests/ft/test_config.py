@@ -1,0 +1,64 @@
+"""Validation of the fault-tolerance configuration surface."""
+
+import pytest
+
+from repro.api.runtime import DsmRuntime, RunConfig
+from repro.errors import ConfigError, FailureError, FaultConfigError
+from repro.ft import FtConfig
+from repro.network.faults import FaultPlan, NodeCrash
+
+
+def test_defaults_are_valid():
+    config = FtConfig()
+    assert config.suspicion_timeout_us > 2 * config.heartbeat_period_us
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"heartbeat_period_us": 0.0},
+        {"heartbeat_period_us": -5.0},
+        # Suspicion must exceed two heartbeat periods or every node is
+        # permanently suspect.
+        {"heartbeat_period_us": 5_000.0, "suspicion_timeout_us": 10_000.0},
+        {"checkpoint_every": 0},
+        {"restart_delay_us": -1.0},
+        {"checkpoint_cpu_per_byte": -0.1},
+        {"restore_cpu_per_byte": -0.1},
+    ],
+)
+def test_bad_ft_config_rejected(kwargs):
+    with pytest.raises(ConfigError):
+        FtConfig(**kwargs)
+
+
+def test_crash_event_validation():
+    with pytest.raises(FaultConfigError):
+        NodeCrash(node=-1, at_us=100.0)
+    with pytest.raises(FaultConfigError):
+        NodeCrash(node=1, at_us=0.0)
+
+
+def test_node_zero_cannot_crash():
+    plan = FaultPlan(crashes=(NodeCrash(node=0, at_us=1000.0),))
+    with pytest.raises(FailureError, match="node 0 cannot crash"):
+        DsmRuntime(RunConfig(num_nodes=2, fault_plan=plan))
+
+
+def test_crash_of_unknown_node_rejected():
+    plan = FaultPlan(crashes=(NodeCrash(node=7, at_us=1000.0),))
+    with pytest.raises(ConfigError, match="unknown node"):
+        DsmRuntime(RunConfig(num_nodes=4, fault_plan=plan))
+
+
+def test_crash_plan_auto_enables_ft():
+    plan = FaultPlan(crashes=(NodeCrash(node=1, at_us=1000.0),))
+    config = RunConfig(num_nodes=2, fault_plan=plan)
+    assert config.ft == FtConfig()
+    runtime = DsmRuntime(config)
+    assert runtime.ft is not None
+
+
+def test_no_crashes_means_no_ft_layer():
+    runtime = DsmRuntime(RunConfig(num_nodes=2, fault_plan=FaultPlan(drop_prob=0.01)))
+    assert runtime.ft is None

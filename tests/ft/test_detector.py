@@ -1,0 +1,105 @@
+"""Unit tests for the heartbeat failure detector's evidence handling."""
+
+from repro.ft.config import FtConfig
+from repro.ft.detector import COORDINATOR, FailureDetector
+from repro.network.message import Message, MessageKind
+
+
+class FakeTrace:
+    enabled = False
+
+
+class FakeSim:
+    def __init__(self):
+        self.now = 0.0
+        self.trace = FakeTrace()
+
+
+class FakeFt:
+    """Just enough of FtManager for the detector's bookkeeping paths."""
+
+    def __init__(self, num_nodes=4):
+        self.sim = FakeSim()
+        self.num_nodes = num_nodes
+        self.active = True
+
+
+def make_detector(**config_kwargs):
+    ft = FakeFt()
+    return ft, FailureDetector(ft, FtConfig(**config_kwargs))
+
+
+def heartbeat(src):
+    return Message(
+        src=src, dst=COORDINATOR, kind=MessageKind.HEARTBEAT, size_bytes=16, reliable=False
+    )
+
+
+def test_any_delivered_traffic_is_liveness_evidence():
+    ft, det = make_detector()
+    ft.sim.now = 42.0
+    det.observe(COORDINATOR, heartbeat(2))
+    assert det.last_heard[2] == 42.0
+    # Traffic delivered to other nodes is not coordinator evidence.
+    ft.sim.now = 99.0
+    det.observe(1, heartbeat(3))
+    assert det.last_heard[3] == 0.0
+
+
+def test_silence_beyond_suspicion_timeout_is_death():
+    ft, det = make_detector(suspicion_timeout_us=50_000.0)
+    ft.sim.now = 60_000.0
+    det.observe(COORDINATOR, heartbeat(1))
+    det.observe(COORDINATOR, heartbeat(2))
+    det.last_heard[3] = 5_000.0  # silent since t=5ms
+    assert det._collect_dead() == [3]
+    assert det.suspicions == 1
+
+
+def test_retry_exhaustion_is_immediate_suspicion():
+    ft, det = make_detector()
+    ft.sim.now = 10_000.0
+    for node in det.last_heard:
+        det.last_heard[node] = ft.sim.now  # nobody is silent
+    det.on_give_up(reporter=1, dst=3, message=heartbeat(1))
+    assert det._collect_dead() == [3]
+
+
+def test_give_up_on_coordinator_or_dead_node_ignored():
+    ft, det = make_detector()
+    det.on_give_up(reporter=1, dst=COORDINATOR, message=heartbeat(1))
+    assert not det._exhausted
+    det.mark_dead(3)
+    det.on_give_up(reporter=1, dst=3, message=heartbeat(1))
+    assert not det._exhausted
+
+
+def test_mark_alive_and_reset_clear_suspicion():
+    ft, det = make_detector()
+    det.on_give_up(reporter=1, dst=2, message=heartbeat(1))
+    det.mark_dead(2)
+    assert 2 in det.down
+    ft.sim.now = 70_000.0
+    det.mark_alive(2)
+    assert 2 not in det.down
+    assert det.last_heard[2] == 70_000.0
+    det.on_give_up(reporter=1, dst=3, message=heartbeat(1))
+    det.reset_liveness()
+    assert not det._exhausted
+    assert all(t == 70_000.0 for t in det.last_heard.values())
+
+
+def test_membership_views_follow_broadcasts():
+    ft, det = make_detector()
+    down = Message(
+        src=COORDINATOR, dst=1, kind=MessageKind.FT_DOWN, size_bytes=32,
+        reliable=False, payload={"node": 3},
+    )
+    up = Message(
+        src=COORDINATOR, dst=1, kind=MessageKind.FT_UP, size_bytes=32,
+        reliable=False, payload={"node": 3},
+    )
+    det.handle_membership(1, down)
+    assert det.views[1] == {3}
+    det.handle_membership(1, up)
+    assert det.views[1] == set()

@@ -1,0 +1,15 @@
+"""The error-hierarchy additions that came with the fault-tolerance layer."""
+
+import repro.errors as errors
+
+
+def test_paged_memory_error_renamed_with_alias():
+    assert issubclass(errors.PagedMemoryError, errors.ReproError)
+    # The old underscore-suffixed name remains importable for callers.
+    assert errors.MemoryError_ is errors.PagedMemoryError
+
+
+def test_ft_errors_in_hierarchy():
+    assert issubclass(errors.FailureError, errors.ReproError)
+    assert issubclass(errors.CheckpointError, errors.ReproError)
+    assert not issubclass(errors.FailureError, errors.CheckpointError)

@@ -1,0 +1,43 @@
+"""The simulator's liveness watchdog: a deadlocked run must fail loudly,
+naming the blocked processes, instead of silently ending early."""
+
+import pytest
+
+from repro.api.ops import Acquire, Compute, Release
+from repro.api.program import Program
+from repro.api.runtime import DsmRuntime, RunConfig
+from repro.errors import SimulationError
+
+
+class CrossWaitingLocks(Program):
+    """Thread 0 takes lock A then wants B; thread 1 takes B then wants A.
+
+    Classic lock-order inversion: both acquisitions block forever, the
+    event heap drains, and the watchdog must report the deadlock.
+    """
+
+    name = "cross-waiting-locks"
+
+    def setup(self, runtime):
+        pass
+
+    def thread_body(self, runtime, tid):
+        first, second = (0, 1) if tid == 0 else (1, 0)
+        yield Acquire(first)
+        # Hold the first lock long enough that both threads are holding
+        # one before either requests its second.
+        yield Compute(5_000.0)
+        yield Acquire(second)
+        yield Release(second)
+        yield Release(first)
+
+
+def test_deadlock_raises_and_names_waiters():
+    runtime = DsmRuntime(RunConfig(num_nodes=2, seed=3))
+    with pytest.raises(SimulationError, match="deadlock") as excinfo:
+        runtime.execute(CrossWaitingLocks(), verify=False)
+    message = str(excinfo.value)
+    # The report names each stuck scheduler and what it waits on.
+    assert "sched[0]" in message
+    assert "sched[1]" in message
+    assert "lock" in message

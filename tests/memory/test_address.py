@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import MemoryError_
+from repro.errors import PagedMemoryError
 from repro.memory import SharedAddressSpace
 
 
@@ -31,13 +31,13 @@ def test_unaligned_allocation_packs_tightly():
 def test_duplicate_name_rejected():
     space = SharedAddressSpace(page_size=64)
     space.alloc("a", 10)
-    with pytest.raises(MemoryError_):
+    with pytest.raises(PagedMemoryError):
         space.alloc("a", 10)
 
 
 def test_zero_size_rejected():
     space = SharedAddressSpace(page_size=64)
-    with pytest.raises(MemoryError_):
+    with pytest.raises(PagedMemoryError):
         space.alloc("a", 0)
 
 
@@ -47,9 +47,9 @@ def test_segment_lookup_and_offset_addressing():
     seg = space.segment("grid")
     assert seg.addr(0) == seg.base
     assert seg.addr(255) == seg.base + 255
-    with pytest.raises(MemoryError_):
+    with pytest.raises(PagedMemoryError):
         seg.addr(256)
-    with pytest.raises(MemoryError_):
+    with pytest.raises(PagedMemoryError):
         space.segment("nope")
 
 
@@ -64,7 +64,7 @@ def test_page_of_checks_bounds():
     space.alloc("a", 128)
     assert space.page_of(0) == 0
     assert space.page_of(127) == 1
-    with pytest.raises(MemoryError_):
+    with pytest.raises(PagedMemoryError):
         space.page_of(128)
-    with pytest.raises(MemoryError_):
+    with pytest.raises(PagedMemoryError):
         space.page_of(-1)

@@ -10,7 +10,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import MemoryError_
+from repro.errors import PagedMemoryError
 from repro.memory import Diff, apply_diff, make_diff
 from repro.memory.diff import DIFF_HEADER_BYTES, RUN_HEADER_BYTES
 
@@ -64,7 +64,7 @@ def test_size_bytes_counts_headers():
 
 
 def test_non_word_sized_page_rejected():
-    with pytest.raises(MemoryError_):
+    with pytest.raises(PagedMemoryError):
         make_diff(0, np.zeros(10, dtype=np.uint8), np.zeros(10, dtype=np.uint8))
 
 
@@ -82,12 +82,12 @@ def test_apply_diff_reconstructs_page():
 def test_apply_out_of_range_run_rejected():
     page = np.zeros(16, dtype=np.uint8)
     bad = Diff(0, runs=[(12, np.ones(8, dtype=np.uint8))])
-    with pytest.raises(MemoryError_):
+    with pytest.raises(PagedMemoryError):
         apply_diff(page, bad)
 
 
 def test_mismatched_shapes_rejected():
-    with pytest.raises(MemoryError_):
+    with pytest.raises(PagedMemoryError):
         make_diff(0, np.zeros(8, dtype=np.uint8), np.zeros(16, dtype=np.uint8))
 
 

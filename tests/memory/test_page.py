@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import MemoryError_
+from repro.errors import PagedMemoryError
 from repro.memory import PageStore
 
 
@@ -13,15 +13,15 @@ def test_pages_start_zeroed():
 
 
 def test_bad_page_size_rejected():
-    with pytest.raises(MemoryError_):
+    with pytest.raises(PagedMemoryError):
         PageStore(page_size=0)
-    with pytest.raises(MemoryError_):
+    with pytest.raises(PagedMemoryError):
         PageStore(page_size=100)  # not a multiple of 8
 
 
 def test_negative_page_id_rejected():
     store = PageStore(page_size=64)
-    with pytest.raises(MemoryError_):
+    with pytest.raises(PagedMemoryError):
         store.page(-1)
 
 
@@ -67,9 +67,9 @@ def test_pages_in_range():
 
 def test_bad_ranges_rejected():
     store = PageStore(page_size=64)
-    with pytest.raises(MemoryError_):
+    with pytest.raises(PagedMemoryError):
         store.read(-1, 4)
-    with pytest.raises(MemoryError_):
+    with pytest.raises(PagedMemoryError):
         store.pages_in_range(0, -1)
 
 

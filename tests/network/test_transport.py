@@ -95,22 +95,32 @@ def test_retransmit_timing_uses_exponential_backoff():
         transport=TransportConfig(timeout_us=1000.0, backoff=2.0, max_retries=3, jitter_frac=0.0),
     )
     send_from(cluster, 0, msg(0, 1))
-    with pytest.raises(TransportError):
-        cluster.run()
+    cluster.run()
     stats = cluster.transports[0].stats
     assert stats.retransmissions == 3
-    # Timeouts at 1ms, 2ms, 4ms, 8ms: the failure fires after ~15ms.
+    # Timeouts at 1ms, 2ms, 4ms, 8ms: the give-up fires after ~15ms.
     assert cluster.sim.now == pytest.approx(15_000.0, rel=0.01)
 
 
-def test_exhausted_retries_raise_transport_error():
-    cluster, _ = build(
+def test_exhausted_retries_give_up_gracefully():
+    # A dead peer no longer crashes the run with a raw TransportError:
+    # the message is abandoned and the give-up is recorded per kind.
+    cluster, inboxes = build(
         plan=FaultPlan(drop_prob=1.0),
         transport=TransportConfig(timeout_us=200.0, max_retries=2),
     )
+    suspected = []
+    cluster.transports[0].on_give_up = lambda dst, message: suspected.append(
+        (dst, message.kind)
+    )
     send_from(cluster, 0, msg(0, 1, kind=MessageKind.LOCK_GRANT))
-    with pytest.raises(TransportError, match="lock_grant"):
-        cluster.run()
+    cluster.run()
+    assert len(inboxes[1]) == 0
+    stats = cluster.transports[0].stats
+    assert stats.retries_exhausted == {"lock_grant": 1}
+    assert cluster.node(0).events.retries_exhausted == 1
+    assert suspected == [(1, MessageKind.LOCK_GRANT)]
+    assert cluster.transports[0]._pending == {}
 
 
 def test_unreliable_messages_bypass_the_transport():
