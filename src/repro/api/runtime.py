@@ -35,6 +35,7 @@ from repro.memory import SharedAddressSpace, Segment, apply_diff
 from repro.metrics.report import RunReport
 from repro.network import FaultPlan, LinkConfig, TransportConfig
 from repro.prefetch.engine import PrefetchEngine, PrefetchStats
+from repro.profile import NULL_PROFILER, ProfileConfig, Profiler
 from repro.sim import RandomSource
 from repro.threads import DsmThread, NodeScheduler, SchedulingPolicy
 from repro.trace import NULL_TRACER, TraceConfig, Tracer
@@ -78,6 +79,13 @@ class RunConfig:
     #: Runtime protocol-invariant checking (``repro.ft.sanitizer``).
     #: Off by default: when off the hook sites cost one attribute check.
     sanitizer: bool = False
+    #: Deep profiling (``repro.profile``): latency histograms and
+    #: hot-entity attribution.  ``None`` (default) collects nothing; a
+    #: :class:`ProfileConfig` (or ``True`` for the defaults) adds a
+    #: versioned ``profile`` section to the report.  The profiler only
+    #: observes (no RNG, no scheduling), so the RunReport core is
+    #: byte-identical with it on or off.
+    profile: Optional[ProfileConfig] = None
     #: Safety valve for runaway simulations (events, not microseconds).
     max_events: Optional[int] = 50_000_000
 
@@ -96,6 +104,15 @@ class RunConfig:
                 object.__setattr__(self, "trace", None)
             else:
                 raise ConfigError(f"trace must be a TraceConfig or bool, got {self.trace!r}")
+        if self.profile is not None and not isinstance(self.profile, ProfileConfig):
+            if self.profile is True:
+                object.__setattr__(self, "profile", ProfileConfig())
+            elif self.profile is False:
+                object.__setattr__(self, "profile", None)
+            else:
+                raise ConfigError(
+                    f"profile must be a ProfileConfig or bool, got {self.profile!r}"
+                )
 
     @property
     def total_threads(self) -> int:
@@ -161,8 +178,18 @@ class DsmRuntime:
 
             for scheduler, engine in zip(self.schedulers, self.prefetch_engines):
                 scheduler.history = HistoryPrefetcher(engine, config.page_size)
+        #: The run's profiler: collecting when config.profile is set,
+        #: else the shared null profiler (zero collection overhead).
+        self.profiler: Profiler = (
+            Profiler(config.profile, config.num_nodes)
+            if config.profile is not None
+            else NULL_PROFILER
+        )
+        self.cluster.sim.profile = self.profiler
         if config.sanitizer:
-            self.cluster.sim.sanitizer = ProtocolSanitizer(config.num_nodes)
+            sanitizer = ProtocolSanitizer(config.num_nodes)
+            sanitizer.profile = self.profiler
+            self.cluster.sim.sanitizer = sanitizer
         #: Fault-tolerance layer (failure detection, checkpoint/recovery).
         self.ft: Optional[FtManager] = (
             FtManager(self, config.ft) if config.ft is not None else None
@@ -234,6 +261,7 @@ class DsmRuntime:
         extra = {}
         if self.ft is not None:
             extra["ft"] = self.ft.summary()
+        profile = self.profiler.to_dict(self.space) if self.profiler.enabled else None
         return RunReport(
             app_name=program.name,
             config_label=self.config.label,
@@ -254,6 +282,7 @@ class DsmRuntime:
             },
             traffic_by_kind=stats.kind_breakdown(),
             extra=extra,
+            profile=profile,
         )
 
     # -- verification support ------------------------------------------------------

@@ -77,6 +77,14 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="check LRC protocol invariants at every transition",
     )
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        const="-",
+        metavar="PATH",
+        help="collect latency histograms and hot-entity tables; prints a "
+        "summary, and writes the full RunReport JSON to PATH if given",
+    )
     args = parser.parse_args(argv)
 
     threads_per_node, prefetch = parse_label(args.config)
@@ -87,7 +95,7 @@ def main(argv: list[str] | None = None) -> int:
         if args.app == "RADIX":
             app.throttle_prefetch = True
 
-    def build_config(fault_plan=None, trace=False, sanitizer=False):
+    def build_config(fault_plan=None, trace=False, sanitizer=False, profile=False):
         return RunConfig(
             num_nodes=args.nodes,
             threads_per_node=threads_per_node,
@@ -97,6 +105,7 @@ def main(argv: list[str] | None = None) -> int:
             fault_plan=fault_plan,
             sanitizer=sanitizer,
             trace=TraceConfig() if trace else None,
+            profile=profile,
         )
 
     plan = None
@@ -115,7 +124,12 @@ def main(argv: list[str] | None = None) -> int:
         )
     elif args.loss > 0:
         plan = FaultPlan(drop_prob=args.loss)
-    config = build_config(fault_plan=plan, trace=bool(args.trace), sanitizer=args.sanitizer)
+    config = build_config(
+        fault_plan=plan,
+        trace=bool(args.trace),
+        sanitizer=args.sanitizer,
+        profile=args.profile is not None,
+    )
 
     started = time.time()
     runtime = DsmRuntime(config)
@@ -158,6 +172,32 @@ def main(argv: list[str] | None = None) -> int:
             f"(hits {stats.hits}, late {stats.late}, "
             f"invalidated {stats.invalidated})"
         )
+    if args.profile is not None:
+        profile = report.profile or {}
+        print("  profile (cluster-wide latency, us):")
+        for name, entry in profile.get("histograms", {}).items():
+            print(
+                f"    {name:22s} n={entry['count']:<7d} p50 {entry['p50']:8.0f}  "
+                f"p90 {entry['p90']:8.0f}  p99 {entry['p99']:8.0f}  max {entry['max']:8.0f}"
+            )
+        for counter, value in profile.get("counters", {}).items():
+            print(f"    counter {counter} = {value}")
+        for table, key in (("hot_pages", "page"), ("hot_locks", "lock"), ("hot_barriers", "barrier")):
+            rows = profile.get(table, [])
+            if rows:
+                print(f"  {table.replace('_', ' ')} (top {len(rows)}):")
+                for row in rows:
+                    detail = ", ".join(
+                        f"{k}={v:.0f}" if isinstance(v, float) else f"{k}={v}"
+                        for k, v in row.items()
+                        if k != key and v is not None
+                    )
+                    print(f"    {key} {row[key]}: {detail}")
+        if args.profile != "-":
+            with open(args.profile, "w") as handle:
+                handle.write(report.to_json(indent=2))
+                handle.write("\n")
+            print(f"  profile report -> {args.profile}")
     if args.trace:
         tracer = runtime.tracer
         if args.trace.endswith(".jsonl"):

@@ -73,6 +73,10 @@ class BarrierSubsystem:
         key, episode = self._local_episode(barrier_id)
         episode.arrived += 1
         wake = Event(self.dsm.sim, name=f"barrier{barrier_id}@{self.dsm.node_id}")
+        pf = self.dsm.sim.profile
+        if pf.enabled:
+            # Closed in _apply_release when the release wakes this thread.
+            wake.profile_t0 = self.dsm.sim.now  # type: ignore[attr-defined]
         episode.waiters.append(wake)
         tr = self.dsm.sim.trace
         if tr.enabled:
@@ -142,6 +146,10 @@ class BarrierSubsystem:
         state = self._manager.setdefault(key, _ManagerEpisode())
         if src in state.node_vcs:
             raise ProtocolError(f"duplicate barrier arrival from node {src}")
+        pf = self.dsm.sim.profile
+        if pf.enabled:
+            # First arrival opens the skew window (first-begin wins).
+            pf.span_begin(("barrier_skew",) + key, self.dsm.sim.now)
         state.arrivals += 1
         state.node_vcs[src] = vc_snapshot
         # Merge the arriving notices into the manager's log (free of
@@ -152,6 +160,15 @@ class BarrierSubsystem:
         self.dsm.wn_log.add_all(notices)
         if state.arrivals < self.dsm.num_nodes:
             return
+        if pf.enabled:
+            # Pop-on-record: a recovery replay re-enters via
+            # resume_release, never here, so the skew of an episode is
+            # recorded exactly once even if its release is redone.
+            skew = pf.span_end(("barrier_skew",) + key, self.dsm.sim.now)
+            if skew is not None:
+                pf.observe(self.dsm.node_id, "barrier_skew_us", skew)
+                pf.entity_add("barrier", barrier_id, "skew_us", skew)
+                pf.entity_add("barrier", barrier_id, "episodes")
         # Everyone is (provably) blocked at the barrier, cluster-wide:
         # this is the one globally quiescent instant, which makes it the
         # consistent cut for coordinated checkpoints.
@@ -237,7 +254,15 @@ class BarrierSubsystem:
                 episode=episode,
                 waiters=len(waiters),
             )
+        pf = self.dsm.sim.profile
         for wake in waiters:
+            if pf.enabled:
+                t0 = getattr(wake, "profile_t0", None)
+                if t0 is not None:
+                    waited = self.dsm.sim.now - t0
+                    pf.observe(self.dsm.node_id, "barrier_wait_us", waited)
+                    pf.entity_add("barrier", barrier_id, "wait_us", waited)
+                    pf.entity_add("barrier", barrier_id, "waits")
             wake.succeed(None)
 
     # -- checkpoint / recovery ----------------------------------------------

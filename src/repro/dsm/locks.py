@@ -51,6 +51,9 @@ class LockState:
     # statistics
     remote_acquires: int = 0
     local_handoffs: int = 0
+    #: When the current holder acquired (profiling only; locks are
+    #: quiescent at checkpoint cuts, so this never enters a snapshot).
+    acquired_at: float = -1.0
 
 
 class LockSubsystem:
@@ -87,16 +90,27 @@ class LockSubsystem:
         """
         state = self.state(lock_id)
         costs = self.dsm.node.costs
+        pf = self.dsm.sim.profile
         if state.has_token and not state.held and not state.local_waiters:
             # Claim synchronously (before any yield): a concurrent
             # forward-handler must not observe the token as free and
             # grant it away while we wait for the CPU.
             state.held = True
+            state.acquired_at = self.dsm.sim.now
             yield from self.dsm.occupy_dsm(costs.lock_local_handoff)
+            if pf.enabled:
+                pf.observe(
+                    self.dsm.node_id, "lock_acquire_us", self.dsm.sim.now - state.acquired_at
+                )
+                pf.entity_add("lock", lock_id, "acquires")
             return None
         # Queue locally; send one request if the token is absent and not
         # already on its way (request combining).
         wake = Event(self.dsm.sim, name=f"lock{lock_id}@{self.dsm.node_id}")
+        if pf.enabled:
+            # The wait closes wherever this waiter is woken (local
+            # handoff or remote grant) — stash the start on the event.
+            wake.profile_t0 = self.dsm.sim.now  # type: ignore[attr-defined]
         state.local_waiters.append(wake)
         if not state.has_token and not state.request_outstanding:
             state.request_outstanding = True
@@ -154,6 +168,11 @@ class LockSubsystem:
         if not state.held:
             raise ProtocolError(f"release of unheld lock {lock_id} on node {self.dsm.node_id}")
         costs = self.dsm.node.costs
+        pf = self.dsm.sim.profile
+        if pf.enabled and state.acquired_at >= 0:
+            held_for = self.dsm.sim.now - state.acquired_at
+            pf.observe(self.dsm.node_id, "lock_hold_us", held_for)
+            pf.entity_add("lock", lock_id, "hold_us", held_for)
         # LRC release: close the current interval so the modifications
         # become visible to the next acquirer.
         yield from self.dsm.close_interval_charged()
@@ -166,8 +185,7 @@ class LockSubsystem:
                 tr.instant(
                     self.dsm.sim.now, "protocol", "lock_handoff", self.dsm.node_id, lock=lock_id
                 )
-            wake = state.local_waiters.popleft()
-            wake.succeed(None)  # stays held
+            self._wake_next(state, handoff=True)  # stays held
             return
         state.held = False
         if state.pending_remote_grant is not None:
@@ -271,7 +289,25 @@ class LockSubsystem:
             # waiter queued, and waiters never abandon the queue.
             raise ProtocolError(f"lock {lock_id} granted to node with no waiters")
         state.held = True
-        state.local_waiters.popleft().succeed(None)
+        self._wake_next(state, handoff=False)
+
+    def _wake_next(self, state: LockState, handoff: bool) -> None:
+        """Wake the next local waiter; it is the lock holder from now."""
+        wake = state.local_waiters.popleft()
+        now = self.dsm.sim.now
+        state.acquired_at = now
+        pf = self.dsm.sim.profile
+        if pf.enabled:
+            t0 = getattr(wake, "profile_t0", None)
+            if t0 is not None:
+                waited = now - t0
+                pf.observe(self.dsm.node_id, "lock_wait_us", waited)
+                pf.observe(self.dsm.node_id, "lock_acquire_us", waited)
+                pf.entity_add("lock", state.lock_id, "wait_us", waited)
+            pf.entity_add("lock", state.lock_id, "acquires")
+            if handoff:
+                pf.entity_add("lock", state.lock_id, "handoffs")
+        wake.succeed(None)
 
     # -- checkpoint / recovery --------------------------------------------
 

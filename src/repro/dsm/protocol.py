@@ -203,6 +203,9 @@ class DsmNode:
         yield from self.node.occupy(self.node.costs.twin_create, Category.DSM)
         state.twin = self.node.pages.snapshot(page_id)
         state.dirty = True
+        pf = self.sim.profile
+        if pf.enabled:
+            pf.entity_add("page", page_id, "twins")
         san = self.sim.sanitizer
         if san.enabled:
             san.on_twin_created(self.node_id, page_id)
@@ -236,6 +239,10 @@ class DsmNode:
         self.faults += 1
         costs = self.node.costs
         tr = self.sim.trace
+        pf = self.sim.profile
+        fault_started = self.sim.now
+        if pf.enabled:
+            pf.entity_add("page", page_id, "faults")
         fault_id = f"n{self.node_id}:f{self.faults}"
         if tr.enabled:
             tr.async_begin(
@@ -294,6 +301,11 @@ class DsmNode:
                     request_id = self._next_request_id
                     self._next_request_id += 1
                     reply_event = Event(self.sim, name=f"diffreq{request_id}")
+                    if pf.enabled:
+                        # Stashed on the event itself: the RTT closes in
+                        # handle_diff_reply, a different process.
+                        reply_event.profile_t0 = self.sim.now  # type: ignore[attr-defined]
+                        reply_event.profile_page = page_id  # type: ignore[attr-defined]
                     self._pending_requests[request_id] = reply_event
                     replies.append(reply_event)
                     if tr.enabled:
@@ -350,6 +362,12 @@ class DsmNode:
                 fault_id,
                 remote=bool(getattr(done, "needed_remote", False)),
             )
+        if pf.enabled:
+            service = self.sim.now - fault_started
+            pf.observe(self.node_id, "page_fault_us", service)
+            pf.entity_add("page", page_id, "stall_us", service)
+            if getattr(done, "needed_remote", False):
+                pf.entity_add("page", page_id, "remote_faults")
         done.succeed(None)
 
     def apply_stored_diffs(self, page_id: int, stored: list[StoredDiff]) -> Generator:
@@ -368,6 +386,10 @@ class DsmNode:
                 )
             cost = self.node.costs.diff_apply_us(item.diff.modified_bytes)
             yield from self.node.occupy(cost, Category.DSM)
+            pf = self.sim.profile
+            if pf.enabled:
+                pf.entity_add("page", page_id, "diffs")
+                pf.entity_add("page", page_id, "bytes", item.diff.modified_bytes)
             tr = self.sim.trace
             if tr.enabled:
                 tr.instant(
@@ -492,6 +514,9 @@ class DsmNode:
 
     def handle_diff_request(self, msg: Message) -> Generator:
         self.diff_requests_served += 1
+        pf = self.sim.profile
+        if pf.enabled:
+            pf.entity_add("page", msg.payload["page_id"], "diffs_served")
         page_id = msg.payload["page_id"]
         t_have = msg.payload["t_have"]
         yield from self.flush_page_if_dirty(page_id)
@@ -537,6 +562,11 @@ class DsmNode:
         pending = self._pending_requests.pop(msg.payload["request_id"], None)
         if pending is None:
             raise ProtocolError(f"unexpected diff reply {msg.payload['request_id']}")
+        pf = self.sim.profile
+        if pf.enabled:
+            t0 = getattr(pending, "profile_t0", None)
+            if t0 is not None:
+                pf.observe(self.node_id, "diff_rtt_us", self.sim.now - t0)
         tr = self.sim.trace
         if tr.enabled:
             tr.async_end(

@@ -72,6 +72,15 @@ def main(argv: list[str] | None = None) -> int:
         "(app, config) run writes PATH with '.APP-LABEL' inserted before "
         "the suffix (Chrome/Perfetto JSON, or flat logs if .jsonl)",
     )
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        const="-",
+        metavar="PATH",
+        help="profile every run (latency histograms + hot-entity tables); "
+        "with PATH, each run's full RunReport JSON is written using the "
+        "same '.APP-LABEL' template as --trace",
+    )
     args = parser.parse_args(argv)
 
     wanted = list(ALL_EXPERIMENTS) if "all" in args.experiments else list(args.experiments)
@@ -90,6 +99,7 @@ def main(argv: list[str] | None = None) -> int:
         verify=not args.no_verify,
         verbose=True,
         trace_template=args.trace,
+        profile_template=args.profile,
         crash_node=args.crash_node,
         crash_frac=args.crash_at,
         crash_loss=args.crash_loss,

@@ -44,6 +44,7 @@ class ExperimentRunner:
         verify: bool = True,
         verbose: bool = False,
         trace_template: Optional[str] = None,
+        profile_template: Optional[str] = None,
         crash_node: int = 3,
         crash_frac: float = 0.45,
         crash_loss: float = 0.0,
@@ -62,11 +63,24 @@ class ExperimentRunner:
         #: When set, every run records a trace written to a path derived
         #: from this template: ``figure1.json`` -> ``figure1.FFT-O.json``.
         self.trace_template = trace_template
+        #: When set, every run profiles (repro.profile); "-" just
+        #: collects (the profile rides inside the cached reports), any
+        #: other value is a template for per-run RunReport JSON dumps,
+        #: derived like the trace template.
+        self.profile_template = profile_template
         self._cache: dict[tuple[str, str], RunReport] = {}
 
     def trace_path(self, app_name: str, label: str) -> Path:
         """Per-run output path derived from the trace template."""
-        template = Path(self.trace_template)
+        return self._derived_path(self.trace_template, app_name, label)
+
+    def profile_path(self, app_name: str, label: str) -> Path:
+        """Per-run report path derived from the profile template."""
+        return self._derived_path(self.profile_template, app_name, label)
+
+    @staticmethod
+    def _derived_path(template_str: str, app_name: str, label: str) -> Path:
+        template = Path(template_str)
         return template.with_name(
             f"{template.stem}.{app_name}-{label}{template.suffix or '.json'}"
         )
@@ -89,6 +103,7 @@ class ExperimentRunner:
             prefetch=prefetch,
             seed=self.seed,
             trace=TraceConfig() if self.trace_template else None,
+            profile=bool(self.profile_template),
         )
         if self.verbose:
             print(f"  running {app_name} [{label}] ...", flush=True)
@@ -96,6 +111,12 @@ class ExperimentRunner:
         report = runtime.execute(app, verify=self.verify)
         if self.trace_template:
             self._export_trace(runtime, report, app_name, label)
+        if self.profile_template and self.profile_template != "-":
+            path = self.profile_path(app_name, label)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(report.to_json(indent=2) + "\n")
+            if self.verbose:
+                print(f"    profile report -> {path}", flush=True)
         self._cache[key] = report
         return report
 

@@ -10,6 +10,7 @@ attributed to memory or synchronization by the scheduler.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field, fields
 from enum import Enum
 
@@ -74,7 +75,29 @@ class TimeBreakdown:
         return sum(self.times.values())
 
     def as_dict(self) -> dict[str, float]:
-        return {category.value: value for category, value in self.times.items()}
+        """Stable string keys (``Category.value``), in declaration
+        order — emitted explicitly, never via ``dataclasses.asdict``
+        (whose key rendering depends on the enum's str-ness)."""
+        return {category.value: self.times[category] for category in Category}
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict())
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TimeBreakdown":
+        """Inverse of :meth:`as_dict`; unknown category names raise.
+
+        Missing categories stay zero, so payloads written before a
+        category existed load cleanly.
+        """
+        breakdown = cls()
+        for name, value in data.items():
+            breakdown.times[Category(name)] = float(value)
+        return breakdown
+
+    @classmethod
+    def from_json(cls, text: str) -> "TimeBreakdown":
+        return cls.from_dict(json.loads(text))
 
     def merged_with(self, other: "TimeBreakdown") -> "TimeBreakdown":
         merged = TimeBreakdown()

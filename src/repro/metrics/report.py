@@ -19,7 +19,10 @@ if TYPE_CHECKING:
 __all__ = ["RunReport"]
 
 #: Bumped whenever the serialized layout changes incompatibly.
-_SCHEMA_VERSION = 1
+#: v2 added the optional ``profile`` section (repro.profile); v1
+#: payloads are still readable (the section is simply absent).
+_SCHEMA_VERSION = 2
+_COMPAT_VERSIONS = (1, 2)
 
 
 @dataclass
@@ -41,11 +44,16 @@ class RunReport:
     #: Retransmissions forced by transport timeouts (all nodes).
     retransmissions: int = 0
     #: Faults injected by the fault plan, by fault name (empty if none).
-    injected_faults: dict = field(default_factory=dict)
+    injected_faults: dict[str, int] = field(default_factory=dict)
     #: Per-message-kind traffic table (TrafficStats.kind_breakdown):
     #: separates prefetch drops from protocol retransmits in output.
-    traffic_by_kind: dict = field(default_factory=dict)
+    traffic_by_kind: dict[str, dict] = field(default_factory=dict)
     extra: dict = field(default_factory=dict)
+    #: Versioned deep-profiling section (Profiler.to_dict) when the run
+    #: had ``profile=`` on, else None.  Deliberately NOT part of the
+    #: "core": two runs differing only in profiling produce identical
+    #: reports apart from this field.
+    profile: Optional[dict] = None
 
     # -- aggregation ----------------------------------------------------------
 
@@ -124,9 +132,10 @@ class RunReport:
                 asdict(self.prefetch_stats) if self.prefetch_stats is not None else None
             ),
             "retransmissions": self.retransmissions,
-            "injected_faults": dict(self.injected_faults),
-            "traffic_by_kind": {k: dict(v) for k, v in self.traffic_by_kind.items()},
+            "injected_faults": {str(k): int(v) for k, v in self.injected_faults.items()},
+            "traffic_by_kind": {str(k): dict(v) for k, v in self.traffic_by_kind.items()},
             "extra": dict(self.extra),
+            "profile": self.profile,
         }
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -135,17 +144,12 @@ class RunReport:
     @classmethod
     def from_dict(cls, data: dict) -> "RunReport":
         version = data.get("schema")
-        if version != _SCHEMA_VERSION:
+        if version not in _COMPAT_VERSIONS:
             raise ValueError(
                 f"unsupported RunReport schema {version!r} "
-                f"(this build reads schema {_SCHEMA_VERSION})"
+                f"(this build reads schemas {_COMPAT_VERSIONS})"
             )
-        breakdowns = []
-        for times in data["node_breakdowns"]:
-            breakdown = TimeBreakdown()
-            for name, value in times.items():
-                breakdown.times[Category(name)] = value
-            breakdowns.append(breakdown)
+        breakdowns = [TimeBreakdown.from_dict(times) for times in data["node_breakdowns"]]
         prefetch_stats = None
         if data.get("prefetch_stats") is not None:
             from repro.prefetch.engine import PrefetchStats
@@ -164,9 +168,14 @@ class RunReport:
             message_drops=data["message_drops"],
             prefetch_stats=prefetch_stats,
             retransmissions=data.get("retransmissions", 0),
-            injected_faults=dict(data.get("injected_faults", {})),
-            traffic_by_kind=dict(data.get("traffic_by_kind", {})),
+            injected_faults={
+                str(k): int(v) for k, v in data.get("injected_faults", {}).items()
+            },
+            traffic_by_kind={
+                str(k): dict(v) for k, v in data.get("traffic_by_kind", {}).items()
+            },
             extra=dict(data.get("extra", {})),
+            profile=data.get("profile"),  # absent in v1 payloads
         )
 
     @classmethod

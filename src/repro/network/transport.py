@@ -106,6 +106,9 @@ class _Pending:
     attempts: int = 1
     #: Bumped on every (re)send and on ack; stale timers check it.
     epoch: int = 0
+    #: First transmission time (profiling; -1 for pendings restored from
+    #: a checkpoint, whose original send predates the rollback).
+    first_sent_at: float = -1.0
 
 
 @dataclass
@@ -165,7 +168,7 @@ class ReliableTransport:
         self._next_seq[message.dst] = seq + 1
         message.seq = seq
         message.reliable = False
-        pending = _Pending(message)
+        pending = _Pending(message, first_sent_at=self.sim.now)
         self._pending[(message.dst, seq)] = pending
         self.stats.data_sent += 1
         self.network.send(message)
@@ -213,6 +216,12 @@ class ReliableTransport:
             kind = message.kind.value
             self.stats.retries_exhausted[kind] = self.stats.retries_exhausted.get(kind, 0) + 1
             self.node.events.retries_exhausted += 1
+            pf = self.sim.profile
+            if pf.enabled:
+                # Named counters so chaos runs surface give-ups in the
+                # compare CLI, per kind and in total.
+                pf.count(self.node.node_id, "transport_retries_exhausted")
+                pf.count(self.node.node_id, f"transport_retries_exhausted:{kind}")
             if tr.enabled:
                 tr.instant(
                     self.sim.now,
@@ -249,6 +258,11 @@ class ReliableTransport:
             return  # acked while waiting for the CPU
         self.stats.retransmissions += 1
         self.node.events.retransmissions += 1
+        pf = self.sim.profile
+        if pf.enabled and pending.first_sent_at >= 0:
+            pf.observe(
+                self.node.node_id, "retransmit_delay_us", self.sim.now - pending.first_sent_at
+            )
         copy = pending.message.clone()
         tr = self.sim.trace
         if tr.enabled:

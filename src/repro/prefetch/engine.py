@@ -41,6 +41,8 @@ class CachedPage:
 
     diffs: list[StoredDiff] = field(default_factory=list)
     covers: dict[int, int] = field(default_factory=dict)  # writer -> through
+    #: When the first reply was filed (profiling: lead time to the fault).
+    filed_at: float = -1.0
 
 
 @dataclass
@@ -257,7 +259,16 @@ class PrefetchEngine:
 
     def take_cached(self, page_id: int) -> Optional[CachedPage]:
         """Consume the prefetch heap's contents for a faulting page."""
-        return self._cache.pop(page_id, None)
+        cached = self._cache.pop(page_id, None)
+        if cached is not None:
+            pf = self.dsm.sim.profile
+            if pf.enabled and cached.filed_at >= 0:
+                # Lead time: how far ahead of the consuming fault the
+                # prefetched data landed.
+                pf.observe(
+                    self.dsm.node_id, "prefetch_lead_us", self.dsm.sim.now - cached.filed_at
+                )
+        return cached
 
     def on_invalidation(self, page_id: int) -> None:
         record = self._records.get(page_id)
@@ -378,6 +389,8 @@ class PrefetchEngine:
         self._drop_streak = 0
         page_id, writer = pending
         cached = self._cache.setdefault(page_id, CachedPage())
+        if cached.filed_at < 0:
+            cached.filed_at = self.dsm.sim.now
         cached.diffs.extend(msg.payload["diffs"])
         covers = msg.payload["covers_through"]
         if covers > cached.covers.get(writer, 0):

@@ -1,0 +1,36 @@
+"""Deep profiling: latency histograms, hot-entity attribution, and the
+machine-readable benchmark/regression tooling built on them.
+
+- :mod:`repro.profile.histogram` — deterministic log-bucketed
+  :class:`Histogram` (p50/p90/p99/max, mergeable across nodes);
+- :mod:`repro.profile.registry` — named histograms + counters per node;
+- :mod:`repro.profile.profiler` — the ``sim.profile`` hook target with
+  hot page/lock/barrier tables and the RunReport ``profile`` section;
+- :mod:`repro.profile.compare` — ``python -m repro.profile.compare``,
+  the regression gate over two report/bench JSON files.
+
+Enable per run with ``RunConfig(profile=True)`` or ``--profile`` on the
+CLIs; the default :data:`NULL_PROFILER` collects nothing and keeps
+unprofiled runs byte-identical.
+"""
+
+from repro.profile.histogram import SUBBUCKETS, Histogram
+from repro.profile.profiler import (
+    NULL_PROFILER,
+    PROFILE_SCHEMA_VERSION,
+    NullProfiler,
+    ProfileConfig,
+    Profiler,
+)
+from repro.profile.registry import MetricsRegistry
+
+__all__ = [
+    "Histogram",
+    "SUBBUCKETS",
+    "MetricsRegistry",
+    "ProfileConfig",
+    "Profiler",
+    "NullProfiler",
+    "NULL_PROFILER",
+    "PROFILE_SCHEMA_VERSION",
+]

@@ -1,0 +1,200 @@
+"""Regression gate: ``python -m repro.profile.compare OLD NEW``.
+
+Diffs two machine-readable result files — either single
+:class:`~repro.metrics.report.RunReport` JSONs or multi-run
+``BENCH_*.json`` files from :mod:`repro.bench` — metric by metric, and
+exits non-zero when NEW regresses past tolerance.  Every flattened
+metric is "higher is worse" (times, stalls, message counts, drops,
+violation counters), so a regression is simply::
+
+    new > old * (1 + tolerance) and new - old > slack
+
+The per-metric tolerance is chosen by first-match against ``--tol
+PATTERN=FRACTION`` rules (fnmatch patterns over the flattened metric
+name, e.g. ``--tol '*/p99'=0.5``), falling back to ``--tolerance``.
+``slack`` is an absolute floor (``--slack``) so a 2 us jitter on a 1 us
+metric is not a 200% regression.  A tolerance of ``-1`` skips the
+metric entirely.
+
+Exit codes: 0 no regressions, 1 regressions found, 2 usage/schema
+error.  The simulation is deterministic, so CI can compare against a
+checked-in baseline with loose tolerances and still catch real drift.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from fnmatch import fnmatchcase
+from typing import Optional, TextIO
+
+__all__ = ["flatten", "compare", "main"]
+
+#: Sub-dict keys of a RunReport's profile histograms worth gating on.
+_HIST_STATS = ("count", "mean", "p50", "p90", "p99", "max")
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _flatten_profile(profile: dict, prefix: str, out: dict[str, float]) -> None:
+    for name, entry in profile.get("histograms", {}).items():
+        for stat in _HIST_STATS:
+            if stat in entry:
+                out[f"{prefix}hist.{name}.{stat}"] = float(entry[stat])
+    for name, value in profile.get("counters", {}).items():
+        out[f"{prefix}counter.{name}"] = float(value)
+
+
+def _flatten_report(report: dict, prefix: str, out: dict[str, float]) -> None:
+    for key in ("wall_time_us", "total_messages", "total_kbytes", "message_drops",
+                "retransmissions"):
+        if _is_number(report.get(key)):
+            out[prefix + key] = float(report[key])
+    totals: dict[str, float] = {}
+    for breakdown in report.get("node_breakdowns", ()):
+        for category, value in breakdown.items():
+            totals[category] = totals.get(category, 0.0) + float(value)
+    for category, value in totals.items():
+        out[f"{prefix}time.{category}"] = value
+    if isinstance(report.get("profile"), dict):
+        _flatten_profile(report["profile"], prefix, out)
+
+
+def flatten(data: dict) -> dict[str, float]:
+    """A result file as a flat ``metric name -> value`` map.
+
+    RunReport JSONs flatten to bare names (``wall_time_us``,
+    ``time.busy``, ``hist.diff_rtt_us.p99``); bench files prefix each
+    run's metrics with ``app/config/``.
+    """
+    out: dict[str, float] = {}
+    if isinstance(data.get("runs"), list):  # repro.bench output
+        for run in data["runs"]:
+            prefix = f"{run['app']}/{run['config']}/"
+            for name, value in run.get("metrics", {}).items():
+                if _is_number(value):
+                    out[prefix + name] = float(value)
+            for hist_name, stats in run.get("quantiles", {}).items():
+                for stat, value in stats.items():
+                    out[f"{prefix}hist.{hist_name}.{stat}"] = float(value)
+    elif "wall_time_us" in data:  # a single RunReport
+        _flatten_report(data, "", out)
+    else:
+        raise ValueError("unrecognized result file (neither RunReport nor bench output)")
+    return out
+
+
+def _parse_tolerance_rules(rules: list[str]) -> list[tuple[str, float]]:
+    parsed = []
+    for rule in rules:
+        pattern, _, fraction = rule.rpartition("=")
+        if not pattern:
+            raise ValueError(f"--tol rule must look like PATTERN=FRACTION, got {rule!r}")
+        parsed.append((pattern, float(fraction)))
+    return parsed
+
+
+def _tolerance_for(name: str, rules: list[tuple[str, float]], default: float) -> float:
+    for pattern, fraction in rules:
+        if fnmatchcase(name, pattern):
+            return fraction
+    return default
+
+
+def compare(
+    old: dict[str, float],
+    new: dict[str, float],
+    tolerance: float = 0.0,
+    rules: Optional[list[tuple[str, float]]] = None,
+    slack: float = 0.0,
+    out: TextIO = sys.stdout,
+) -> int:
+    """Print a diff of the shared metrics; return the regression count."""
+    rules = rules or []
+    regressions = 0
+    improvements = 0
+    unchanged = 0
+    only_old = sorted(set(old) - set(new))
+    only_new = sorted(set(new) - set(old))
+    for name in sorted(set(old) & set(new)):
+        metric_tolerance = _tolerance_for(name, rules, tolerance)
+        if metric_tolerance < 0:
+            continue
+        old_value, new_value = old[name], new[name]
+        if new_value > old_value * (1.0 + metric_tolerance) and new_value - old_value > slack:
+            base = old_value if old_value else 1.0
+            print(
+                f"REGRESSION {name}: {old_value:g} -> {new_value:g} "
+                f"(+{100.0 * (new_value - old_value) / base:.1f}%, "
+                f"tolerance {100.0 * metric_tolerance:.0f}%)",
+                file=out,
+            )
+            regressions += 1
+        elif new_value < old_value:
+            improvements += 1
+        else:
+            unchanged += 1
+    for name in only_old:
+        print(f"note: metric {name} missing from NEW", file=out)
+    for name in only_new:
+        print(f"note: metric {name} new in NEW", file=out)
+    print(
+        f"{regressions} regression(s), {improvements} improved, "
+        f"{unchanged} within tolerance, {len(only_old) + len(only_new)} unmatched",
+        file=out,
+    )
+    return regressions
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.profile.compare",
+        description="Diff two RunReport/bench JSON files; exit 1 on regression.",
+    )
+    parser.add_argument("old", help="baseline JSON (RunReport or BENCH_*.json)")
+    parser.add_argument("new", help="candidate JSON of the same kind")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.0,
+        metavar="FRACTION",
+        help="default allowed relative growth, e.g. 0.1 = +10%% (default 0)",
+    )
+    parser.add_argument(
+        "--tol",
+        action="append",
+        default=[],
+        metavar="PATTERN=FRACTION",
+        help="per-metric tolerance by fnmatch pattern, first match wins; "
+        "FRACTION of -1 ignores the metric (repeatable)",
+    )
+    parser.add_argument(
+        "--slack",
+        type=float,
+        default=0.0,
+        metavar="ABS",
+        help="absolute growth below this is never a regression (default 0)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.old) as handle:
+            old = flatten(json.load(handle))
+        with open(args.new) as handle:
+            new = flatten(json.load(handle))
+        rules = _parse_tolerance_rules(args.tol)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not (set(old) & set(new)):
+        print("error: no metrics in common between the two files", file=sys.stderr)
+        return 2
+    regressions = compare(old, new, tolerance=args.tolerance, rules=rules, slack=args.slack)
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,88 @@
+"""Named metric registries: histograms plus monotone counters.
+
+One :class:`MetricsRegistry` per node collects that node's latency
+distributions and named event counters; the profiler merges the per-node
+registries into a cluster-wide view at report time.  Merging is pure
+field-wise addition, so the merged result is independent of merge order
+and grouping (there is a determinism test for this), and — like every
+other statistic in the system — registries are *monotone*: a crash
+rollback never rewinds them, so redone work after recovery is visible as
+real work in the profile.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.profile.histogram import Histogram
+
+__all__ = ["MetricsRegistry"]
+
+
+class MetricsRegistry:
+    """Named :class:`Histogram` distributions and integer counters."""
+
+    __slots__ = ("histograms", "counters")
+
+    def __init__(self) -> None:
+        self.histograms: dict[str, Histogram] = {}
+        self.counters: dict[str, int] = {}
+
+    # -- recording ---------------------------------------------------------
+
+    def histogram(self, name: str) -> Histogram:
+        """Get-or-create the named histogram."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = Histogram()
+            self.histograms[name] = histogram
+        return histogram
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).record(value)
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    # -- merging -----------------------------------------------------------
+
+    def merged_with(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        merged = MetricsRegistry()
+        for name, histogram in self.histograms.items():
+            merged.histograms[name] = histogram.merged_with(Histogram())
+        for name, histogram in other.histograms.items():
+            if name in merged.histograms:
+                merged.histograms[name] = merged.histograms[name].merged_with(histogram)
+            else:
+                merged.histograms[name] = histogram.merged_with(Histogram())
+        merged.counters = dict(self.counters)
+        for name, value in other.counters.items():
+            merged.counters[name] = merged.counters.get(name, 0) + value
+        return merged
+
+    @staticmethod
+    def merge(registries: Iterable["MetricsRegistry"]) -> "MetricsRegistry":
+        merged = MetricsRegistry()
+        for registry in registries:
+            merged = merged.merged_with(registry)
+        return merged
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-safe form (keys sorted)."""
+        return {
+            "histograms": {
+                name: self.histograms[name].to_dict() for name in sorted(self.histograms)
+            },
+            "counters": {name: self.counters[name] for name in sorted(self.counters)},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MetricsRegistry":
+        registry = cls()
+        for name, payload in data.get("histograms", {}).items():
+            registry.histograms[name] = Histogram.from_dict(payload)
+        for name, value in data.get("counters", {}).items():
+            registry.counters[name] = int(value)
+        return registry

@@ -188,6 +188,7 @@ class Simulator:
 
     def __init__(self) -> None:
         from repro.ft.sanitizer import NULL_SANITIZER  # deferred: keep sim dep-free
+        from repro.profile.profiler import NULL_PROFILER  # deferred: keep sim dep-free
         from repro.trace.tracer import NULL_TRACER  # deferred: keep sim dep-free
 
         self._now: float = 0.0
@@ -196,6 +197,7 @@ class Simulator:
         self._handled = 0
         self.trace = NULL_TRACER
         self.sanitizer = NULL_SANITIZER
+        self.profile = NULL_PROFILER
         #: Live (spawned, not yet finished/cancelled) processes, in spawn
         #: order.  Powers group cancellation and the deadlock watchdog.
         self._processes: dict[int, Any] = {}

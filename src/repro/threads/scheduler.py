@@ -203,6 +203,11 @@ class NodeScheduler:
         self, thread: DsmThread, kind: StallKind, started: float, event: Optional[Event] = None
     ) -> None:
         stall = self.node.sim.now - started
+        pf = self.node.sim.profile
+        if pf.enabled:
+            # Per-thread stall distributions, before the miss/fault
+            # classification below (which early-returns for some kinds).
+            pf.observe(self.node.node_id, f"stall_{kind.value}_us", stall)
         events = self.node.events
         if kind is StallKind.MEMORY:
             if event is not None and not getattr(event, "needed_remote", False):

@@ -65,3 +65,29 @@ def test_run_length_recording():
     events.record_run_length(200.0)
     assert events.run_lengths_count == 2
     assert events.avg_run_length == 150.0
+
+
+def test_breakdown_as_dict_stable_string_keys():
+    breakdown = TimeBreakdown()
+    breakdown.charge(Category.DSM, 7.5)
+    data = breakdown.as_dict()
+    assert list(data) == [category.value for category in Category]
+    assert all(isinstance(key, str) for key in data)
+    assert data["dsm_overhead"] == 7.5
+
+
+def test_breakdown_json_round_trip():
+    breakdown = TimeBreakdown()
+    breakdown.charge(Category.BUSY, 12.0)
+    breakdown.charge(Category.SYNC_IDLE, 3.0)
+    clone = TimeBreakdown.from_json(breakdown.to_json())
+    assert clone.times == breakdown.times
+    assert clone.as_dict() == breakdown.as_dict()
+
+
+def test_breakdown_from_dict_partial_and_unknown():
+    partial = TimeBreakdown.from_dict({"busy": 4.0})
+    assert partial.times[Category.BUSY] == 4.0
+    assert partial.total == 4.0  # missing categories stay zero
+    with pytest.raises(ValueError):
+        TimeBreakdown.from_dict({"not_a_category": 1.0})

@@ -143,3 +143,41 @@ def test_from_dict_rejects_unknown_schema():
     del data["schema"]
     with pytest.raises(ValueError):
         RunReport.from_dict(data)
+
+
+def test_from_dict_accepts_v1_documents():
+    """Schema v2 still loads v1 files (no ``profile`` key, untyped
+    fault/traffic maps)."""
+    data = make_report(
+        injected_faults={"drop": 2}, traffic_by_kind={"ack": {"sends": 9}}
+    ).to_dict()
+    data["schema"] = 1
+    del data["profile"]
+    clone = RunReport.from_dict(data)
+    assert clone.profile is None
+    assert clone.injected_faults == {"drop": 2}
+    assert clone.traffic_by_kind == {"ack": {"sends": 9}}
+
+
+def test_typed_dicts_coerced_on_serialization():
+    """injected_faults/traffic_by_kind serialize as str->int / str->dict
+    even when callers hand in looser types."""
+    report = make_report(
+        injected_faults={"drop": 3.0}, traffic_by_kind={"diff_request": {"sends": 4}}
+    )
+    data = report.to_dict()
+    assert data["injected_faults"] == {"drop": 3}
+    assert isinstance(data["injected_faults"]["drop"], int)
+    clone = RunReport.from_dict(data)
+    assert clone.injected_faults == {"drop": 3}
+    assert clone.traffic_by_kind["diff_request"]["sends"] == 4
+
+
+def test_profile_section_round_trips():
+    profile = {"version": 1, "histograms": {"x_us": {"count": 1}}, "counters": {}}
+    report = make_report(profile=profile)
+    clone = RunReport.from_json(report.to_json())
+    assert clone.profile == profile
+    # Absent by default.
+    assert make_report().profile is None
+    assert "profile" in make_report().to_dict()

@@ -1,0 +1,95 @@
+"""The bench harness: schema validity and compare interoperability."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA,
+    DEFAULT_CONFIGS,
+    QUICK_CONFIGS,
+    bench_filename,
+    normalize_app,
+    run_bench,
+)
+from repro.profile.compare import compare, flatten
+
+
+def test_normalize_app():
+    assert normalize_app("sor") == "SOR"
+    assert normalize_app(" water-nsq ") == "WATER-NSQ"
+    with pytest.raises(ValueError):
+        normalize_app("quake")
+
+
+def test_bench_filename():
+    assert bench_filename("20260806") == "BENCH_20260806.json"
+    generated = bench_filename()
+    assert generated.startswith("BENCH_") and generated.endswith(".json")
+    assert len(generated) == len("BENCH_20260806.json")
+
+
+def test_config_sets_cover_the_papers_schemes():
+    assert DEFAULT_CONFIGS == ("O", "P", "4T", "4TP")
+    assert QUICK_CONFIGS == ("O", "P", "2T", "2TP")
+
+
+@pytest.fixture(scope="module")
+def tiny_bench():
+    return run_bench(
+        ["sor"], ["O", "P"], num_nodes=2, preset="small", top_n=3, verbose=False
+    )
+
+
+def test_document_schema(tiny_bench):
+    doc = tiny_bench
+    assert doc["schema"] == BENCH_SCHEMA
+    assert doc["preset"] == "small" and doc["nodes"] == 2 and doc["seed"] == 42
+    assert doc["configs"] == ["O", "P"]
+    assert len(doc["runs"]) == 2
+    json.dumps(doc)  # JSON-serializable end to end
+
+    for run, label in zip(doc["runs"], ("O", "P")):
+        assert run["app"] == "SOR" and run["config"] == label
+        metrics = run["metrics"]
+        assert metrics["wall_time_us"] > 0
+        assert metrics["total_messages"] > 0
+        assert any(key.startswith("time.") for key in metrics)
+        fault_stats = run["quantiles"]["page_fault_us"]
+        assert set(fault_stats) == {"count", "mean", "p50", "p90", "p99", "max"}
+        assert fault_stats["count"] > 0
+        assert len(run["hot_pages"]) <= 3  # honors top_n
+
+
+def test_prefetch_config_actually_prefetches(tiny_bench):
+    base, prefetched = tiny_bench["runs"]
+    assert "prefetch_lead_us" not in base["quantiles"]
+    assert prefetched["quantiles"]["prefetch_lead_us"]["count"] > 0
+
+
+def test_bench_output_feeds_compare(tiny_bench):
+    flat = flatten(tiny_bench)
+    assert "SOR/O/wall_time_us" in flat
+    assert "SOR/P/hist.page_fault_us.p99" in flat
+    import io
+
+    assert compare(flat, dict(flat), out=io.StringIO()) == 0
+
+
+def test_bench_is_deterministic(tiny_bench):
+    again = run_bench(
+        ["sor"], ["O", "P"], num_nodes=2, preset="small", top_n=3, verbose=False
+    )
+    a, b = dict(tiny_bench), again
+    a.pop("created"), b.pop("created")
+    assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+
+def test_checked_in_baseline_matches_schema():
+    from pathlib import Path
+
+    path = Path(__file__).resolve().parents[2] / "benchmarks/baselines/bench-smoke.json"
+    baseline = json.loads(path.read_text())
+    assert baseline["schema"] == BENCH_SCHEMA
+    assert {run["app"] for run in baseline["runs"]} == {"SOR", "FFT"}
+    assert flatten(baseline)  # flattens without error

@@ -1,0 +1,165 @@
+"""The compare CLI: flattening, tolerance rules, and exit codes."""
+
+import io
+import json
+
+import pytest
+
+from repro.profile.compare import (
+    _parse_tolerance_rules,
+    _tolerance_for,
+    compare,
+    flatten,
+    main,
+)
+
+REPORT = {
+    "wall_time_us": 1000.0,
+    "total_messages": 50,
+    "total_kbytes": 12.5,
+    "message_drops": 0,
+    "retransmissions": 2,
+    "node_breakdowns": [
+        {"busy": 600.0, "memory_stall": 100.0},
+        {"busy": 550.0, "memory_stall": 150.0},
+    ],
+    "profile": {
+        "histograms": {
+            "diff_rtt_us": {"count": 9, "mean": 40.0, "p50": 38.0, "p90": 55.0,
+                            "p99": 60.0, "max": 61.0, "buckets": {"30": 9}},
+        },
+        "counters": {"transport_retries_exhausted": 1},
+    },
+}
+
+BENCH = {
+    "schema": "repro-bench-1",
+    "runs": [
+        {
+            "app": "SOR",
+            "config": "O",
+            "metrics": {"wall_time_us": 500.0, "time.busy": 300.0},
+            "quantiles": {"page_fault_us": {"p99": 80.0, "count": 12}},
+        },
+        {
+            "app": "SOR",
+            "config": "P",
+            "metrics": {"wall_time_us": 420.0},
+            "quantiles": {},
+        },
+    ],
+}
+
+
+# -- flatten ------------------------------------------------------------------
+
+
+def test_flatten_run_report():
+    flat = flatten(REPORT)
+    assert flat["wall_time_us"] == 1000.0
+    assert flat["time.busy"] == 1150.0  # summed across nodes
+    assert flat["time.memory_stall"] == 250.0
+    assert flat["hist.diff_rtt_us.p99"] == 60.0
+    assert flat["counter.transport_retries_exhausted"] == 1.0
+    assert "hist.diff_rtt_us.buckets" not in flat
+
+
+def test_flatten_bench_file():
+    flat = flatten(BENCH)
+    assert flat["SOR/O/wall_time_us"] == 500.0
+    assert flat["SOR/O/time.busy"] == 300.0
+    assert flat["SOR/O/hist.page_fault_us.p99"] == 80.0
+    assert flat["SOR/P/wall_time_us"] == 420.0
+
+
+def test_flatten_rejects_unknown_shape():
+    with pytest.raises(ValueError):
+        flatten({"something": "else"})
+
+
+# -- tolerance rules ----------------------------------------------------------
+
+
+def test_rule_parsing_and_first_match_wins():
+    rules = _parse_tolerance_rules(["*/p99=0.5", "*=0.1"])
+    assert rules == [("*/p99", 0.5), ("*", 0.1)]
+    assert _tolerance_for("SOR/O/p99", rules, 0.0) == 0.5
+    assert _tolerance_for("SOR/O/wall_time_us", rules, 0.0) == 0.1
+    assert _tolerance_for("anything", [], 0.25) == 0.25
+
+
+def test_rule_without_pattern_rejected():
+    with pytest.raises(ValueError):
+        _parse_tolerance_rules(["0.5"])
+
+
+# -- compare ------------------------------------------------------------------
+
+
+def test_identical_inputs_no_regressions():
+    flat = flatten(REPORT)
+    out = io.StringIO()
+    assert compare(flat, dict(flat), out=out) == 0
+    assert "0 regression(s)" in out.getvalue()
+
+
+def test_growth_past_tolerance_is_a_regression():
+    old = {"wall_time_us": 100.0}
+    assert compare(old, {"wall_time_us": 125.0}, tolerance=0.2, out=io.StringIO()) == 1
+    assert compare(old, {"wall_time_us": 115.0}, tolerance=0.2, out=io.StringIO()) == 0
+    # Improvements never regress.
+    assert compare(old, {"wall_time_us": 10.0}, out=io.StringIO()) == 0
+
+
+def test_slack_floor_suppresses_tiny_absolute_jitter():
+    old = {"tiny_us": 1.0}
+    new = {"tiny_us": 3.0}  # +200% but only +2 absolute
+    assert compare(old, new, tolerance=0.0, slack=5.0, out=io.StringIO()) == 0
+    assert compare(old, new, tolerance=0.0, slack=0.0, out=io.StringIO()) == 1
+
+
+def test_negative_tolerance_skips_metric():
+    old = {"noisy": 1.0, "steady": 1.0}
+    new = {"noisy": 99.0, "steady": 1.0}
+    rules = _parse_tolerance_rules(["noisy=-1"])
+    assert compare(old, new, rules=rules, out=io.StringIO()) == 0
+
+
+def test_unmatched_metrics_are_noted_not_regressions():
+    out = io.StringIO()
+    count = compare({"a": 1.0, "gone": 5.0}, {"a": 1.0, "fresh": 5.0}, out=out)
+    assert count == 0
+    text = out.getvalue()
+    assert "missing from NEW" in text and "new in NEW" in text
+    assert "2 unmatched" in text
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def write(path, data):
+    path.write_text(json.dumps(data))
+    return str(path)
+
+
+def test_main_exit_codes(tmp_path):
+    old = write(tmp_path / "old.json", REPORT)
+    same = write(tmp_path / "same.json", REPORT)
+    assert main([old, same]) == 0
+
+    worse = json.loads(json.dumps(REPORT))
+    worse["wall_time_us"] = 1500.0
+    worse_path = write(tmp_path / "worse.json", worse)
+    assert main([old, worse_path, "--tolerance", "0.2"]) == 1
+    # Per-metric rule can waive exactly that metric.
+    assert main([old, worse_path, "--tol", "wall_time_us=-1"]) == 0
+
+
+def test_main_usage_errors_exit_2(tmp_path):
+    ok = write(tmp_path / "ok.json", REPORT)
+    assert main([ok, str(tmp_path / "missing.json")]) == 2
+    bad = write(tmp_path / "bad.json", {"nope": 1})
+    assert main([ok, bad]) == 2
+    disjoint = write(tmp_path / "disjoint.json", {"wall_time_us": "not-a-number"})
+    assert main([ok, disjoint]) == 2  # no metrics in common
+    assert main([ok, ok, "--tol", "broken"]) == 2

@@ -1,0 +1,136 @@
+"""Histogram unit behaviour: bucketing, quantiles, merge algebra."""
+
+import math
+
+import pytest
+
+from repro.profile.histogram import SUBBUCKETS, Histogram, _bucket_index, bucket_bounds
+
+
+def make(values):
+    histogram = Histogram()
+    for value in values:
+        histogram.record(value)
+    return histogram
+
+
+# -- bucketing ----------------------------------------------------------------
+
+
+def test_every_value_falls_inside_its_bucket_bounds():
+    for value in [0.0, 0.5, 1.0, 1.06, 1.9, 2.0, 3.7, 10.0, 4096.0, 123456.789]:
+        lower, upper = bucket_bounds(_bucket_index(value))
+        assert lower <= value < upper or (value < 1.0 and upper == 1.0), value
+
+
+def test_bucket_bounds_tile_the_axis_without_gaps():
+    for index in range(0, 20 * SUBBUCKETS):
+        _, upper = bucket_bounds(index)
+        next_lower, _ = bucket_bounds(index + 1)
+        assert upper == pytest.approx(next_lower)
+
+
+def test_relative_error_is_bounded_by_subbucket_width():
+    for value in [1.0, 7.3, 100.0, 999.0, 54321.0]:
+        histogram = make([value])
+        estimate = histogram.quantile(0.5)
+        assert abs(estimate - value) / value <= 1.0 / SUBBUCKETS + 1e-9
+
+
+def test_negative_sample_rejected():
+    with pytest.raises(ValueError):
+        Histogram().record(-1.0)
+
+
+# -- quantiles ----------------------------------------------------------------
+
+
+def test_empty_histogram_quantiles_are_zero():
+    histogram = Histogram()
+    assert histogram.quantile(0.0) == 0.0
+    assert histogram.quantile(0.5) == 0.0
+    assert histogram.quantile(0.99) == 0.0
+    assert histogram.quantile(1.0) == 0.0
+    assert histogram.mean == 0.0
+    summary = histogram.summary()
+    assert summary == {"count": 0, "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0}
+
+
+def test_quantile_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        make([1.0]).quantile(1.5)
+
+
+def test_quantiles_clamped_to_observed_range():
+    histogram = make([10.0, 20.0, 30.0])
+    for q in (0.0, 0.5, 0.9, 0.99, 1.0):
+        assert 10.0 <= histogram.quantile(q) <= 30.0
+    assert histogram.quantile(1.0) == 30.0
+    assert histogram.quantile(0.0) >= 10.0
+
+
+def test_quantiles_are_monotone_in_q():
+    histogram = make([1.0, 5.0, 9.0, 120.0, 7000.0, 7000.0, 31.0])
+    quantiles = [histogram.quantile(q / 100.0) for q in range(0, 101, 5)]
+    assert quantiles == sorted(quantiles)
+
+
+# -- merge algebra ------------------------------------------------------------
+
+
+def test_merge_is_commutative_and_associative():
+    a = make([1.0, 2.0, 900.0])
+    b = make([0.2, 55.5])
+    c = make([17.0, 17.0, 17.0, 4.0])
+    ab_c = a.merged_with(b).merged_with(c)
+    a_bc = a.merged_with(b.merged_with(c))
+    b_a = b.merged_with(a).merged_with(c)
+    assert ab_c.to_dict() == a_bc.to_dict() == b_a.to_dict()
+    assert ab_c == make([1.0, 2.0, 900.0, 0.2, 55.5, 17.0, 17.0, 17.0, 4.0])
+
+
+def test_merge_with_empty_is_identity():
+    a = make([3.0, 14.0, 159.0])
+    assert a.merged_with(Histogram()) == a
+    assert Histogram().merged_with(a) == a
+
+
+def test_merge_static_over_iterable():
+    parts = [make([float(i)]) for i in range(1, 6)]
+    merged = Histogram.merge(parts)
+    assert merged.count == 5
+    assert merged.total == 15.0
+    assert merged.min == 1.0 and merged.max == 5.0
+
+
+def test_merge_does_not_mutate_inputs():
+    a, b = make([1.0]), make([2.0])
+    a.merged_with(b)
+    assert a.count == 1 and b.count == 1
+
+
+# -- serialization ------------------------------------------------------------
+
+
+def test_round_trip_preserves_everything():
+    histogram = make([0.0, 0.5, 1.0, 3.25, 888.0, 1e6])
+    clone = Histogram.from_dict(histogram.to_dict())
+    assert clone == histogram
+    assert clone.quantile(0.9) == histogram.quantile(0.9)
+    assert clone.min == histogram.min and clone.max == histogram.max
+
+
+def test_empty_round_trip():
+    clone = Histogram.from_dict(Histogram().to_dict())
+    assert clone.empty
+    assert clone.min == math.inf  # restored sentinel, not the serialized 0.0
+    assert clone == Histogram()
+
+
+def test_to_dict_is_canonical_and_json_safe():
+    import json
+
+    histogram = make([512.0, 1.0, 70.0])
+    data = histogram.to_dict()
+    assert list(data["buckets"]) == sorted(data["buckets"], key=int)
+    json.dumps(data)  # no enum/float-key surprises

@@ -1,0 +1,71 @@
+"""MetricsRegistry: named metrics, counters, and merge determinism."""
+
+from repro.profile import Histogram, MetricsRegistry
+
+
+def make(samples, counters=None):
+    registry = MetricsRegistry()
+    for name, values in samples.items():
+        for value in values:
+            registry.observe(name, value)
+    for name, n in (counters or {}).items():
+        registry.count(name, n)
+    return registry
+
+
+def test_histogram_is_get_or_create():
+    registry = MetricsRegistry()
+    assert registry.histogram("x") is registry.histogram("x")
+    registry.observe("x", 5.0)
+    assert registry.histogram("x").count == 1
+
+
+def test_counters_accumulate():
+    registry = MetricsRegistry()
+    registry.count("violations")
+    registry.count("violations", 4)
+    assert registry.counters == {"violations": 5}
+
+
+def test_merge_sums_by_name_and_keeps_disjoint_names():
+    a = make({"rtt": [10.0, 20.0]}, {"drops": 1})
+    b = make({"rtt": [30.0], "lock": [5.0]}, {"drops": 2, "gaveup": 1})
+    merged = a.merged_with(b)
+    assert merged.histograms["rtt"].count == 3
+    assert merged.histograms["lock"].count == 1
+    assert merged.counters == {"drops": 3, "gaveup": 1}
+    # Inputs untouched (merge copies, it does not alias).
+    merged.histograms["rtt"].record(1.0)
+    assert a.histograms["rtt"].count == 2 and b.histograms["rtt"].count == 1
+
+
+def test_merge_is_order_and_grouping_independent():
+    parts = [
+        make({"rtt": [float(i), float(i * 7)]}, {"c": i}) for i in range(1, 6)
+    ]
+    left = MetricsRegistry.merge(parts)
+    right = MetricsRegistry.merge(list(reversed(parts)))
+    paired = MetricsRegistry.merge(
+        [parts[0].merged_with(parts[1]), parts[2], parts[3].merged_with(parts[4])]
+    )
+    assert left.to_dict() == right.to_dict() == paired.to_dict()
+
+
+def test_round_trip():
+    registry = make({"a": [1.0, 2.0], "b": [99.0]}, {"n": 7})
+    clone = MetricsRegistry.from_dict(registry.to_dict())
+    assert clone.to_dict() == registry.to_dict()
+    assert clone.histograms["a"] == registry.histograms["a"]
+
+
+def test_to_dict_sorted_keys():
+    registry = make({"zeta": [1.0], "alpha": [1.0]}, {"z": 1, "a": 1})
+    data = registry.to_dict()
+    assert list(data["histograms"]) == ["alpha", "zeta"]
+    assert list(data["counters"]) == ["a", "z"]
+
+
+def test_empty_merge_identity():
+    registry = make({"x": [4.0]})
+    assert registry.merged_with(MetricsRegistry()).to_dict() == registry.to_dict()
+    assert MetricsRegistry.merge([]).to_dict() == {"histograms": {}, "counters": {}}
