@@ -16,10 +16,11 @@ from __future__ import annotations
 import time
 from typing import Optional
 
-from repro.api.runtime import DsmRuntime, RunConfig
-from repro.apps.registry import APP_ORDER, make_app
+from repro.api.runtime import RunConfig
+from repro.apps.registry import APP_ORDER
 from repro.experiments.runner import parse_label
 from repro.metrics.report import RunReport
+from repro.parallel import RunSpec, run_specs
 from repro.profile import ProfileConfig
 
 __all__ = ["BENCH_SCHEMA", "DEFAULT_CONFIGS", "QUICK_CONFIGS", "run_bench", "bench_filename"]
@@ -80,18 +81,18 @@ def run_bench(
     verify: bool = True,
     top_n: int = 5,
     verbose: bool = True,
+    jobs: int = 1,
 ) -> dict:
-    """Run the sweep and return the BENCH document (not yet written)."""
-    runs = []
+    """Run the sweep and return the BENCH document (not yet written).
+
+    ``jobs > 1`` fans the (app, config) cells across worker processes;
+    every run is still fully deterministic, so the document is
+    byte-identical for any jobs count — only the wall clock changes.
+    """
+    specs = []
     for app_name in [normalize_app(name) for name in apps]:
         for label in configs:
             threads_per_node, prefetch = parse_label(label)
-            app = make_app(app_name, preset)
-            app.use_prefetch = prefetch
-            if prefetch and threads_per_node > 1:
-                app.prefetch_dedup = True
-                if app_name == "RADIX":
-                    app.throttle_prefetch = True
             config = RunConfig(
                 num_nodes=num_nodes,
                 threads_per_node=threads_per_node,
@@ -99,15 +100,29 @@ def run_bench(
                 seed=seed,
                 profile=ProfileConfig(top_n=top_n),
             )
-            started = time.time()
-            report = DsmRuntime(config).execute(app, verify=verify)
-            if verbose:
-                print(
-                    f"  {app_name:10s} [{label:4s}] "
-                    f"wall {report.wall_time_us / 1000:9.2f} ms simulated "
-                    f"({time.time() - started:5.1f}s real)"
+            specs.append(
+                RunSpec(
+                    index=len(specs),
+                    app_name=app_name,
+                    preset=preset,
+                    label=label,
+                    config=config,
+                    verify=verify,
                 )
-            runs.append(_run_entry(report))
+            )
+
+    started = time.time()
+
+    def on_done(spec: RunSpec, report: RunReport) -> None:
+        if verbose:
+            print(
+                f"  {spec.app_name:10s} [{spec.label:4s}] "
+                f"wall {report.wall_time_us / 1000:9.2f} ms simulated "
+                f"({time.time() - started:5.1f}s elapsed)",
+                flush=True,
+            )
+
+    reports = run_specs(specs, jobs=jobs, on_done=on_done)
     return {
         "schema": BENCH_SCHEMA,
         "created": time.strftime("%Y-%m-%d"),
@@ -115,5 +130,5 @@ def run_bench(
         "nodes": num_nodes,
         "seed": seed,
         "configs": list(configs),
-        "runs": runs,
+        "runs": [_run_entry(report) for report in reports],
     }

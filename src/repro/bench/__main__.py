@@ -57,6 +57,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--out", metavar="PATH", help="output path (default BENCH_<date>.json)"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run up to N (app, config) cells in parallel worker processes "
+        "(0 = one per CPU core); output is identical for any N",
+    )
     args = parser.parse_args(argv)
 
     nodes = args.nodes if args.nodes is not None else (4 if args.quick else 8)
@@ -69,9 +77,12 @@ def main(argv: list[str] | None = None) -> int:
     except ValueError as exc:
         parser.error(str(exc))
 
+    from repro.parallel import default_jobs
+
+    jobs = default_jobs() if args.jobs == 0 else max(1, args.jobs)
     print(
         f"bench: {len(apps)} app(s) x {len(configs)} config(s) on {nodes} nodes "
-        f"({args.preset} preset, seed {args.seed})"
+        f"({args.preset} preset, seed {args.seed}, {jobs} job(s))"
     )
     document = run_bench(
         apps,
@@ -81,6 +92,7 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         verify=not args.no_verify,
         top_n=args.top_n,
+        jobs=jobs,
     )
     out_path = args.out or bench_filename()
     with open(out_path, "w") as handle:

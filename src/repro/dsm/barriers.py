@@ -73,13 +73,13 @@ class BarrierSubsystem:
         key, episode = self._local_episode(barrier_id)
         episode.arrived += 1
         wake = Event(self.dsm.sim, name=f"barrier{barrier_id}@{self.dsm.node_id}")
-        pf = self.dsm.sim.profile
-        if pf.enabled:
+        if self.dsm.sim.profile_on:
+            pf = self.dsm.sim.profile
             # Closed in _apply_release when the release wakes this thread.
             wake.profile_t0 = self.dsm.sim.now  # type: ignore[attr-defined]
         episode.waiters.append(wake)
-        tr = self.dsm.sim.trace
-        if tr.enabled:
+        if self.dsm.sim.trace_on:
+            tr = self.dsm.sim.trace
             tr.instant(
                 self.dsm.sim.now,
                 "protocol",
@@ -146,8 +146,8 @@ class BarrierSubsystem:
         state = self._manager.setdefault(key, _ManagerEpisode())
         if src in state.node_vcs:
             raise ProtocolError(f"duplicate barrier arrival from node {src}")
-        pf = self.dsm.sim.profile
-        if pf.enabled:
+        if self.dsm.sim.profile_on:
+            pf = self.dsm.sim.profile
             # First arrival opens the skew window (first-begin wins).
             pf.span_begin(("barrier_skew",) + key, self.dsm.sim.now)
         state.arrivals += 1
@@ -160,7 +160,8 @@ class BarrierSubsystem:
         self.dsm.wn_log.add_all(notices)
         if state.arrivals < self.dsm.num_nodes:
             return
-        if pf.enabled:
+        if self.dsm.sim.profile_on:
+            pf = self.dsm.sim.profile
             # Pop-on-record: a recovery replay re-enters via
             # resume_release, never here, so the skew of an episode is
             # recorded exactly once even if its release is redone.
@@ -184,8 +185,8 @@ class BarrierSubsystem:
         the fan-out: rolling back to the barrier cut re-runs exactly this
         loop, re-sending every node the write notices it was missing.
         """
-        tr = self.dsm.sim.trace
-        if tr.enabled:
+        if self.dsm.sim.trace_on:
+            tr = self.dsm.sim.trace
             # The global release instant: PhaseTimeline uses these as
             # barrier-epoch boundaries.
             tr.instant(
@@ -243,8 +244,8 @@ class BarrierSubsystem:
         self._episode[barrier_id] = episode + 1
         waiters = state.waiters
         del self._local[key]
-        tr = self.dsm.sim.trace
-        if tr.enabled:
+        if self.dsm.sim.trace_on:
+            tr = self.dsm.sim.trace
             tr.instant(
                 self.dsm.sim.now,
                 "protocol",

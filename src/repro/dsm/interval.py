@@ -20,7 +20,7 @@ from repro.memory import Diff
 __all__ = ["StoredDiff", "IntervalManager", "DiffStore"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StoredDiff:
     """A flushed diff, tagged for ordering and coverage.
 

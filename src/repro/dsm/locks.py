@@ -114,8 +114,8 @@ class LockSubsystem:
         state.local_waiters.append(wake)
         if not state.has_token and not state.request_outstanding:
             state.request_outstanding = True
-            tr = self.dsm.sim.trace
-            if tr.enabled:
+            if self.dsm.sim.trace_on:
+                tr = self.dsm.sim.trace
                 # Request->grant round trip; at most one outstanding per
                 # (node, lock), so the acquire count disambiguates.
                 tr.async_begin(
@@ -180,8 +180,8 @@ class LockSubsystem:
             # Hand off between local threads without any messages.
             yield from self.dsm.occupy_dsm(costs.lock_local_handoff)
             state.local_handoffs += 1
-            tr = self.dsm.sim.trace
-            if tr.enabled:
+            if self.dsm.sim.trace_on:
+                tr = self.dsm.sim.trace
                 tr.instant(
                     self.dsm.sim.now, "protocol", "lock_handoff", self.dsm.node_id, lock=lock_id
                 )
@@ -270,8 +270,8 @@ class LockSubsystem:
         costs = self.dsm.node.costs
         yield from self.dsm.occupy_dsm(costs.lock_handler)
         yield from self.dsm.apply_notices_charged(msg.payload["notices"])
-        tr = self.dsm.sim.trace
-        if tr.enabled:
+        if self.dsm.sim.trace_on:
+            tr = self.dsm.sim.trace
             tr.async_end(
                 self.dsm.sim.now,
                 "protocol",
@@ -296,8 +296,8 @@ class LockSubsystem:
         wake = state.local_waiters.popleft()
         now = self.dsm.sim.now
         state.acquired_at = now
-        pf = self.dsm.sim.profile
-        if pf.enabled:
+        if self.dsm.sim.profile_on:
+            pf = self.dsm.sim.profile
             t0 = getattr(wake, "profile_t0", None)
             if t0 is not None:
                 waited = now - t0

@@ -19,7 +19,7 @@ from repro.sim import Event
 __all__ = ["PageCoherence"]
 
 
-@dataclass
+@dataclass(slots=True)
 class PageCoherence:
     """Coherence metadata for one page on one node."""
 

@@ -117,8 +117,8 @@ class DsmNode:
         if not pages:
             return []
         new_idx = self.vc.advance_own()
-        san = self.sim.sanitizer
-        if san.enabled:
+        if self.sim.sanitizer_on:
+            san = self.sim.sanitizer
             san.on_interval_closed(self.node_id, new_idx)
         self.intervals.lamport += 1
         lamport = self.intervals.lamport
@@ -152,8 +152,8 @@ class DsmNode:
         if notices:
             cost = self.node.costs.write_notice_apply * len(notices)
             yield from self.node.occupy(cost, Category.DSM)
-            tr = self.sim.trace
-            if tr.enabled:
+            if self.sim.trace_on:
+                tr = self.sim.trace
                 tr.instant(
                     self.sim.now,
                     "protocol",
@@ -203,11 +203,11 @@ class DsmNode:
         yield from self.node.occupy(self.node.costs.twin_create, Category.DSM)
         state.twin = self.node.pages.snapshot(page_id)
         state.dirty = True
-        pf = self.sim.profile
-        if pf.enabled:
+        if self.sim.profile_on:
+            pf = self.sim.profile
             pf.entity_add("page", page_id, "twins")
-        san = self.sim.sanitizer
-        if san.enabled:
+        if self.sim.sanitizer_on:
+            san = self.sim.sanitizer
             san.on_twin_created(self.node_id, page_id)
         self.intervals.record_write(page_id)
 
@@ -305,7 +305,6 @@ class DsmNode:
                         # Stashed on the event itself: the RTT closes in
                         # handle_diff_reply, a different process.
                         reply_event.profile_t0 = self.sim.now  # type: ignore[attr-defined]
-                        reply_event.profile_page = page_id  # type: ignore[attr-defined]
                     self._pending_requests[request_id] = reply_event
                     replies.append(reply_event)
                     if tr.enabled:
@@ -386,12 +385,12 @@ class DsmNode:
                 )
             cost = self.node.costs.diff_apply_us(item.diff.modified_bytes)
             yield from self.node.occupy(cost, Category.DSM)
-            pf = self.sim.profile
-            if pf.enabled:
+            if self.sim.profile_on:
+                pf = self.sim.profile
                 pf.entity_add("page", page_id, "diffs")
                 pf.entity_add("page", page_id, "bytes", item.diff.modified_bytes)
-            tr = self.sim.trace
-            if tr.enabled:
+            if self.sim.trace_on:
+                tr = self.sim.trace
                 tr.instant(
                     self.sim.now,
                     "protocol",
@@ -456,8 +455,8 @@ class DsmNode:
             # happen atomically, so a local write racing the flush lands
             # cleanly in the *next* interval with a fresh twin.
             page = self.node.pages.page(page_id)
-            san = self.sim.sanitizer
-            if san.enabled:
+            if self.sim.sanitizer_on:
+                san = self.sim.sanitizer
                 san.on_flush(self.node_id, page_id, had_twin=state.twin is not None)
             diff = make_diff(page_id, state.twin, page)
             state.dirty = False
@@ -472,8 +471,8 @@ class DsmNode:
                     diff=diff,
                 )
             )
-            tr = self.sim.trace
-            if tr.enabled:
+            if self.sim.trace_on:
+                tr = self.sim.trace
                 tr.instant(
                     self.sim.now,
                     "protocol",
@@ -514,8 +513,8 @@ class DsmNode:
 
     def handle_diff_request(self, msg: Message) -> Generator:
         self.diff_requests_served += 1
-        pf = self.sim.profile
-        if pf.enabled:
+        if self.sim.profile_on:
+            pf = self.sim.profile
             pf.entity_add("page", msg.payload["page_id"], "diffs_served")
         page_id = msg.payload["page_id"]
         t_have = msg.payload["t_have"]
@@ -562,13 +561,13 @@ class DsmNode:
         pending = self._pending_requests.pop(msg.payload["request_id"], None)
         if pending is None:
             raise ProtocolError(f"unexpected diff reply {msg.payload['request_id']}")
-        pf = self.sim.profile
-        if pf.enabled:
+        if self.sim.profile_on:
+            pf = self.sim.profile
             t0 = getattr(pending, "profile_t0", None)
             if t0 is not None:
                 pf.observe(self.node_id, "diff_rtt_us", self.sim.now - t0)
-        tr = self.sim.trace
-        if tr.enabled:
+        if self.sim.trace_on:
+            tr = self.sim.trace
             tr.async_end(
                 self.sim.now,
                 "protocol",

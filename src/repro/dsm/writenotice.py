@@ -18,7 +18,7 @@ __all__ = ["WriteNotice", "WriteNoticeLog", "WIRE_BYTES_PER_NOTICE"]
 WIRE_BYTES_PER_NOTICE = 16
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WriteNotice:
     """Page ``page_id`` was modified by ``proc`` during interval ``interval_idx``."""
 

@@ -66,6 +66,15 @@ def main(argv: list[str] | None = None) -> int:
         "--no-verify", action="store_true", help="skip result verification (faster)"
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan the run matrix across up to N worker processes "
+        "(0 = one per CPU core); results are identical for any N. "
+        "Ignored when --trace is set (the timeline audit is in-process)",
+    )
+    parser.add_argument(
         "--trace",
         metavar="PATH",
         help="record per-run event traces; PATH is a template — each "
@@ -92,6 +101,9 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         parser.error(f"unknown experiment(s): {unknown}")
 
+    from repro.parallel import default_jobs
+
+    jobs = default_jobs() if args.jobs == 0 else max(1, args.jobs)
     runner = ExperimentRunner(
         num_nodes=args.nodes,
         preset=args.preset,
@@ -103,6 +115,7 @@ def main(argv: list[str] | None = None) -> int:
         crash_node=args.crash_node,
         crash_frac=args.crash_at,
         crash_loss=args.crash_loss,
+        jobs=jobs,
     )
     for experiment_id in wanted:
         started = time.time()

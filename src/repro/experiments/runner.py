@@ -14,7 +14,7 @@ from repro.errors import ConfigError
 from repro.metrics.report import RunReport
 from repro.trace import PhaseTimeline, TraceConfig
 
-__all__ = ["CONFIG_LABELS", "ExperimentRunner", "parse_label"]
+__all__ = ["CONFIG_LABELS", "ExperimentRunner", "make_configured_app", "parse_label"]
 
 #: Every configuration Figure 5 uses, in its presentation order.
 CONFIG_LABELS = ["O", "2T", "4T", "8T", "P", "2TP", "4TP", "8TP"]
@@ -33,6 +33,24 @@ def parse_label(label: str) -> tuple[int, bool]:
     raise ConfigError(f"unknown configuration label {label!r}")
 
 
+def make_configured_app(app_name: str, preset: str, label: str):
+    """Build the app instance for one (app, configuration-label) cell.
+
+    One definition shared by the experiment runner, the bench sweep and
+    the parallel workers, so the per-scheme app flags (Section 5.1's
+    combined-scheme optimizations) cannot drift between harnesses.
+    """
+    threads_per_node, prefetch = parse_label(label)
+    app = make_app(app_name, preset)
+    app.use_prefetch = prefetch
+    if prefetch and threads_per_node > 1:
+        # The combined scheme's optimizations (Section 5.1).
+        app.prefetch_dedup = True
+        if app_name == "RADIX":
+            app.throttle_prefetch = True
+    return app
+
+
 class ExperimentRunner:
     """Runs (app, configuration) pairs on demand and caches the reports."""
 
@@ -48,6 +66,7 @@ class ExperimentRunner:
         crash_node: int = 3,
         crash_frac: float = 0.45,
         crash_loss: float = 0.0,
+        jobs: int = 1,
     ) -> None:
         self.num_nodes = num_nodes
         self.preset = preset
@@ -68,6 +87,10 @@ class ExperimentRunner:
         #: other value is a template for per-run RunReport JSON dumps,
         #: derived like the trace template.
         self.profile_template = profile_template
+        #: Worker processes for grid fan-out (see :meth:`run_many`);
+        #: 1 = serial.  Tracing forces serial: the timeline audit needs
+        #: the in-process tracer, which cannot cross a process boundary.
+        self.jobs = jobs
         self._cache: dict[tuple[str, str], RunReport] = {}
 
     def trace_path(self, app_name: str, label: str) -> Path:
@@ -90,13 +113,7 @@ class ExperimentRunner:
         if key in self._cache:
             return self._cache[key]
         threads_per_node, prefetch = parse_label(label)
-        app = make_app(app_name, self.preset)
-        app.use_prefetch = prefetch
-        if prefetch and threads_per_node > 1:
-            # The combined scheme's optimizations (Section 5.1).
-            app.prefetch_dedup = True
-            if app_name == "RADIX":
-                app.throttle_prefetch = True
+        app = make_configured_app(app_name, self.preset, label)
         config = RunConfig(
             num_nodes=self.num_nodes,
             threads_per_node=threads_per_node,
@@ -143,7 +160,57 @@ class ExperimentRunner:
         return self.run(app_name, "O")
 
     def run_many(self, labels: list[str], apps: Optional[list[str]] = None):
-        """Yield (app, label, report) over the full grid."""
-        for app_name in apps or APP_ORDER:
+        """Yield (app, label, report) over the full grid.
+
+        With ``jobs > 1`` the not-yet-cached cells are fanned out across
+        worker processes first (deterministic runs make the result
+        independent of the job count), then yielded in grid order.
+        """
+        apps = list(apps or APP_ORDER)
+        if self.jobs > 1 and not self.trace_template:
+            self._prefetch_grid(labels, apps)
+        for app_name in apps:
             for label in labels:
                 yield app_name, label, self.run(app_name, label)
+
+    def _prefetch_grid(self, labels: list[str], apps: list[str]) -> None:
+        """Fill the cache for every missing (app, label) cell in parallel."""
+        from repro.parallel import RunSpec, run_specs
+
+        specs = []
+        for app_name in apps:
+            for label in labels:
+                if (app_name, label) in self._cache:
+                    continue
+                threads_per_node, prefetch = parse_label(label)
+                config = RunConfig(
+                    num_nodes=self.num_nodes,
+                    threads_per_node=threads_per_node,
+                    prefetch=prefetch,
+                    seed=self.seed,
+                    profile=bool(self.profile_template),
+                )
+                specs.append(
+                    RunSpec(
+                        index=len(specs),
+                        app_name=app_name,
+                        preset=self.preset,
+                        label=label,
+                        config=config,
+                        verify=self.verify,
+                    )
+                )
+        if not specs:
+            return
+
+        def on_done(spec, report) -> None:
+            if self.verbose:
+                print(f"  finished {spec.app_name} [{spec.label}]", flush=True)
+
+        reports = run_specs(specs, jobs=self.jobs, on_done=on_done)
+        for spec, report in zip(specs, reports):
+            if self.profile_template and self.profile_template != "-":
+                path = self.profile_path(spec.app_name, spec.label)
+                path.parent.mkdir(parents=True, exist_ok=True)
+                path.write_text(report.to_json(indent=2) + "\n")
+            self._cache[(spec.app_name, spec.label)] = report

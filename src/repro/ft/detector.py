@@ -72,8 +72,8 @@ class FailureDetector:
         if dst == COORDINATOR or dst in self.down:
             return
         self._exhausted.add(dst)
-        tr = self.sim.trace
-        if tr.enabled:
+        if self.sim.trace_on:
+            tr = self.sim.trace
             tr.instant(
                 self.sim.now,
                 "ft",

@@ -150,8 +150,8 @@ class FtManager:
         self._crash_time[node_id] = now
         network.mark_down(node_id)
         cancelled = self.sim.cancel_group(f"node{node_id}")
-        tr = self.sim.trace
-        if tr.enabled:
+        if self.sim.trace_on:
+            tr = self.sim.trace
             tr.instant(
                 now, "ft", "crash", node_id, cancelled_processes=cancelled
             )
@@ -366,8 +366,8 @@ class FtManager:
         # against half-restored structures (two-phase, see cancel_groups).
         sim.cancel_groups([f"node{n}" for n in range(self.num_nodes)])
         transports = self.cluster.transports
-        sanitizer = sim.sanitizer
-        if sanitizer.enabled:
+        if sim.sanitizer_on:
+            sanitizer = sim.sanitizer
             # Interval ceilings rewind to each node's vc at the cut as
             # *snapshotted* — not the vcs the barrier arrivals carried: a
             # node can close one more interval after its own arrival

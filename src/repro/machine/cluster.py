@@ -61,7 +61,7 @@ class Cluster:
                 self.sim,
                 num_nodes,
                 fault_plan,
-                self.random.stream("network.faults"),
+                self.random,
                 link_config=link_config,
             )
         else:
@@ -73,9 +73,7 @@ class Cluster:
         self.transports: list[ReliableTransport] = []
         if transport is not None:
             for node in self.nodes:
-                layer = ReliableTransport(
-                    node, transport, self.random.stream(f"transport[{node.node_id}]")
-                )
+                layer = ReliableTransport(node, transport, self.random)
                 node.install_transport(layer)
                 self.transports.append(layer)
 

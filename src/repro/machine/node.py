@@ -98,8 +98,8 @@ class Node:
         try:
             yield self.sim.timeout(duration)
             self.breakdown.charge(category, duration)
-            tr = self.sim.trace
-            if tr.enabled:
+            if self.sim.trace_on:
+                tr = self.sim.trace
                 # One cpu slice per charge: the PhaseTimeline audit
                 # rebuilds the TimeBreakdown from exactly these events.
                 tr.slice(self.sim.now - duration, duration, "cpu", category.value, self.node_id)

@@ -24,7 +24,7 @@ RUN_HEADER_BYTES = 4
 DIFF_HEADER_BYTES = 12
 
 
-@dataclass
+@dataclass(slots=True)
 class Diff:
     """A run-length-encoded page delta.
 

@@ -165,6 +165,10 @@ class FaultPlan:
     #: Crash-stop failures, executed by the repro.ft layer (the network
     #: only carries the schedule; a plan with crashes auto-enables FT).
     crashes: tuple[NodeCrash, ...] = ()
+    #: Scope the probabilistic faults (drop/duplicate/reorder) to these
+    #: directed ``(src, dst)`` links; ``None`` means fabric-wide.
+    #: Out-of-scope traffic draws nothing from the fault streams.
+    only_links: Optional[frozenset[tuple[int, int]]] = None
 
     def __post_init__(self) -> None:
         _check_prob("drop_prob", self.drop_prob)
@@ -174,6 +178,13 @@ class FaultPlan:
             raise FaultConfigError(f"jitter_us must be >= 0, got {self.jitter_us}")
         if self.reorder_prob > 0 and self.jitter_us == 0:
             raise FaultConfigError("reorder_prob > 0 requires jitter_us > 0")
+        if self.only_links is not None:
+            links = frozenset((int(src), int(dst)) for src, dst in self.only_links)
+            if not links:
+                raise FaultConfigError("only_links must name at least one link")
+            if any(src < 0 or dst < 0 for src, dst in links):
+                raise FaultConfigError(f"negative node id in only_links: {links}")
+            object.__setattr__(self, "only_links", links)
         object.__setattr__(self, "degradations", tuple(self.degradations))
         object.__setattr__(self, "stalls", tuple(self.stalls))
         object.__setattr__(self, "crashes", tuple(self.crashes))
@@ -231,7 +242,22 @@ class FaultyNetwork(Network):
             raise FaultConfigError(f"not a FaultPlan: {plan!r}")
         super().__init__(sim, num_nodes, link_config=link_config, switch_latency_us=switch_latency_us)
         self.plan = plan
-        self._rng = rng
+        # Fault decisions draw from a *per-directed-link* stream so one
+        # link's traffic volume cannot shift the draws another link
+        # sees: given a RandomSource, each (src, dst) pair lazily gets
+        # its own named stream; a bare numpy Generator (legacy/direct
+        # construction) keeps the old fabric-wide behaviour.
+        if isinstance(rng, np.random.Generator):
+            self._random = None
+            self._shared_rng = rng
+        else:
+            self._random = rng
+            self._shared_rng = None
+
+    def _link_rng(self, src: int, dst: int) -> np.random.Generator:
+        if self._random is None:
+            return self._shared_rng
+        return self._random.stream(f"network.faults[{src}->{dst}]")
 
     # -- send path ---------------------------------------------------------
 
@@ -240,11 +266,18 @@ class FaultyNetwork(Network):
         message.incarnation = self.incarnation
         plan = self.plan
         now = self.sim.now
-        if not message.reliable and plan.drop_prob > 0 and self._rng.random() < plan.drop_prob:
+        in_scope = plan.only_links is None or (message.src, message.dst) in plan.only_links
+        rng = self._link_rng(message.src, message.dst) if in_scope else None
+        if (
+            in_scope
+            and not message.reliable
+            and plan.drop_prob > 0
+            and rng.random() < plan.drop_prob
+        ):
             self.stats.record_injected("drop", message)
             self.stats.record_drop(message)
-            tr = self.sim.trace
-            if tr.enabled:
+            if self.sim.trace_on:
+                tr = self.sim.trace
                 tr.instant(
                     now,
                     "network",
@@ -256,8 +289,8 @@ class FaultyNetwork(Network):
                 )
             return False
         delay = 0.0
-        if plan.reorder_prob > 0 and self._rng.random() < plan.reorder_prob:
-            jitter = float(self._rng.uniform(0.0, plan.jitter_us))
+        if in_scope and plan.reorder_prob > 0 and rng.random() < plan.reorder_prob:
+            jitter = float(rng.uniform(0.0, plan.jitter_us))
             if jitter > 0:
                 self.stats.record_injected("delay", message)
                 delay += jitter
@@ -269,10 +302,15 @@ class FaultyNetwork(Network):
         if hold > 0:
             self.stats.record_injected("stall", message)
             delay += hold
-        if not message.reliable and plan.duplicate_prob > 0 and self._rng.random() < plan.duplicate_prob:
+        if (
+            in_scope
+            and not message.reliable
+            and plan.duplicate_prob > 0
+            and rng.random() < plan.duplicate_prob
+        ):
             self.stats.record_injected("duplicate", message)
-            tr = self.sim.trace
-            if tr.enabled:
+            if self.sim.trace_on:
+                tr = self.sim.trace
                 tr.instant(
                     now,
                     "network",
@@ -281,7 +319,7 @@ class FaultyNetwork(Network):
                     kind=message.kind.value,
                     dst=message.dst,
                 )
-            ghost_delay = delay + float(self._rng.uniform(0.0, max(plan.jitter_us, 1.0)))
+            ghost_delay = delay + float(rng.uniform(0.0, max(plan.jitter_us, 1.0)))
             self.sim.schedule(ghost_delay, self._inject, message.clone())
         if delay > 0:
             self.sim.schedule(delay, self._inject_delayed, message, now)

@@ -48,7 +48,7 @@ class MessageKind(str, Enum):
         return self in (MessageKind.PREFETCH_REQUEST, MessageKind.PREFETCH_REPLY)
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A single datagram between two nodes.
 

@@ -106,10 +106,10 @@ class Network:
         """
         message.sent_at = self.sim.now
         accepted = self.uplinks[message.src].send(message)
-        tr = self.sim.trace
         if accepted:
             self.stats.record_send(message)
-            if tr.enabled:
+            if self.sim.trace_on:
+                tr = self.sim.trace
                 # In-flight span, closed at delivery; a dropped message
                 # leaves an unterminated async slice (by design).
                 tr.async_begin(
@@ -124,7 +124,8 @@ class Network:
                 )
         else:
             self.stats.record_drop(message)
-            if tr.enabled:
+            if self.sim.trace_on:
+                tr = self.sim.trace
                 tr.instant(
                     self.sim.now,
                     "network",
@@ -138,8 +139,8 @@ class Network:
 
     def _on_switch_drop(self, message: Message) -> None:
         self.stats.record_drop(message)
-        tr = self.sim.trace
-        if tr.enabled:
+        if self.sim.trace_on:
+            tr = self.sim.trace
             tr.instant(
                 self.sim.now,
                 "network",
@@ -161,8 +162,8 @@ class Network:
             # crashed node: the wire eats it silently.
             reason = "stale" if message.incarnation != self.incarnation else "down"
             self.stats.record_drop(message)
-            tr = self.sim.trace
-            if tr.enabled:
+            if self.sim.trace_on:
+                tr = self.sim.trace
                 tr.instant(
                     self.sim.now,
                     "network",
@@ -176,8 +177,8 @@ class Network:
             return
         message.delivered_at = self.sim.now
         self.stats.record_delivery(message)
-        tr = self.sim.trace
-        if tr.enabled:
+        if self.sim.trace_on:
+            tr = self.sim.trace
             tr.async_end(
                 self.sim.now,
                 "network",

@@ -137,13 +137,24 @@ class _ReceiveWindow:
 class ReliableTransport:
     """Sequence numbers, acks, timeouts and retries for one node."""
 
-    def __init__(self, node: "Node", config: TransportConfig, rng: np.random.Generator) -> None:
+    def __init__(self, node: "Node", config: TransportConfig, rng) -> None:
         self.node = node
         self.sim = node.sim
         self.network = node.network
         self.config = config
         self.stats = TransportStats()
-        self._rng = rng
+        # Timeout jitter must be deterministic *per endpoint pair*: with
+        # one stream per node, destination A's retry count would shift
+        # which draws destination B's timers see, coupling unrelated
+        # links.  Given a RandomSource, each destination gets its own
+        # named stream; a bare numpy Generator (direct construction in
+        # tests) falls back to node-wide draws.
+        if isinstance(rng, np.random.Generator):
+            self._random = None
+            self._shared_rng = rng
+        else:
+            self._random = rng
+            self._shared_rng = None
         self._next_seq: dict[int, int] = {}  # destination -> next seq
         self._pending: dict[tuple[int, int], _Pending] = {}  # (dst, seq) -> state
         self._windows: dict[int, _ReceiveWindow] = {}  # source -> dedup state
@@ -175,16 +186,21 @@ class ReliableTransport:
         self._arm_timer(message.dst, seq, pending)
         return True
 
-    def _timeout_us(self, attempts: int) -> float:
+    def _jitter_rng(self, dst: int) -> np.random.Generator:
+        if self._random is None:
+            return self._shared_rng
+        return self._random.stream(f"transport[{self.node.node_id}->{dst}]")
+
+    def _timeout_us(self, dst: int, attempts: int) -> float:
         base = self.config.timeout_us * self.config.backoff ** (attempts - 1)
-        jitter = 1.0 + self.config.jitter_frac * float(self._rng.random())
+        jitter = 1.0 + self.config.jitter_frac * float(self._jitter_rng(dst).random())
         return base * jitter
 
     def _arm_timer(self, dst: int, seq: int, pending: _Pending) -> None:
         self._timer_serial += 1
         pending.epoch = self._timer_serial
         self.sim.schedule(
-            self._timeout_us(pending.attempts), self._on_timeout, dst, seq, pending.epoch
+            self._timeout_us(dst, pending.attempts), self._on_timeout, dst, seq, pending.epoch
         )
 
     def _on_timeout(self, dst: int, seq: int, epoch: int) -> None:
@@ -193,8 +209,8 @@ class ReliableTransport:
             return  # acked (or resent) in the meantime
         self.stats.timeouts += 1
         self.node.events.transport_timeouts += 1
-        tr = self.sim.trace
-        if tr.enabled:
+        if self.sim.trace_on:
+            tr = self.sim.trace
             tr.instant(
                 self.sim.now,
                 "transport",
@@ -216,13 +232,14 @@ class ReliableTransport:
             kind = message.kind.value
             self.stats.retries_exhausted[kind] = self.stats.retries_exhausted.get(kind, 0) + 1
             self.node.events.retries_exhausted += 1
-            pf = self.sim.profile
-            if pf.enabled:
+            if self.sim.profile_on:
+                pf = self.sim.profile
                 # Named counters so chaos runs surface give-ups in the
                 # compare CLI, per kind and in total.
                 pf.count(self.node.node_id, "transport_retries_exhausted")
                 pf.count(self.node.node_id, f"transport_retries_exhausted:{kind}")
-            if tr.enabled:
+            if self.sim.trace_on:
+                tr = self.sim.trace
                 tr.instant(
                     self.sim.now,
                     "transport",
@@ -264,8 +281,8 @@ class ReliableTransport:
                 self.node.node_id, "retransmit_delay_us", self.sim.now - pending.first_sent_at
             )
         copy = pending.message.clone()
-        tr = self.sim.trace
-        if tr.enabled:
+        if self.sim.trace_on:
+            tr = self.sim.trace
             tr.instant(
                 self.sim.now,
                 "transport",
@@ -299,8 +316,8 @@ class ReliableTransport:
         if not first:
             self.stats.duplicates_suppressed += 1
             self.node.events.duplicates_suppressed += 1
-            tr = self.sim.trace
-            if tr.enabled:
+            if self.sim.trace_on:
+                tr = self.sim.trace
                 tr.instant(
                     self.sim.now,
                     "transport",

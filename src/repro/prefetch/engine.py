@@ -169,8 +169,8 @@ class PrefetchEngine:
             # prefetches back and let the demand fetch (reliable) do the
             # work — burning 140us per doomed request only adds load.
             self.stats.throttled += 1
-            tr = self.dsm.sim.trace
-            if tr.enabled:
+            if self.dsm.sim.trace_on:
+                tr = self.dsm.sim.trace
                 tr.instant(
                     self.dsm.sim.now,
                     "prefetch",
@@ -232,8 +232,8 @@ class PrefetchEngine:
             self.THROTTLE_BASE_US * 2.0 ** (self._drop_streak - 1),
         )
         self._cooloff_until = max(self._cooloff_until, self.dsm.sim.now + cooloff)
-        tr = self.dsm.sim.trace
-        if tr.enabled:
+        if self.dsm.sim.trace_on:
+            tr = self.dsm.sim.trace
             tr.instant(
                 self.dsm.sim.now,
                 "prefetch",
@@ -295,8 +295,8 @@ class PrefetchEngine:
         else:
             self.stats.no_pf += 1
             outcome = "no_pf"
-        tr = self.dsm.sim.trace
-        if tr.enabled:
+        if self.dsm.sim.trace_on:
+            tr = self.dsm.sim.trace
             tr.instant(
                 self.dsm.sim.now,
                 "prefetch",
@@ -310,8 +310,8 @@ class PrefetchEngine:
         if record is not None and not record.classified:
             self.stats.hits += 1
             record.classified = True
-            tr = self.dsm.sim.trace
-            if tr.enabled:
+            if self.dsm.sim.trace_on:
+                tr = self.dsm.sim.trace
                 tr.instant(
                     self.dsm.sim.now, "prefetch", "prefetch_hit", self.dsm.node_id, page=page_id
                 )

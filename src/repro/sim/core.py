@@ -9,12 +9,28 @@ Time is a ``float`` in **microseconds** throughout the library; this is
 the natural unit for the paper, whose constants (140 us prefetch issue,
 110 us context switch, millisecond-scale remote misses) all live in the
 microsecond-to-millisecond range.
+
+Hot-path design: every protocol action in a run funnels through this
+module, so the kernel avoids interpreter overhead that higher layers
+cannot buy back —
+
+- heap entries are plain ``(time, seq, fn, args)`` tuples; ``schedule``
+  never allocates a closure per call;
+- zero-delay scheduling (process starts, interrupts, same-tick wakeups)
+  bypasses the heap entirely via a FIFO of "run at the current time"
+  entries, preserving exact global (time, seq) ordering;
+- :class:`Event` and its subclasses are ``__slots__``-based, and
+  ``triggered`` is a plain attribute rather than a property;
+- the run's tracer/sanitizer/profiler hang off the simulator behind
+  cached ``trace_on``/``sanitizer_on``/``profile_on`` booleans, so a
+  disabled instrument costs one attribute read per hook site.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from typing import Any, Callable, Iterable, Optional
 
 from repro.errors import SimulationError
@@ -31,20 +47,35 @@ class Event:
     callbacks added afterwards run immediately.
     """
 
+    # Slot layout: the first five are the event machinery; the last four
+    # are *stash* slots — instrumentation state that other layers pin on
+    # events crossing process boundaries (resource wait start, profiler
+    # span start, remote-miss classification).  They are left unset
+    # until first assignment; readers use ``getattr(event, ..., default)``.
+    __slots__ = (
+        "sim",
+        "name",
+        "triggered",
+        "_value",
+        "_exception",
+        "_callbacks",
+        "_requested_at",
+        "profile_t0",
+        "needed_remote",
+        "miss_counted",
+    )
+
     _PENDING = object()
 
     def __init__(self, sim: "Simulator", name: str = "") -> None:
         self.sim = sim
         self.name = name
+        self.triggered = False
         self._value: Any = Event._PENDING
         self._exception: Optional[BaseException] = None
         self._callbacks: list[Callable[["Event"], None]] = []
 
     # -- state ----------------------------------------------------------
-
-    @property
-    def triggered(self) -> bool:
-        return self._value is not Event._PENDING or self._exception is not None
 
     @property
     def ok(self) -> bool:
@@ -64,6 +95,7 @@ class Event:
     def succeed(self, value: Any = None) -> "Event":
         if self.triggered:
             raise SimulationError(f"event {self!r} already triggered")
+        self.triggered = True
         self._value = value
         self._dispatch()
         return self
@@ -73,6 +105,7 @@ class Event:
             raise SimulationError(f"event {self!r} already triggered")
         if not isinstance(exception, BaseException):
             raise SimulationError("fail() requires an exception instance")
+        self.triggered = True
         self._exception = exception
         self._dispatch()
         return self
@@ -103,15 +136,27 @@ class Event:
 class Timeout(Event):
     """An event that succeeds after a fixed simulated delay."""
 
+    __slots__ = ()
+
     def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(sim, name=f"timeout({delay})")
+        # A static name: formatting the delay per instance would cost an
+        # f-string on one of the hottest allocation sites in a run.
+        super().__init__(sim, name="timeout")
         sim.schedule(delay, self.succeed, value)
 
 
 class Condition(Event):
-    """Base for events composed from several child events."""
+    """Base for events composed from several child events.
+
+    Conditions register one ``_check`` callback per child and *detach*
+    from every still-pending child once the outcome is decided, so a
+    triggered condition never leaves callback references behind (e.g.
+    the losing timeout of a remote-miss-vs-timeout race).
+    """
+
+    __slots__ = ("events",)
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
         super().__init__(sim)
@@ -119,10 +164,25 @@ class Condition(Event):
         if not self.events:
             raise SimulationError("condition requires at least one event")
         for event in self.events:
+            if self.triggered:
+                # A pre-triggered child already decided the outcome
+                # synchronously; registering on the rest would only
+                # leak callbacks.
+                break
             event.add_callback(self._check)
 
     def _check(self, event: Event) -> None:
         raise NotImplementedError
+
+    def _detach(self) -> None:
+        """Remove ``_check`` from every still-pending child."""
+        check = self._check
+        for event in self.events:
+            if not event.triggered:
+                try:
+                    event._callbacks.remove(check)
+                except ValueError:
+                    pass
 
 
 class AnyOf(Condition):
@@ -132,6 +192,8 @@ class AnyOf(Condition):
     event fired and read its value.
     """
 
+    __slots__ = ()
+
     def _check(self, event: Event) -> None:
         if self.triggered:
             return
@@ -139,6 +201,7 @@ class AnyOf(Condition):
             self.fail(event._exception)
         else:
             self.succeed(event)
+        self._detach()
 
 
 class AllOf(Condition):
@@ -146,6 +209,8 @@ class AllOf(Condition):
 
     The value is the list of child values, in construction order.
     """
+
+    __slots__ = ("_counting", "_remaining")
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
         # _check calls arriving synchronously (pre-triggered children)
@@ -165,6 +230,7 @@ class AllOf(Condition):
             return
         if event._exception is not None:
             self.fail(event._exception)
+            self._detach()
             return
         if not self._counting:
             return
@@ -174,16 +240,20 @@ class AllOf(Condition):
 
 
 class Simulator:
-    """The event loop: a heap of ``(time, sequence, callable)`` entries.
+    """The event loop: a heap of ``(time, sequence, fn, args)`` entries.
 
     Ties at the same timestamp are broken by insertion order, which makes
-    every run fully deterministic.
+    every run fully deterministic.  Zero-delay entries ride a separate
+    FIFO (``_nowq``) and interleave with the heap by the same global
+    (time, sequence) order — a pure O(1) fast path for the kernel's most
+    common scheduling pattern (process starts and same-tick callbacks).
 
-    The simulator also carries the run's tracer (``self.trace``): every
-    layer owns a ``sim`` reference, so attaching the tracer here gives
-    the whole stack an instrumentation point without extra plumbing.
-    The default is the shared null tracer (``trace.enabled`` is False),
-    so untraced runs pay one attribute check per potential event.
+    The simulator also carries the run's tracer (``self.trace``),
+    sanitizer and profiler: every layer owns a ``sim`` reference, so
+    attaching them here gives the whole stack an instrumentation point
+    without extra plumbing.  Each is paired with a cached ``*_on``
+    boolean (kept in sync by the property setters), so the shared null
+    defaults cost hook sites a single attribute read.
     """
 
     def __init__(self) -> None:
@@ -191,8 +261,10 @@ class Simulator:
         from repro.profile.profiler import NULL_PROFILER  # deferred: keep sim dep-free
         from repro.trace.tracer import NULL_TRACER  # deferred: keep sim dep-free
 
-        self._now: float = 0.0
-        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        #: Current simulated time in microseconds (read-only for users).
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Callable[..., Any], tuple]] = []
+        self._nowq: deque[tuple[int, Callable[..., Any], tuple]] = deque()
         self._sequence = itertools.count()
         self._handled = 0
         self.trace = NULL_TRACER
@@ -203,10 +275,34 @@ class Simulator:
         self._processes: dict[int, Any] = {}
         self._process_ids = itertools.count()
 
+    # -- instrumentation attachment (cached enabled flags) ---------------
+
     @property
-    def now(self) -> float:
-        """Current simulated time in microseconds."""
-        return self._now
+    def trace(self):
+        return self._trace
+
+    @trace.setter
+    def trace(self, tracer) -> None:
+        self._trace = tracer
+        self.trace_on = bool(tracer.enabled)
+
+    @property
+    def sanitizer(self):
+        return self._sanitizer
+
+    @sanitizer.setter
+    def sanitizer(self, sanitizer) -> None:
+        self._sanitizer = sanitizer
+        self.sanitizer_on = bool(sanitizer.enabled)
+
+    @property
+    def profile(self):
+        return self._profile
+
+    @profile.setter
+    def profile(self, profiler) -> None:
+        self._profile = profiler
+        self.profile_on = bool(profiler.enabled)
 
     @property
     def events_handled(self) -> int:
@@ -217,11 +313,13 @@ class Simulator:
         """Run ``fn(*args)`` after ``delay`` microseconds of simulated time."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        entry_time = self._now + delay
-        if args:
-            heapq.heappush(self._heap, (entry_time, next(self._sequence), lambda: fn(*args)))
+        if delay == 0:
+            # Fast path: runs at the current time, after everything
+            # already queued for it (the fresh sequence number is larger
+            # than every pending entry's), so FIFO order is exact.
+            self._nowq.append((next(self._sequence), fn, args))
         else:
-            heapq.heappush(self._heap, (entry_time, next(self._sequence), fn))
+            heapq.heappush(self._heap, (self.now + delay, next(self._sequence), fn, args))
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
@@ -279,30 +377,65 @@ class Simulator:
 
         Args:
             until: stop once simulated time would exceed this bound.
+                Bounded runs always return exactly ``until`` (clamped up
+                when the heap drains early), and never trip the deadlock
+                watchdog — the caller deliberately truncated the run.
             max_events: safety valve against runaway simulations.
 
         Returns:
             The final simulated time.
         """
-        count = 0
-        while self._heap:
-            time, _seq, fn = self._heap[0]
-            if until is not None and time > until:
-                self._now = until
-                break
-            heapq.heappop(self._heap)
-            if time < self._now:
-                raise SimulationError("event heap produced a time in the past")
-            self._now = time
-            fn()
-            self._handled += 1
-            count += 1
-            if max_events is not None and count >= max_events:
-                raise SimulationError(f"exceeded max_events={max_events}; likely a livelock")
-        if not self._heap:
-            # Liveness watchdog: the heap drained but processes are still
-            # blocked on events nobody can trigger any more — a deadlock.
-            # Daemon processes (perpetual service loops) don't count.
+        heap = self._heap
+        nowq = self._nowq
+        pop = heapq.heappop
+        handled = 0
+        truncated = False
+        try:
+            while True:
+                # Pick the globally next entry by (time, seq): _nowq
+                # entries run at the current time with later sequence
+                # numbers than anything already in the heap for it.
+                if nowq:
+                    use_heap = False
+                    if heap:
+                        head = heap[0]
+                        if head[0] <= self.now and head[1] < nowq[0][0]:
+                            use_heap = True
+                elif heap:
+                    use_heap = True
+                else:
+                    break
+                if use_heap:
+                    if until is not None and heap[0][0] > until:
+                        truncated = True
+                        break
+                    time, _seq, fn, args = pop(heap)
+                    if time < self.now:
+                        raise SimulationError("event heap produced a time in the past")
+                    self.now = time
+                else:
+                    _seq, fn, args = nowq.popleft()
+                fn(*args)
+                handled += 1
+                if max_events is not None and handled >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; likely a livelock"
+                    )
+        finally:
+            self._handled += handled
+        if until is not None:
+            # Bounded run: report the bound itself, whether the next
+            # event lies beyond it or the heap drained early — the
+            # caller asked for "simulate up to `until`", and downstream
+            # accounting (end times, watchdogs) treats it that way.
+            if self.now < until:
+                self.now = until
+            return self.now
+        if not truncated:
+            # Liveness watchdog (unbounded drains only): the heap
+            # drained but processes are still blocked on events nobody
+            # can trigger any more — a deadlock.  Daemon processes
+            # (perpetual service loops) don't count.
             stuck = [p for p in self._processes.values() if not p.daemon]
             if stuck:
                 waiters = ", ".join(
@@ -311,4 +444,4 @@ class Simulator:
                 raise SimulationError(
                     f"deadlock: event queue empty with blocked processes: {waiters}"
                 )
-        return self._now
+        return self.now

@@ -40,6 +40,8 @@ ProcessGenerator = Generator[Event, Any, Any]
 class Process(Event):
     """Wraps a generator; succeeds with the generator's return value."""
 
+    __slots__ = ("_generator", "_waiting_on", "_cancelled", "group", "daemon", "_handle")
+
     def __init__(
         self,
         sim: Simulator,

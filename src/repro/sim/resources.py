@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from typing import Any, Generator, Optional
 
 from repro.errors import SimulationError
@@ -34,6 +35,7 @@ class Resource:
         self.sim = sim
         self.name = name
         self.capacity = capacity
+        self._acquire_name = f"acquire({name})"
         self._in_use = 0
         self._queue: list[tuple[int, int, Event]] = []
         self._sequence = itertools.count()
@@ -50,7 +52,7 @@ class Resource:
         return len(self._queue)
 
     def acquire(self, priority: int = 0) -> Event:
-        event = Event(self.sim, name=f"acquire({self.name})")
+        event = Event(self.sim, name=self._acquire_name)
         event._requested_at = self.sim.now  # type: ignore[attr-defined]
         if self._in_use < self.capacity and not self._queue:
             self._grant(event)
@@ -94,22 +96,23 @@ class Store:
     def __init__(self, sim: Simulator, name: str = "") -> None:
         self.sim = sim
         self.name = name
-        self._items: list[Any] = []
-        self._getters: list[Event] = []
+        self._get_name = f"get({name})"
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
 
     def __len__(self) -> int:
         return len(self._items)
 
     def put(self, item: Any) -> None:
         if self._getters:
-            self._getters.pop(0).succeed(item)
+            self._getters.popleft().succeed(item)
         else:
             self._items.append(item)
 
     def get(self) -> Event:
-        event = Event(self.sim, name=f"get({self.name})")
+        event = Event(self.sim, name=self._get_name)
         if self._items:
-            event.succeed(self._items.pop(0))
+            event.succeed(self._items.popleft())
         else:
             self._getters.append(event)
         return event

@@ -131,8 +131,8 @@ class NodeScheduler:
         threads) were cancelled: the rebuilt threads take over and a new
         ``done_event`` supersedes the abandoned one.
         """
-        tr = self.node.sim.trace
-        if tr.enabled:
+        if self.node.sim.trace_on:
+            tr = self.node.sim.trace
             # Close the stall spans the discarded threads left open
             # (their wake callbacks will never fire), so exported
             # traces keep balanced begin/end pairs.
@@ -203,8 +203,8 @@ class NodeScheduler:
         self, thread: DsmThread, kind: StallKind, started: float, event: Optional[Event] = None
     ) -> None:
         stall = self.node.sim.now - started
-        pf = self.node.sim.profile
-        if pf.enabled:
+        if self.node.sim.profile_on:
+            pf = self.node.sim.profile
             # Per-thread stall distributions, before the miss/fault
             # classification below (which early-returns for some kinds).
             pf.observe(self.node.node_id, f"stall_{kind.value}_us", stall)
@@ -233,8 +233,8 @@ class NodeScheduler:
     def _block(self, thread: DsmThread, request: WaitRequest) -> None:
         self._begin_stall(thread)
         thread.block(request.event, request.kind, self.node.sim.now)
-        tr = self.node.sim.trace
-        if tr.enabled:
+        if self.node.sim.trace_on:
+            tr = self.node.sim.trace
             tr.begin(
                 self.node.sim.now,
                 "sched",
@@ -248,7 +248,8 @@ class NodeScheduler:
             started = thread.block_start
             thread.unblock()
             self._end_stall(thread, request.kind, started, request.event)
-            if tr.enabled:
+            if self.node.sim.trace_on:
+                tr = self.node.sim.trace
                 tr.end(
                     self.node.sim.now,
                     "sched",
@@ -303,8 +304,8 @@ class NodeScheduler:
         ):
             yield from self.node.occupy(self.node.costs.context_switch, Category.MT)
             self.node.events.context_switches += 1
-            tr = self.node.sim.trace
-            if tr.enabled:
+            if self.node.sim.trace_on:
+                tr = self.node.sim.trace
                 tr.instant(
                     self.node.sim.now,
                     "sched",

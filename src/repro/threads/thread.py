@@ -21,6 +21,21 @@ class ThreadState(enum.Enum):
 class DsmThread:
     """One application thread: a generator plus scheduling state."""
 
+    __slots__ = (
+        "tid",
+        "node_id",
+        "body",
+        "state",
+        "pending_value",
+        "wake_event",
+        "stall_kind",
+        "block_start",
+        "run_accum",
+        "op_continuation",
+        "value_log",
+        "total_blocks",
+    )
+
     def __init__(self, tid: int, node_id: int, body: Generator) -> None:
         self.tid = tid
         self.node_id = node_id

@@ -13,6 +13,7 @@ class FakeSim:
     def __init__(self):
         self.now = 0.0
         self.trace = FakeTrace()
+        self.trace_on = False
 
 
 class FakeFt:

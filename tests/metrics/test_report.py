@@ -181,3 +181,27 @@ def test_profile_section_round_trips():
     # Absent by default.
     assert make_report().profile is None
     assert "profile" in make_report().to_dict()
+
+
+def test_v1_document_round_trips_stably_through_json():
+    """v1 -> from_json -> to_json(v2) -> from_json is a fixed point:
+    the upgraded document re-loads to an identical report."""
+    import json
+
+    data = make_report(
+        injected_faults={"drop": 2}, traffic_by_kind={"ack": {"sends": 9}}
+    ).to_dict()
+    data["schema"] = 1
+    del data["profile"]
+    # v1 files also predate the transport/fault fields' guarantees;
+    # from_dict fills them via .get defaults.
+    v1_json = json.dumps(data)
+
+    upgraded = RunReport.from_json(v1_json)
+    v2_json = upgraded.to_json()
+    assert json.loads(v2_json)["schema"] == 2
+    reloaded = RunReport.from_json(v2_json)
+    assert reloaded.to_dict() == upgraded.to_dict()
+    assert reloaded.to_json() == v2_json
+    assert reloaded.profile is None
+    assert reloaded.injected_faults == {"drop": 2}

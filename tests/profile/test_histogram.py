@@ -134,3 +134,40 @@ def test_to_dict_is_canonical_and_json_safe():
     data = histogram.to_dict()
     assert list(data["buckets"]) == sorted(data["buckets"], key=int)
     json.dumps(data)  # no enum/float-key surprises
+
+
+# -- merge edge cases (PR 5) --------------------------------------------------
+
+
+def test_merge_empty_with_empty_is_empty():
+    merged = Histogram().merged_with(Histogram())
+    assert merged.count == 0
+    assert merged == Histogram()
+    assert merged.summary()["count"] == 0
+
+
+def test_merge_empty_with_nonempty_both_directions():
+    a = make([5.0, 7.0])
+    empty = Histogram()
+    assert empty.merged_with(a).to_dict() == a.to_dict()
+    assert a.merged_with(empty).to_dict() == a.to_dict()
+    # min/max survive the identity merge in both directions.
+    assert empty.merged_with(a).min == 5.0
+    assert a.merged_with(empty).max == 7.0
+
+
+def test_merge_associative_across_three_nodes_with_empty_node():
+    # Three per-node histograms, one node idle (empty): every merge
+    # order must agree — this is what makes parallel per-node
+    # aggregation order-independent.
+    node0 = make([1.0, 300.0])
+    node1 = Histogram()
+    node2 = make([42.0])
+    orders = [
+        node0.merged_with(node1).merged_with(node2),
+        node0.merged_with(node2).merged_with(node1),
+        node2.merged_with(node1.merged_with(node0)),
+        Histogram.merge([node0, node1, node2]),
+    ]
+    reference = orders[0].to_dict()
+    assert all(h.to_dict() == reference for h in orders)

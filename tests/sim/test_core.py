@@ -172,3 +172,114 @@ def test_events_handled_counter():
         sim.schedule(1.0, lambda: None)
     sim.run()
     assert sim.events_handled == 5
+
+
+# -- PR 5 regression tests: condition detach, bounded runs, fast path ----
+
+
+def test_any_of_detaches_check_from_losing_children():
+    sim = Simulator()
+    slow = sim.timeout(10.0)
+    fast = sim.timeout(2.0)
+    any_of = sim.any_of([slow, fast])
+    sim.run(until=5.0)
+    assert any_of.triggered
+    # The losing child must not keep a reference to the condition's
+    # _check callback for the rest of the run (callback leak).
+    assert slow._callbacks == []
+
+
+def test_any_of_detach_leaves_other_waiters_attached():
+    sim = Simulator()
+    slow = sim.timeout(10.0)
+    fast = sim.timeout(2.0)
+    sim.any_of([slow, fast])
+    seen = []
+    slow.add_callback(seen.append)
+    sim.run()
+    # Detach removes only the condition's own callback, not others'.
+    assert seen == [slow]
+
+
+def test_all_of_detaches_check_from_remaining_children_on_failure():
+    sim = Simulator()
+    pending = sim.event("never")
+    doomed = sim.event("doomed")
+    all_of = sim.all_of([pending, doomed])
+    doomed.fail(RuntimeError("boom"))
+    assert all_of.triggered and not all_of.ok
+    assert pending._callbacks == []
+
+
+def test_all_of_children_empty_after_success():
+    sim = Simulator()
+    events = [sim.timeout(1.0), sim.timeout(2.0), sim.timeout(3.0)]
+    all_of = sim.all_of(events)
+    sim.run()
+    assert all_of.triggered
+    assert all(e._callbacks == [] for e in events)
+
+
+def test_run_until_clamps_time_when_heap_drains_early():
+    sim = Simulator()
+    sim.schedule(3.0, lambda: None)
+    end = sim.run(until=10.0)
+    # The heap drained at t=3, but the caller asked for "up to 10":
+    # bounded runs report the bound, not the last event's timestamp.
+    assert end == 10.0
+    assert sim.now == 10.0
+
+
+def test_run_until_never_moves_time_backwards():
+    sim = Simulator()
+    sim.schedule(7.0, lambda: None)
+    sim.run()
+    assert sim.now == 7.0
+    assert sim.run(until=3.0) == 7.0
+
+
+def test_bounded_run_skips_deadlock_watchdog():
+    from repro.sim import spawn
+
+    sim = Simulator()
+
+    def stuck(sim):
+        yield sim.event("never-triggered")
+
+    spawn(sim, stuck(sim), name="stuck")
+    # Deliberately truncated run: no deadlock diagnosis.
+    assert sim.run(until=100.0) == 100.0
+    # The unbounded drain of the same state IS a deadlock.
+    with pytest.raises(SimulationError, match="deadlock"):
+        sim.run()
+
+
+def test_zero_delay_fastpath_interleaves_with_heap_in_seq_order():
+    sim = Simulator()
+    order = []
+    # Mixed zero/nonzero scheduling at the same instant must preserve
+    # global insertion order once time reaches that instant.
+    sim.schedule(0.0, order.append, "z1")
+    sim.schedule(0.0, order.append, "z2")
+    sim.run()
+    assert order == ["z1", "z2"]
+
+    order.clear()
+
+    def at_t5():
+        order.append("heap@5")
+        sim.schedule(0.0, order.append, "now@5-a")
+        sim.schedule(0.0, order.append, "now@5-b")
+
+    sim.schedule(5.0, at_t5)
+    sim.schedule(5.0, order.append, "heap@5-later")
+    sim.run()
+    assert order == ["heap@5", "heap@5-later", "now@5-a", "now@5-b"]
+
+
+def test_zero_delay_entries_count_as_handled_events():
+    sim = Simulator()
+    sim.schedule(0.0, lambda: None)
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.events_handled == 2
