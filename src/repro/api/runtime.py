@@ -94,8 +94,12 @@ class RunConfig:
             raise ConfigError("threads_per_node must be >= 1")
         if self.num_nodes < 2:
             raise ConfigError("num_nodes must be >= 2")
-        if self.ft is None and self.fault_plan is not None and self.fault_plan.crashes:
-            # A crash schedule without recovery would hang the run.
+        if self.ft is None and self.fault_plan is not None and (
+            self.fault_plan.crashes or self.fault_plan.partitions
+        ):
+            # A crash schedule without recovery would hang the run, and
+            # a partition without membership would strand the cut-off
+            # nodes: both need the FT layer.
             object.__setattr__(self, "ft", FtConfig())
         if self.trace is not None and not isinstance(self.trace, TraceConfig):
             if self.trace is True:

@@ -1,0 +1,420 @@
+"""Sampler, invariant checker and shrinker for the chaos harness.
+
+Everything here is deterministic by construction: sample ``i`` of a
+search seeded ``S`` draws its plan from ``default_rng([S, i])`` and runs
+with seed ``S + i``, so two searches with the same (seed, budget, apps)
+produce the same verdicts — serially or fanned out, on any machine.
+
+The pieces that cross process boundaries (:class:`ChaosSample`,
+:class:`SampleResult`, :func:`evaluate_sample`) are plain data and a
+module-level function, as :func:`repro.parallel.fan_out` requires.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.api.runtime import DsmRuntime, RunConfig
+from repro.apps import available_apps, make_app
+from repro.errors import ConfigError, ProtocolError, SimulationError
+from repro.ft import FtConfig
+from repro.network.faults import FaultPlan
+from repro.parallel import fan_out
+
+__all__ = [
+    "DEFAULT_APPS",
+    "ChaosConfig",
+    "ChaosSample",
+    "SampleResult",
+    "sample_plan",
+    "generate_samples",
+    "evaluate_sample",
+    "search",
+    "shrink",
+    "fault_entry_count",
+    "reproducer_dict",
+    "write_reproducer",
+    "load_reproducer",
+]
+
+#: Three apps with distinct sharing patterns (nearest-neighbour rows,
+#: butterfly transpose, blocked triangular solve) — enough diversity to
+#: exercise different protocol paths without blowing the CI budget.
+DEFAULT_APPS = ("SOR", "FFT", "LU-CONT")
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """One chaos search: how many plans, over which apps, how parallel."""
+
+    seed: int = 0
+    budget: int = 50
+    apps: tuple[str, ...] = DEFAULT_APPS
+    num_nodes: int = 4
+    preset: str = "small"
+    jobs: int = 1
+    #: TEST-ONLY: arm :attr:`FtConfig.split_brain_bug` in every sample,
+    #: to demonstrate the search catches (and shrinks) a real protocol
+    #: hole.  Never set outside the harness's own validation.
+    split_brain_bug: bool = False
+    #: Liveness bound: a sample exceeding this many simulation events is
+    #: declared livelocked (clean small runs take well under a tenth).
+    max_events: int = 5_000_000
+
+    def __post_init__(self) -> None:
+        if self.budget < 1:
+            raise ConfigError(f"budget must be >= 1, got {self.budget}")
+        if not self.apps:
+            raise ConfigError("apps must name at least one application")
+        object.__setattr__(self, "apps", tuple(self.apps))
+        known = set(available_apps())
+        for app_name in self.apps:
+            if app_name not in known:
+                raise ConfigError(
+                    f"unknown app {app_name!r} (choose from {sorted(known)})"
+                )
+        if self.num_nodes < 2:
+            raise ConfigError(f"num_nodes must be >= 2, got {self.num_nodes}")
+        if self.jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {self.jobs}")
+        if self.max_events < 1:
+            raise ConfigError(f"max_events must be >= 1, got {self.max_events}")
+
+
+@dataclass(frozen=True)
+class ChaosSample:
+    """One (app, seed, plan) cell of the search — picklable, JSON-able.
+
+    The plan travels as its :meth:`FaultPlan.to_dict` form rather than
+    as the dataclass, so a sample round-trips through both the process
+    pool and a reproducer file without custom reducers.
+    """
+
+    index: int
+    app_name: str
+    preset: str
+    num_nodes: int
+    seed: int
+    plan: dict
+    split_brain_bug: bool = False
+    max_events: int = 5_000_000
+
+
+@dataclass
+class SampleResult:
+    """The verdict on one sample: which invariants failed, if any."""
+
+    sample: ChaosSample
+    #: Failed invariants, each one of: ``sanitizer`` (a protocol
+    #: invariant tripped), ``liveness`` (event bound exceeded or the
+    #: run deadlocked), ``determinism`` (re-run differed), ``verify``
+    #: (the app's answer was wrong), ``split-brain`` (a checkpoint
+    #: committed across a membership split).
+    failures: list[str] = field(default_factory=list)
+    error: str = ""
+    wall_time_us: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+# -- sampling ---------------------------------------------------------------
+
+
+def sample_plan(rng: np.random.Generator, wall_us: float, num_nodes: int) -> dict:
+    """Draw one bounded fault plan (dict form) for a ``num_nodes`` cluster.
+
+    Bounds keep every sample inside the fault model the FT layer claims
+    to survive: at most one crash and at most one isolated node per
+    plan (simultaneously losing a majority is a CP-blocking scenario —
+    the coordinator *should* stall until it heals), node 0 is never
+    crashed, stalled or isolated (it hosts the barrier manager and the
+    detection coordinator), and a crashed node is never also
+    partitioned (the plan validator rejects that as ambiguous).  Fault
+    *onsets* scale with the app's clean wall time; partition and stall
+    *durations* are absolute, sized against the membership timescales
+    (50 ms suspicion + 25 ms TTL + 100 ms grace) so the search reaches
+    fence, rejoin and rollback paths even on apps that finish in 60 ms.
+    """
+    plan: dict = {}
+    crash_node: Optional[int] = None
+    if rng.random() < 0.35:
+        crash_node = int(rng.integers(1, num_nodes))
+        plan["crashes"] = [
+            {"node": crash_node, "at_us": round(float(rng.uniform(0.2, 0.9)) * wall_us, 1)}
+        ]
+    peers = [n for n in range(1, num_nodes) if n != crash_node]
+    if rng.random() < 0.35:
+        node = int(peers[int(rng.integers(len(peers)))])
+        start = float(rng.uniform(0.1, 0.8)) * wall_us
+        duration = float(rng.uniform(40_000.0, 240_000.0))
+        plan["partitions"] = [
+            {"start_us": round(start, 1), "end_us": round(start + duration, 1), "nodes": [node]}
+        ]
+    if rng.random() < 0.3:
+        node = int(peers[int(rng.integers(len(peers)))])
+        start = float(rng.uniform(0.05, 0.7)) * wall_us
+        duration = float(rng.uniform(20_000.0, 160_000.0))
+        plan["stalls"] = [
+            {"node": node, "start_us": round(start, 1), "end_us": round(start + duration, 1)}
+        ]
+    if rng.random() < 0.5:
+        start = float(rng.uniform(0.0, 0.8)) * wall_us
+        duration = float(rng.uniform(0.2, 1.0)) * wall_us
+        window = {
+            "start_us": round(start, 1),
+            "end_us": round(start + duration, 1),
+            "prob": round(float(rng.uniform(0.02, 0.25)), 3),
+        }
+        if rng.random() < 0.4:
+            src = int(rng.integers(num_nodes))
+            dst = int(rng.integers(num_nodes - 1))
+            if dst >= src:
+                dst += 1
+            window["links"] = [[src, dst]]
+        plan["corruptions"] = [window]
+    if rng.random() < 0.4:
+        plan["drop_prob"] = round(float(rng.uniform(0.005, 0.04)), 4)
+    if rng.random() < 0.3:
+        plan["duplicate_prob"] = round(float(rng.uniform(0.005, 0.03)), 4)
+    if rng.random() < 0.3:
+        plan["reorder_prob"] = round(float(rng.uniform(0.02, 0.15)), 4)
+        plan["jitter_us"] = round(float(rng.uniform(50.0, 500.0)), 1)
+    if FaultPlan.from_dict(plan).is_noop:
+        # Every sample must perturb something; a tiny loss rate is the
+        # cheapest non-noop fallback.
+        plan["drop_prob"] = 0.01
+    return plan
+
+
+def baseline_walls(config: ChaosConfig) -> dict[str, float]:
+    """Clean wall time per app, the sampler's time scale (run serially;
+    three small runs cost a fraction of the search itself)."""
+    walls: dict[str, float] = {}
+    for app_name in config.apps:
+        run = RunConfig(num_nodes=config.num_nodes, seed=config.seed)
+        report = DsmRuntime(run).execute(make_app(app_name, config.preset))
+        walls[app_name] = report.wall_time_us
+    return walls
+
+
+def generate_samples(
+    config: ChaosConfig, walls: Optional[dict[str, float]] = None
+) -> list[ChaosSample]:
+    """The search's full sample list (apps round-robin, seeded draws)."""
+    if walls is None:
+        walls = baseline_walls(config)
+    samples = []
+    for index in range(config.budget):
+        app_name = config.apps[index % len(config.apps)]
+        rng = np.random.default_rng([config.seed, index])
+        samples.append(
+            ChaosSample(
+                index=index,
+                app_name=app_name,
+                preset=config.preset,
+                num_nodes=config.num_nodes,
+                seed=config.seed + index,
+                plan=sample_plan(rng, walls[app_name], config.num_nodes),
+                split_brain_bug=config.split_brain_bug,
+                max_events=config.max_events,
+            )
+        )
+    return samples
+
+
+# -- invariant checking -----------------------------------------------------
+
+
+def _execute(sample: ChaosSample):
+    """One full run of a sample: (report, verify error or None).
+
+    Verification runs *after* the report is built so a wrong answer
+    (the usual blast radius of a split-brain cut) still leaves the
+    FT counters and the determinism fingerprint inspectable.
+    """
+    config = RunConfig(
+        num_nodes=sample.num_nodes,
+        seed=sample.seed,
+        fault_plan=FaultPlan.from_dict(sample.plan),
+        sanitizer=True,
+        # FT always on: stalls and give-ups park messages that only the
+        # membership layer revives, and invariant 4 needs its summary.
+        ft=FtConfig(split_brain_bug=sample.split_brain_bug),
+        max_events=sample.max_events,
+    )
+    runtime = DsmRuntime(config)
+    app = make_app(sample.app_name, sample.preset)
+    report = runtime.execute(app, verify=False)
+    verify_error = None
+    try:
+        app.verify(runtime)
+    except Exception as exc:
+        verify_error = f"{type(exc).__name__}: {exc}"
+    return report, verify_error
+
+
+def evaluate_sample(sample: ChaosSample) -> SampleResult:
+    """Run one sample twice and grade it against the four invariants."""
+    try:
+        first, verify_error = _execute(sample)
+    except ProtocolError as exc:
+        return SampleResult(sample, ["sanitizer"], error=str(exc))
+    except (SimulationError, ConfigError) as exc:
+        # max_events exceeded, or the run drained its event queue with
+        # schedulers unfinished: either way, it did not stay live.
+        return SampleResult(sample, ["liveness"], error=str(exc))
+    except Exception as exc:  # anything else is still a failed sample
+        return SampleResult(sample, ["verify"], error=f"{type(exc).__name__}: {exc}")
+    failures: list[str] = []
+    error = ""
+    if first.extra.get("ft", {}).get("split_brain_checkpoints", 0):
+        failures.append("split-brain")
+    if verify_error is not None:
+        failures.append("verify")
+        error = verify_error
+    try:
+        second, _ = _execute(sample)
+    except Exception as exc:
+        failures.append("determinism")
+        error = f"replay raised {type(exc).__name__}: {exc}"
+    else:
+        if first.to_json() != second.to_json():
+            failures.append("determinism")
+    return SampleResult(sample, failures, error=error, wall_time_us=first.wall_time_us)
+
+
+def search(
+    config: ChaosConfig,
+    on_progress: Optional[Callable[[int, SampleResult], None]] = None,
+) -> list[SampleResult]:
+    """Evaluate the whole budget; results in sample order regardless of
+    ``jobs`` (``on_progress`` fires in completion order)."""
+    samples = generate_samples(config)
+    return fan_out(samples, evaluate_sample, jobs=config.jobs, on_done=on_progress)
+
+
+# -- shrinking --------------------------------------------------------------
+
+
+def _plan_entries(plan: dict) -> list[tuple[str, Optional[int]]]:
+    """The individually removable fault entries of a plan dict."""
+    entries: list[tuple[str, Optional[int]]] = []
+    for fault_field in ("degradations", "stalls", "crashes", "partitions", "corruptions"):
+        for index in range(len(plan.get(fault_field) or [])):
+            entries.append((fault_field, index))
+    for prob_field in ("drop_prob", "duplicate_prob", "reorder_prob"):
+        if plan.get(prob_field):
+            entries.append((prob_field, None))
+    return entries
+
+
+def fault_entry_count(plan: dict) -> int:
+    """How many removable fault entries a plan carries (shrink metric)."""
+    return len(_plan_entries(plan))
+
+
+def _without(plan: dict, entry: tuple[str, Optional[int]]) -> dict:
+    plan = copy.deepcopy(plan)
+    fault_field, index = entry
+    if index is None:
+        plan.pop(fault_field, None)
+        if fault_field == "reorder_prob":
+            plan.pop("jitter_us", None)
+    else:
+        items = list(plan[fault_field])
+        del items[index]
+        if items:
+            plan[fault_field] = items
+        else:
+            plan.pop(fault_field)
+    return plan
+
+
+def shrink(
+    result: SampleResult,
+    max_evals: int = 48,
+    on_progress: Optional[Callable[[SampleResult], None]] = None,
+) -> SampleResult:
+    """Greedily minimise a failing sample's plan.
+
+    Repeatedly tries dropping one fault entry; any removal after which
+    *some* invariant still fails is kept (the surviving failure need
+    not be the original one — any failing minimal plan is a
+    reproducer).  Evaluation is expensive (two runs), so the budget is
+    capped; the loop restarts after each successful removal because
+    entry indices shift.
+    """
+    best = result
+    evals = 0
+    improved = True
+    while improved and evals < max_evals:
+        improved = False
+        for entry in _plan_entries(best.sample.plan):
+            candidate = replace(best.sample, plan=_without(best.sample.plan, entry))
+            outcome = evaluate_sample(candidate)
+            evals += 1
+            if on_progress is not None:
+                on_progress(outcome)
+            if not outcome.ok:
+                best = outcome
+                improved = True
+                break
+            if evals >= max_evals:
+                break
+    return best
+
+
+# -- reproducers on disk ----------------------------------------------------
+
+
+def reproducer_dict(result: SampleResult) -> dict:
+    sample = result.sample
+    return {
+        "version": 1,
+        "app": sample.app_name,
+        "preset": sample.preset,
+        "num_nodes": sample.num_nodes,
+        "seed": sample.seed,
+        "split_brain_bug": sample.split_brain_bug,
+        "max_events": sample.max_events,
+        "failures": list(result.failures),
+        "error": result.error,
+        # Round-trip through FaultPlan so the stored form is normalized
+        # (sorted links, every field present) and known-valid.
+        "plan": FaultPlan.from_dict(sample.plan).to_dict(),
+    }
+
+
+def write_reproducer(result: SampleResult, path: Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(reproducer_dict(result), indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_reproducer(path: Path) -> ChaosSample:
+    data = json.loads(Path(path).read_text())
+    if data.get("version") != 1:
+        raise ConfigError(f"unknown reproducer version: {data.get('version')!r}")
+    plan = FaultPlan.from_dict(data["plan"]).to_dict()  # validate before running
+    try:
+        return ChaosSample(
+            index=0,
+            app_name=data["app"],
+            preset=data["preset"],
+            num_nodes=int(data["num_nodes"]),
+            seed=int(data["seed"]),
+            plan=plan,
+            split_brain_bug=bool(data.get("split_brain_bug", False)),
+            max_events=int(data.get("max_events", 5_000_000)),
+        )
+    except KeyError as exc:
+        raise ConfigError(f"reproducer missing field: {exc}") from exc

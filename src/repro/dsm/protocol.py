@@ -597,7 +597,12 @@ class DsmNode:
             yield from self.barriers.handle_arrive(msg)
         elif kind is MessageKind.BARRIER_RELEASE:
             yield from self.barriers.handle_release(msg)
-        elif kind in (MessageKind.HEARTBEAT, MessageKind.FT_DOWN, MessageKind.FT_UP):
+        elif kind in (
+            MessageKind.HEARTBEAT,
+            MessageKind.FT_DOWN,
+            MessageKind.FT_UP,
+            MessageKind.FT_REJOIN,
+        ):
             if self.ft is not None:
                 yield from self.ft.handle_message(self.node_id, msg)
         elif kind.is_prefetch:

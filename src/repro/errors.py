@@ -23,10 +23,6 @@ class TransportError(ReproError):
     """The reliable transport exhausted its retries for a message."""
 
 
-class FaultConfigError(ReproError):
-    """A fault-injection plan is malformed (bad probability, window...)."""
-
-
 class PagedMemoryError(ReproError):
     """Paged-memory misuse (out-of-range address, bad allocation...)."""
 
@@ -46,6 +42,14 @@ class ProgramError(ReproError):
 
 class ConfigError(ReproError):
     """An experiment or system configuration is invalid."""
+
+
+class FaultConfigError(ConfigError, ValueError):
+    """A fault-injection plan is malformed (bad probability, window,
+    unknown link, overlapping crash/partition...).  A
+    :class:`ConfigError`, and also a :class:`ValueError`: plan
+    validation failures name the offending field, and callers building
+    plans from user input can catch the builtin type."""
 
 
 class FailureError(ReproError):

@@ -22,8 +22,24 @@ class FtConfig:
     #: Period of each node's heartbeat datagram to the coordinator.
     heartbeat_period_us: float = 5_000.0
     #: Silence (no message of any kind — heartbeats piggyback on regular
-    #: traffic) after which the coordinator declares a node dead.
+    #: traffic) after which the coordinator opens a suspicion.
     suspicion_timeout_us: float = 50_000.0
+    #: How long a suspicion must age, with the suspect still silent,
+    #: before it is confirmed.  The grace period that lets a slow or
+    #: briefly partitioned node talk its way out of a false death.
+    suspicion_ttl_us: float = 25_000.0
+    #: Distinct reporters (transport give-ups; the coordinator's own
+    #: silence observation counts) required to confirm a suspicion.
+    suspicion_quorum: int = 1
+    #: How long a fenced node may stay fenced awaiting a partition heal
+    #: before the coordinator gives up and rolls the cluster back.
+    partition_grace_us: float = 100_000.0
+    #: TEST-ONLY: plant the split-brain bug the chaos harness must
+    #: catch — the barrier manager treats fenced nodes as arrived
+    #: (completing barriers without them) and the checkpoint stand-down
+    #: guard is skipped, so a cut spanning the membership split can
+    #: commit.  Never enable outside the chaos/invariant tests.
+    split_brain_bug: bool = False
     #: Take a coordinated checkpoint every Nth global barrier release.
     checkpoint_every: int = 1
     #: Delay between declaring a node dead and restarting the cluster
@@ -42,6 +58,14 @@ class FtConfig:
             raise ConfigError(
                 "suspicion timeout must exceed two heartbeat periods "
                 f"({self.suspicion_timeout_us} vs {self.heartbeat_period_us})"
+            )
+        if self.suspicion_ttl_us < 0:
+            raise ConfigError(f"suspicion_ttl_us must be >= 0, got {self.suspicion_ttl_us}")
+        if self.suspicion_quorum < 1:
+            raise ConfigError(f"suspicion_quorum must be >= 1, got {self.suspicion_quorum}")
+        if self.partition_grace_us < 0:
+            raise ConfigError(
+                f"partition_grace_us must be >= 0, got {self.partition_grace_us}"
             )
         if self.checkpoint_every < 1:
             raise ConfigError(f"checkpoint_every must be >= 1, got {self.checkpoint_every}")

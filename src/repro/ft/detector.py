@@ -1,29 +1,45 @@
-"""Heartbeat-based crash-stop failure detection.
+"""Heartbeat-based failure detection with partition-tolerant membership.
 
 Node 0 (which already hosts the barrier manager) doubles as the
 *coordinator*: every other node sends it a small unreliable heartbeat
-datagram each ``heartbeat_period_us``, and the coordinator declares a
-node dead after ``suspicion_timeout_us`` of silence.  Two refinements
-keep the detector cheap and fast:
+datagram each ``heartbeat_period_us``.  Declaring a node dead is
+deliberately a two-step affair, because silence is ambiguous — a
+crashed node, a partitioned node, and a stalled node all go quiet:
+
+- **Suspicion** — silence beyond ``suspicion_timeout_us``, or a peer's
+  transport exhausting its retries (``on_give_up``), opens a suspicion
+  record: who reported it, and when.  Any delivered message from the
+  suspect clears the record — evidence of life always wins.
+- **Confirmation** — a suspicion only matures once it has aged
+  ``suspicion_ttl_us`` *and* gathered ``suspicion_quorum`` distinct
+  reporters (the coordinator's own silence observation counts as one).
+  A reachable-but-slow node — a long NodeStall, a congested link —
+  resumes talking inside the TTL and is never declared dead, where the
+  pre-TTL detector would have killed it on the first give-up report.
+
+What maturity triggers is the :class:`~repro.ft.manager.FtManager`'s
+call (fencing, then rejoin-or-rollback — see there): the detector only
+grades evidence.  Two refinements keep it cheap and fast:
 
 - **Piggybacking** — *any* message delivered to the coordinator counts
   as evidence its sender is alive (hooked via ``Node.message_observer``),
   so heartbeats only fill silences in regular traffic.
-- **Retry-exhaustion routing** — when a node's reliable transport gives
-  up on a peer (``on_give_up``), the peer is reported to the detector
-  instead of crashing the run; the coordinator treats the report as an
-  immediate suspicion rather than waiting out the silence.
+- **Quorum awareness** — :meth:`has_quorum` reports whether the
+  coordinator currently hears a majority of the cluster; a coordinator
+  stranded in a minority partition uses it to stand down instead of
+  fencing the (healthy) majority or committing a split-brain cut.
 
-Membership agreement is broadcast: on declaring a death the coordinator
-sends every survivor an ``FT_DOWN`` message, and recovery closes with an
-``FT_UP``.  Each node's view of the membership is tracked per node (the
-cluster-wide agreement the recovery protocol needs); the coordinator's
-own view is authoritative for rollback decisions.
+Membership agreement is broadcast: on fencing a node the coordinator
+sends every survivor an ``FT_DOWN`` message, rejoin/recovery closes
+with an ``FT_UP`` (plus an ``FT_REJOIN`` to the healed node itself).
+Each node's view of the membership is tracked per node; the
+coordinator's own view is authoritative for rollback decisions.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.ft.config import FtConfig
 from repro.network.message import Message, MessageKind
@@ -38,6 +54,14 @@ __all__ = ["FailureDetector", "COORDINATOR"]
 COORDINATOR = 0
 
 
+@dataclass
+class _Suspicion:
+    """One open suspicion: when it started and who vouches for it."""
+
+    since: float
+    reporters: set[int] = field(default_factory=set)
+
+
 class FailureDetector:
     """Coordinator-side liveness tracking plus per-node membership views."""
 
@@ -50,15 +74,17 @@ class FailureDetector:
         self.last_heard: dict[int, float] = {
             n: 0.0 for n in range(self.num_nodes) if n != COORDINATOR
         }
-        #: Nodes reported by a transport after exhausting its retries.
-        self._exhausted: set[int] = set()
-        #: Nodes the coordinator currently considers dead.
+        #: Open suspicions (cleared by any evidence of life).
+        self.suspects: dict[int, _Suspicion] = {}
+        #: Nodes the coordinator has removed from the membership
+        #: (fenced suspects and crashed nodes awaiting rollback).
         self.down: set[int] = set()
         #: Per-node membership views, updated by FT_DOWN/FT_UP delivery.
         self.views: dict[int, set[int]] = {n: set() for n in range(self.num_nodes)}
         # statistics
         self.heartbeats_sent = 0
         self.suspicions = 0
+        self.suspicions_cleared = 0
 
     # -- evidence sources -------------------------------------------------
 
@@ -66,12 +92,32 @@ class FailureDetector:
         """``Node.message_observer`` hook: delivered traffic is liveness."""
         if dst_node == COORDINATOR and message.src != COORDINATOR:
             self.last_heard[message.src] = self.sim.now
+            if message.src in self.suspects:
+                # Evidence of life always wins: the suspect spoke.
+                del self.suspects[message.src]
+                self.suspicions_cleared += 1
+                if self.sim.trace_on:
+                    tr = self.sim.trace
+                    tr.instant(
+                        self.sim.now,
+                        "ft",
+                        "suspicion_cleared",
+                        COORDINATOR,
+                        suspect=message.src,
+                        kind=message.kind.value,
+                    )
 
     def on_give_up(self, reporter: int, dst: int, message: Message) -> None:
-        """A transport exhausted its retries against ``dst``."""
+        """A transport exhausted its retries against ``dst``.
+
+        One reporter's give-up is a *vote*, not a verdict: the suspicion
+        still has to age ``suspicion_ttl_us`` and reach
+        ``suspicion_quorum`` reporters while the suspect stays silent at
+        the coordinator.  A slow-but-alive peer clears it by talking.
+        """
         if dst == COORDINATOR or dst in self.down:
             return
-        self._exhausted.add(dst)
+        self._suspect(dst).reporters.add(reporter)
         if self.sim.trace_on:
             tr = self.sim.trace
             tr.instant(
@@ -82,6 +128,42 @@ class FailureDetector:
                 suspect=dst,
                 kind=message.kind.value,
             )
+
+    def _suspect(self, node: int) -> _Suspicion:
+        suspicion = self.suspects.get(node)
+        if suspicion is None:
+            suspicion = _Suspicion(since=self.sim.now)
+            self.suspects[node] = suspicion
+            self.suspicions += 1
+            if self.sim.trace_on:
+                tr = self.sim.trace
+                tr.instant(
+                    self.sim.now, "ft", "suspicion_opened", COORDINATOR, suspect=node
+                )
+        return suspicion
+
+    def has_quorum(self) -> bool:
+        """Does the coordinator hear a majority of the current membership?
+
+        Counts the peers heard within the suspicion timeout, plus
+        itself, against the membership with confirmed-down nodes
+        removed.  The denominator may only shrink through
+        :meth:`mark_dead`, and every fence/recovery is itself gated on
+        this check *first* — so a coordinator on the minority side of a
+        partition can never fence the silent majority to vote itself a
+        quorum: it loses the check before any membership change and
+        stands down until the fabric heals.  Sequential failures, on the
+        other hand, shrink the membership one confirmed step at a time
+        and keep the surviving majority live.
+        """
+        now = self.sim.now
+        members = [node for node in self.last_heard if node not in self.down]
+        heard = sum(
+            1
+            for node in members
+            if now - self.last_heard[node] <= self.config.suspicion_timeout_us
+        )
+        return (heard + 1) * 2 > len(members) + 1
 
     # -- coordinator processes --------------------------------------------
 
@@ -109,19 +191,32 @@ class FailureDetector:
             yield self.sim.timeout(self.config.heartbeat_period_us)
             if not self.ft.active:
                 return
-            dead = self._collect_dead()
-            if dead:
-                yield from self.ft.recover(dead)
+            yield from self.ft.membership_tick(self._collect_dead())
 
     def _collect_dead(self) -> list[int]:
+        """Mature the suspicion records; return confirmed deaths.
+
+        A node is confirmed dead only when all three hold at once: it is
+        silent beyond ``suspicion_timeout_us``, its suspicion has aged
+        ``suspicion_ttl_us``, and at least ``suspicion_quorum`` distinct
+        reporters vouch (the coordinator's own silence observation is a
+        reporter).
+        """
         now = self.sim.now
+        config = self.config
         dead = []
         for node in range(self.num_nodes):
             if node == COORDINATOR or node in self.down:
                 continue
-            silent = now - self.last_heard[node] > self.config.suspicion_timeout_us
-            if silent or node in self._exhausted:
-                self.suspicions += 1
+            silent = now - self.last_heard[node] > config.suspicion_timeout_us
+            if not silent:
+                continue
+            suspicion = self._suspect(node)
+            suspicion.reporters.add(COORDINATOR)
+            if (
+                now - suspicion.since >= config.suspicion_ttl_us
+                and len(suspicion.reporters) >= config.suspicion_quorum
+            ):
                 dead.append(node)
         return dead
 
@@ -129,11 +224,11 @@ class FailureDetector:
 
     def mark_dead(self, node: int) -> None:
         self.down.add(node)
-        self._exhausted.discard(node)
+        self.suspects.pop(node, None)
 
     def mark_alive(self, node: int) -> None:
         self.down.discard(node)
-        self._exhausted.discard(node)
+        self.suspects.pop(node, None)
         if node != COORDINATOR:
             self.last_heard[node] = self.sim.now
 
@@ -142,7 +237,7 @@ class FailureDetector:
         now = self.sim.now
         for node in self.last_heard:
             self.last_heard[node] = now
-        self._exhausted.clear()
+        self.suspects.clear()
 
     # -- membership views ---------------------------------------------------
 
@@ -151,3 +246,8 @@ class FailureDetector:
             self.views[node_id].add(msg.payload["node"])
         elif msg.kind is MessageKind.FT_UP:
             self.views[node_id].discard(msg.payload["node"])
+        elif msg.kind is MessageKind.FT_REJOIN:
+            # The healed node adopts the coordinator's membership
+            # wholesale: everything it believed during the partition is
+            # stale by construction.
+            self.views[node_id] = set(msg.payload["down"])

@@ -12,12 +12,26 @@ The :class:`FtManager` is the runtime's fault-tolerance brain.  It
   counted, release not yet sent); the manager snapshots every node's
   protocol state, transport state, and thread input logs into the
   in-simulation checkpoint store;
-- drives **recovery**: on detection the coordinator announces the death
-  (``FT_DOWN``), waits out the restart delay, rolls *every* node back to
-  the last checkpoint (a new cluster incarnation fences all in-flight
-  traffic of the discarded execution), replays the barrier release
-  fan-out — which re-delivers exactly the write notices each node was
-  missing — and announces recovery (``FT_UP``).
+- runs the **membership state machine**: a confirmed suspicion first
+  *fences* the node (``FT_DOWN``, data-plane traffic rejected both ways
+  at the network while acks/heartbeats/membership still flow).  If the
+  node then shows evidence of life — a partition healed, a stall ended —
+  it *rejoins*: unfenced, announced back (``FT_UP`` to the survivors,
+  ``FT_REJOIN`` to the node), and every message the transports had
+  given up on is revived.  That is the whole re-sync: the LRC protocol
+  pulls state lazily, and no barrier completed without the node, so
+  nothing else was missed.  Only when ``partition_grace_us`` expires
+  with no sign of life is the node treated as crashed for real;
+- drives **recovery**: after the restart delay the coordinator rolls
+  *every* node back to the last checkpoint (a new cluster incarnation
+  fences all in-flight traffic of the discarded execution), replays the
+  barrier release fan-out — which re-delivers exactly the write notices
+  each node was missing — and announces recovery (``FT_UP``).
+- guards the **checkpoint cut**: a cut is refused while any node is
+  fenced or the coordinator lacks a quorum of recently-heard peers — a
+  committed checkpoint must never span a split brain.  A coordinator
+  stranded in a minority partition therefore stands down: it neither
+  fences the (healthy) majority nor moves the rollback target.
 
 Determinism: the rollback restores protocol state byte-for-byte and
 rebuilds threads by replaying their logged inputs, so a run with a given
@@ -64,13 +78,22 @@ class FtManager:
         self.checkpoint: Optional[ClusterCheckpoint] = None
         self._barrier_count = 0
         self._crash_time: dict[int, float] = {}
+        #: When each currently fenced node was fenced (drives the
+        #: rejoin-evidence comparison and the partition grace clock).
+        self.fenced_at: dict[int, float] = {}
         self._program = None
         # run statistics (surface in RunReport.extra["ft"])
         self.crashes = 0
         self.detections = 0
         self.recoveries = 0
+        self.fences = 0
+        self.rejoins = 0
+        self.stand_downs = 0
         self.checkpoints = 0
+        self.checkpoints_stood_down = 0
+        self.split_brain_checkpoints = 0
         self.checkpoint_bytes = 0
+        self.messages_revived = 0
         self.downtime_us = 0.0
         self.recovery_us = 0.0
 
@@ -156,6 +179,154 @@ class FtManager:
                 now, "ft", "crash", node_id, cancelled_processes=cancelled
             )
 
+    # -- membership state machine ------------------------------------------
+
+    def membership_tick(self, dead: list):
+        """One watch-loop tick of the membership state machine.
+
+        ``dead`` are the detector's newly matured suspicions.  They are
+        *fenced*, not executed: a fenced node that speaks again (the
+        partition healed, the stall ended) rejoins with a targeted
+        re-sync, and only a fence left silent past
+        ``partition_grace_us`` becomes a real recovery.  Everything is
+        gated on the coordinator holding a quorum — stranded in a
+        minority partition it stands down and waits for the heal
+        instead of fencing the healthy majority.
+        """
+        if (dead or self.fenced_at) and not self.detector.has_quorum():
+            self.stand_downs += 1
+            if self.sim.trace_on:
+                tr = self.sim.trace
+                tr.instant(
+                    self.sim.now,
+                    "ft",
+                    "stand_down",
+                    COORDINATOR,
+                    pending=sorted(dead),
+                    fenced=sorted(self.fenced_at),
+                )
+            return
+        for node_id in dead:
+            self.fence(node_id)
+        if self.config.split_brain_bug and self.fenced_at:
+            # The seeded bug the chaos harness must catch: the barrier
+            # manager treats fenced nodes as arrived, completing
+            # barriers — and committing checkpoint cuts — without them.
+            barriers = self.runtime.dsm_nodes[COORDINATOR].barriers
+            yield from barriers.bug_release_without(set(self.fenced_at))
+        now = self.sim.now
+        healed = [
+            node_id
+            for node_id, at in sorted(self.fenced_at.items())
+            if self.detector.last_heard[node_id] > at
+        ]
+        for node_id in healed:
+            self._rejoin(node_id)
+        expired = [
+            node_id
+            for node_id, at in sorted(self.fenced_at.items())
+            if now - at >= self.config.partition_grace_us
+        ]
+        if expired:
+            yield from self.recover(expired)
+
+    def fence(self, node_id: int) -> None:
+        """Remove a confirmed suspect from the membership — reversibly.
+
+        The network rejects the suspect's data-plane traffic in both
+        directions (its writes must not leak into the cluster, nor the
+        cluster's into it) while acks, heartbeats and membership
+        messages still flow, so a partitioned-not-dead node can later
+        prove it healed.  Survivors learn via ``FT_DOWN``.
+        """
+        network = self.cluster.network
+        now = self.sim.now
+        self.detections += 1
+        self.fences += 1
+        self.fenced_at[node_id] = now
+        self.detector.mark_dead(node_id)
+        network.fence_node(node_id)
+        if self.sim.trace_on:
+            tr = self.sim.trace
+            tr.instant(
+                now,
+                "ft",
+                "fence",
+                COORDINATOR,
+                suspect=node_id,
+                latency_us=now - self._crash_time.get(node_id, now),
+            )
+        for peer in range(self.num_nodes):
+            if peer == COORDINATOR or peer == node_id:
+                continue
+            network.send(
+                Message(
+                    src=COORDINATOR,
+                    dst=peer,
+                    kind=MessageKind.FT_DOWN,
+                    size_bytes=_ANNOUNCE_BYTES,
+                    payload={"node": node_id},
+                    reliable=False,
+                )
+            )
+
+    def _rejoin(self, node_id: int) -> None:
+        """A fenced node spoke after its fencing: take it back.
+
+        The fence is lifted, the survivors are told (``FT_UP``), the
+        node gets the authoritative membership (``FT_REJOIN``), and
+        every message any transport had given up on involving it is put
+        back in flight.  That revival *is* the state re-sync: LRC pulls
+        data lazily and no barrier completed without the node, so the
+        retried traffic is exactly what it missed.
+        """
+        network = self.cluster.network
+        now = self.sim.now
+        self.rejoins += 1
+        fenced_for = now - self.fenced_at.pop(node_id)
+        network.unfence_node(node_id)
+        self.detector.mark_alive(node_id)
+        if self.sim.trace_on:
+            tr = self.sim.trace
+            tr.instant(
+                now,
+                "ft",
+                "rejoin",
+                COORDINATOR,
+                node=node_id,
+                fenced_us=round(fenced_for, 3),
+            )
+        for peer in range(self.num_nodes):
+            if peer == COORDINATOR or peer == node_id:
+                continue
+            network.send(
+                Message(
+                    src=COORDINATOR,
+                    dst=peer,
+                    kind=MessageKind.FT_UP,
+                    size_bytes=_ANNOUNCE_BYTES,
+                    payload={"node": node_id},
+                    reliable=False,
+                )
+            )
+        network.send(
+            Message(
+                src=COORDINATOR,
+                dst=node_id,
+                kind=MessageKind.FT_REJOIN,
+                size_bytes=_ANNOUNCE_BYTES,
+                payload={"down": sorted(self.detector.down)},
+                reliable=False,
+            )
+        )
+        transports = self.cluster.transports
+        if transports:
+            for transport in transports:
+                if transport.node.node_id == node_id:
+                    self.messages_revived += transport.revive_all()
+                else:
+                    self.messages_revived += transport.revive(node_id)
+
     # -- checkpointing -----------------------------------------------------
 
     def wants_checkpoint(self, barrier_id: int, episode: int) -> bool:
@@ -181,8 +352,40 @@ class FtManager:
         *synchronously*, before its CPU cost elapses: a crash landing
         inside the cost window must still find the new checkpoint valid,
         because the cut it captures precedes the crash.
+
+        The cut is *refused* while any node is fenced or the coordinator
+        lacks a quorum: a committed checkpoint must never span a split
+        brain.  Refusal keeps the previous rollback target; the barrier
+        release proceeds and the next clean barrier checkpoints.  (The
+        seeded ``split_brain_bug`` skips this guard so the chaos
+        harness has something to catch.)
         """
-        vcs = [list(node_vcs[n]) for n in range(self.num_nodes)]
+        if self.fenced_at or not self.detector.has_quorum():
+            if not self.config.split_brain_bug:
+                self.checkpoints_stood_down += 1
+                if self.sim.trace_on:
+                    tr = self.sim.trace
+                    tr.instant(
+                        self.sim.now,
+                        "ft",
+                        "checkpoint_stood_down",
+                        COORDINATOR,
+                        barrier=barrier_id,
+                        episode=episode,
+                        fenced=sorted(self.fenced_at),
+                    )
+                return
+            if self.fenced_at:
+                self.split_brain_checkpoints += 1
+        # Under the seeded bug a fenced node never arrived, so its vc is
+        # missing from the cut; the buggy coordinator snapshots the
+        # node's *current* (mid-flight, inconsistent) clock instead.
+        vcs = [
+            list(node_vcs[n])
+            if n in node_vcs
+            else list(self.runtime.dsm_nodes[n].vc.snapshot())
+            for n in range(self.num_nodes)
+        ]
         ckpt = self._build_checkpoint("barrier", barrier_id, episode, vcs)
         self.checkpoint = ckpt
         self.checkpoints += 1
@@ -249,11 +452,14 @@ class FtManager:
     # -- recovery ----------------------------------------------------------
 
     def recover(self, dead: list):
-        """Detection → announcement → coordinated rollback → resume.
+        """Final verdict → coordinated rollback → resume.
 
         Runs in the coordinator's watch loop (group ``ft``, which the
-        rollback never cancels).  Several suspicions arriving in one
-        detection tick recover together in a single rollback.
+        rollback never cancels).  The nodes arrive here already fenced
+        — detection accounting and the ``FT_DOWN`` broadcast happened
+        in :meth:`fence` — with their partition grace expired: the
+        membership layer has given up on a heal.  Several fences
+        expiring in one tick recover together in a single rollback.
         """
         ckpt = self.checkpoint
         if ckpt is None:  # pragma: no cover - start() guarantees one
@@ -263,33 +469,17 @@ class FtManager:
         tr = sim.trace
         t_detect = sim.now
         for node_id in dead:
-            self.detections += 1
+            network.unfence_node(node_id)
+            self.fenced_at.pop(node_id, None)
             self.detector.mark_dead(node_id)
             if tr.enabled:
                 tr.instant(
                     t_detect,
                     "ft",
-                    "detect",
+                    "declare_dead",
                     COORDINATOR,
-                    suspect=node_id,
+                    node=node_id,
                     latency_us=t_detect - self._crash_time.get(node_id, t_detect),
-                )
-            # Membership agreement: tell every reachable survivor.  The
-            # announcements ride the normal (unreliable-under-faults)
-            # wire; the authoritative membership lives here at the
-            # coordinator, per-node views are bookkeeping.
-            for peer in range(self.num_nodes):
-                if peer == COORDINATOR or peer == node_id:
-                    continue
-                network.send(
-                    Message(
-                        src=COORDINATOR,
-                        dst=peer,
-                        kind=MessageKind.FT_DOWN,
-                        size_bytes=_ANNOUNCE_BYTES,
-                        payload={"node": node_id},
-                        reliable=False,
-                    )
                 )
         # Reboot + rejoin of the crashed machines.
         yield sim.timeout(self.config.restart_delay_us)
@@ -428,13 +618,13 @@ class FtManager:
     # -- message plumbing --------------------------------------------------
 
     def handle_message(self, node_id: int, msg: Message):
-        """DSM dispatch route for HEARTBEAT / FT_DOWN / FT_UP.
+        """DSM dispatch route for HEARTBEAT / FT_DOWN / FT_UP / FT_REJOIN.
 
         Heartbeat liveness is already absorbed by the coordinator's
         ``message_observer`` before any handler runs; membership
         announcements update the receiving node's view.
         """
-        if msg.kind in (MessageKind.FT_DOWN, MessageKind.FT_UP):
+        if msg.kind in (MessageKind.FT_DOWN, MessageKind.FT_UP, MessageKind.FT_REJOIN):
             self.detector.handle_membership(node_id, msg)
         return
         yield  # pragma: no cover - makes this a generator for dispatch
@@ -447,8 +637,16 @@ class FtManager:
             "crashes": self.crashes,
             "detections": self.detections,
             "recoveries": self.recoveries,
+            "fences": self.fences,
+            "rejoins": self.rejoins,
+            "stand_downs": self.stand_downs,
+            "suspicions": self.detector.suspicions,
+            "suspicions_cleared": self.detector.suspicions_cleared,
             "checkpoints": self.checkpoints,
+            "checkpoints_stood_down": self.checkpoints_stood_down,
+            "split_brain_checkpoints": self.split_brain_checkpoints,
             "checkpoint_bytes": self.checkpoint_bytes,
+            "messages_revived": self.messages_revived,
             "heartbeats": self.detector.heartbeats_sent,
             "downtime_us": round(self.downtime_us, 3),
             "recovery_us": round(self.recovery_us, 3),

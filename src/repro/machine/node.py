@@ -131,6 +131,18 @@ class Node:
         return self.network.send(message)
 
     def _on_message(self, message: Message) -> None:
+        if message.corrupted:
+            # End-to-end checksum mismatch: discard before the liveness
+            # observer or any protocol code sees the frame — a mangled
+            # message is not evidence its sender is alive, and it is
+            # never acked, so the reliable transport retransmits it.
+            spawn(
+                self.sim,
+                self._discard_corrupt(message),
+                name=f"checksum[{self.node_id}]",
+                group=f"node{self.node_id}",
+            )
+            return
         if self.message_observer is not None:
             self.message_observer(message)
         spawn(
@@ -139,6 +151,24 @@ class Node:
             name=f"handler[{self.node_id}]",
             group=f"node{self.node_id}",
         )
+
+    def _discard_corrupt(self, message: Message) -> Generator[Event, Any, None]:
+        recv_cost = self.costs.msg_recv_cpu
+        if self.mt_mode:
+            recv_cost += self.costs.async_arrival_extra
+        # The frame must be read to be checksummed: pay the receive cost.
+        yield from self.occupy(recv_cost, Category.DSM, priority=HANDLER_PRIORITY)
+        self.events.corruption_detected += 1
+        if self.sim.trace_on:
+            tr = self.sim.trace
+            tr.instant(
+                self.sim.now,
+                "network",
+                "msg_checksum_fail",
+                self.node_id,
+                kind=message.kind.value,
+                src=message.src,
+            )
 
     def _handle(self, message: Message) -> Generator[Event, Any, None]:
         recv_cost = self.costs.msg_recv_cpu

@@ -128,6 +128,9 @@ class EventCounters:
     duplicates_suppressed: int = 0
     #: Reliable messages the transport abandoned after max_retries.
     retries_exhausted: int = 0
+    #: Arrivals discarded by the end-to-end checksum (injected bit
+    #: corruption); each one costs a receive and provokes a retransmit.
+    corruption_detected: int = 0
     # Thread run lengths: busy time between consecutive long-latency events.
     run_lengths_sum: float = 0.0
     run_lengths_count: int = 0

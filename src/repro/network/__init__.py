@@ -2,7 +2,15 @@
 stats), plus the robustness layers: deterministic fault injection and
 the reliable request/reply transport."""
 
-from repro.network.faults import FaultPlan, FaultyNetwork, LinkDegradation, NodeStall
+from repro.network.faults import (
+    BitCorruption,
+    FaultPlan,
+    FaultyNetwork,
+    LinkDegradation,
+    LinkPartition,
+    NodeCrash,
+    NodeStall,
+)
 from repro.network.link import Link, LinkConfig
 from repro.network.message import Message, MessageKind
 from repro.network.network import Network
@@ -11,14 +19,17 @@ from repro.network.switch import Switch
 from repro.network.transport import ReliableTransport, TransportConfig, TransportStats
 
 __all__ = [
+    "BitCorruption",
     "FaultPlan",
     "FaultyNetwork",
     "Link",
     "LinkConfig",
     "LinkDegradation",
+    "LinkPartition",
     "Message",
     "MessageKind",
     "Network",
+    "NodeCrash",
     "NodeStall",
     "ReliableTransport",
     "Switch",

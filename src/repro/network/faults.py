@@ -13,7 +13,14 @@ according to a :class:`FaultPlan` —
 - timed **link-degradation windows**: a bandwidth cut and/or latency
   spike over an interval of simulated time, optionally scoped to nodes;
 - timed **per-node stall windows**: a node's NIC goes quiet — nothing
-  leaves it and nothing is delivered to it until the window ends.
+  leaves it and nothing is delivered to it until the window ends;
+- timed **link partitions**: a set of links (or everything crossing a
+  node-group boundary) is severed — all traffic on it vanishes,
+  including magically reliable messages, with no random draw;
+- timed **bit-corruption windows**: a transmission arrives with
+  ``Message.corrupted`` set; the receiver's end-to-end checksum
+  discards it before protocol code can apply it as a garbage diff, and
+  the reliable transport retransmits.
 
 Every decision draws from one named stream of the experiment's
 :class:`~repro.sim.rng.RandomSource`, so a (seed, plan) pair replays
@@ -40,7 +47,15 @@ from repro.network.message import Message
 from repro.network.network import Network
 from repro.sim import Simulator
 
-__all__ = ["LinkDegradation", "NodeStall", "NodeCrash", "FaultPlan", "FaultyNetwork"]
+__all__ = [
+    "LinkDegradation",
+    "NodeStall",
+    "NodeCrash",
+    "LinkPartition",
+    "BitCorruption",
+    "FaultPlan",
+    "FaultyNetwork",
+]
 
 
 def _check_window(what: str, start_us: float, end_us: float) -> None:
@@ -148,6 +163,118 @@ class NodeCrash:
             raise FaultConfigError(f"crash time must be > 0, got {self.at_us}")
 
 
+def _normalize_links(what: str, raw) -> frozenset[tuple[int, int]]:
+    links = frozenset((int(src), int(dst)) for src, dst in raw)
+    if not links:
+        raise FaultConfigError(f"{what} must name at least one link")
+    if any(src < 0 or dst < 0 for src, dst in links):
+        raise FaultConfigError(f"negative node id in {what}: {sorted(links)}")
+    if any(src == dst for src, dst in links):
+        raise FaultConfigError(f"self-link in {what}: {sorted(links)}")
+    return links
+
+
+@dataclass(frozen=True)
+class LinkPartition:
+    """A timed window during which part of the fabric is unreachable.
+
+    Scope is exactly one of:
+
+    - ``nodes``: a group cut off from the rest of the cluster — every
+      link *crossing* the group boundary is severed in both directions
+      (a switch split); traffic within the group, and within the rest,
+      still flows;
+    - ``links``: an explicit set of severed directed ``(src, dst)``
+      pairs (an asymmetric cable fault).
+
+    Severed traffic vanishes without consuming a single random draw:
+    partitions are window-deterministic, so adding one to a plan can
+    never perturb the fault stream any other link sees.  Unlike
+    probabilistic loss, a partition severs *everything* — including
+    magically reliable messages, because there is no wire left to be
+    lossless on.  The :mod:`repro.ft` layer is what must tell this
+    apart from a crash: heartbeats stop exactly as if the peer died.
+    """
+
+    start_us: float
+    end_us: float
+    nodes: Optional[frozenset[int]] = None
+    links: Optional[frozenset[tuple[int, int]]] = None
+
+    def __post_init__(self) -> None:
+        _check_window("partition", self.start_us, self.end_us)
+        if (self.nodes is None) == (self.links is None):
+            raise FaultConfigError(
+                "partition: exactly one of nodes/links must be given"
+            )
+        if self.nodes is not None:
+            nodes = frozenset(int(node) for node in self.nodes)
+            if not nodes:
+                raise FaultConfigError("partition nodes must name at least one node")
+            if any(node < 0 for node in nodes):
+                raise FaultConfigError(f"negative node id in partition nodes: {sorted(nodes)}")
+            object.__setattr__(self, "nodes", nodes)
+        if self.links is not None:
+            object.__setattr__(
+                self, "links", _normalize_links("partition links", self.links)
+            )
+
+    def severs(self, src: int, dst: int, now: float) -> bool:
+        if not self.start_us <= now < self.end_us:
+            return False
+        if self.nodes is not None:
+            return (src in self.nodes) != (dst in self.nodes)
+        return (src, dst) in self.links
+
+    def involves(self, node: int) -> bool:
+        """Whether the partition cuts this node off from someone."""
+        if self.nodes is not None:
+            return node in self.nodes
+        return any(node in pair for pair in self.links)
+
+
+@dataclass(frozen=True)
+class BitCorruption:
+    """A timed window of per-transmission bit-flip probability.
+
+    A corrupted transmission is still delivered — the fabric does not
+    know it mangled the frame — but arrives with ``Message.corrupted``
+    set.  The receiving node's end-to-end checksum discards it (after
+    paying the receive CPU cost: the frame must be read to be checked)
+    before any protocol code or liveness observer sees it, so a flipped
+    bit can never be applied as a garbage diff nor count as evidence
+    that the sender is alive.  The reliable transport retransmits the
+    unacked frame; corruption costs latency, not correctness.
+
+    ``links`` scopes the window to directed pairs; ``None`` corrupts
+    the whole fabric.  Corruption draws come from the same per-link
+    streams as loss, and are only consumed while a window covering the
+    link is active — plans without corruption replay bit-for-bit
+    against older versions of this module.
+    """
+
+    start_us: float
+    end_us: float
+    prob: float
+    links: Optional[frozenset[tuple[int, int]]] = None
+
+    def __post_init__(self) -> None:
+        _check_window("corruption", self.start_us, self.end_us)
+        if not 0.0 < self.prob <= 1.0:
+            raise FaultConfigError(
+                f"corruption prob must be in (0, 1], got {self.prob}"
+            )
+        if self.links is not None:
+            object.__setattr__(
+                self, "links", _normalize_links("corruption links", self.links)
+            )
+
+    def applies(self, src: int, dst: int, now: float) -> bool:
+        if not self.start_us <= now < self.end_us:
+            return False
+        return self.links is None or (src, dst) in self.links
+
+
 @dataclass(frozen=True)
 class FaultPlan:
     """Everything the fault injector may do to traffic, in one place."""
@@ -165,6 +292,11 @@ class FaultPlan:
     #: Crash-stop failures, executed by the repro.ft layer (the network
     #: only carries the schedule; a plan with crashes auto-enables FT).
     crashes: tuple[NodeCrash, ...] = ()
+    #: Timed partitions severing links or node groups (auto-enables FT,
+    #: like crashes: someone has to fence and rejoin the cut-off nodes).
+    partitions: tuple[LinkPartition, ...] = ()
+    #: Timed bit-corruption windows.
+    corruptions: tuple[BitCorruption, ...] = ()
     #: Scope the probabilistic faults (drop/duplicate/reorder) to these
     #: directed ``(src, dst)`` links; ``None`` means fabric-wide.
     #: Out-of-scope traffic draws nothing from the fault streams.
@@ -188,6 +320,8 @@ class FaultPlan:
         object.__setattr__(self, "degradations", tuple(self.degradations))
         object.__setattr__(self, "stalls", tuple(self.stalls))
         object.__setattr__(self, "crashes", tuple(self.crashes))
+        object.__setattr__(self, "partitions", tuple(self.partitions))
+        object.__setattr__(self, "corruptions", tuple(self.corruptions))
         for item in self.degradations:
             if not isinstance(item, LinkDegradation):
                 raise FaultConfigError(f"not a LinkDegradation: {item!r}")
@@ -197,6 +331,26 @@ class FaultPlan:
         for item in self.crashes:
             if not isinstance(item, NodeCrash):
                 raise FaultConfigError(f"not a NodeCrash: {item!r}")
+        for item in self.partitions:
+            if not isinstance(item, LinkPartition):
+                raise FaultConfigError(f"not a LinkPartition: {item!r}")
+        for item in self.corruptions:
+            if not isinstance(item, BitCorruption):
+                raise FaultConfigError(f"not a BitCorruption: {item!r}")
+        # A node that is both crashed and partitioned is ambiguous: the
+        # detector cannot fence what is already dead, and recovery could
+        # revive a node into a still-severed fabric.  The crash "window"
+        # is [at_us, infinity) — the node stays down until recovery, so
+        # any partition of that node reaching past the crash instant is
+        # rejected.
+        for crash in self.crashes:
+            for part in self.partitions:
+                if part.end_us > crash.at_us and part.involves(crash.node):
+                    raise FaultConfigError(
+                        f"crashes/partitions: node {crash.node} crashes at "
+                        f"{crash.at_us} but a partition window "
+                        f"[{part.start_us}, {part.end_us}) still involves it"
+                    )
 
     @property
     def is_noop(self) -> bool:
@@ -207,10 +361,172 @@ class FaultPlan:
             and not self.degradations
             and not self.stalls
             and not self.crashes
+            and not self.partitions
+            and not self.corruptions
         )
 
     def stall_hold_us(self, node: int, now: float) -> float:
         return max((stall.hold_us(node, now) for stall in self.stalls), default=0.0)
+
+    def severed(self, src: int, dst: int, now: float) -> bool:
+        return any(part.severs(src, dst, now) for part in self.partitions)
+
+    def corruption_prob(self, src: int, dst: int, now: float) -> float:
+        """Combined corruption probability on a directed link right now
+        (overlapping windows flip bits independently)."""
+        prob = 0.0
+        for window in self.corruptions:
+            if window.applies(src, dst, now):
+                prob = 1.0 - (1.0 - prob) * (1.0 - window.prob)
+        return prob
+
+    def validate_topology(self, num_nodes: int) -> None:
+        """Cross-check every node and link id against the cluster size.
+
+        Plans are built before the cluster exists, so ``__post_init__``
+        can only reject negative ids; the network calls this once it
+        knows ``num_nodes``.
+        """
+
+        def check_node(what: str, node: int) -> None:
+            if node >= num_nodes:
+                raise FaultConfigError(
+                    f"{what}: unknown node {node} "
+                    f"(cluster has {num_nodes} nodes)"
+                )
+
+        def check_links(what: str, links) -> None:
+            for src, dst in links:
+                if src >= num_nodes or dst >= num_nodes:
+                    raise FaultConfigError(
+                        f"{what}: unknown link ({src}, {dst}) "
+                        f"(cluster has {num_nodes} nodes)"
+                    )
+
+        if self.only_links is not None:
+            check_links("only_links", self.only_links)
+        for window in self.degradations:
+            if window.nodes is not None:
+                for node in window.nodes:
+                    check_node("degradations.nodes", node)
+        for stall in self.stalls:
+            check_node("stalls.node", stall.node)
+        for crash in self.crashes:
+            check_node("crashes.node", crash.node)
+        for part in self.partitions:
+            if part.nodes is not None:
+                for node in part.nodes:
+                    check_node("partitions.nodes", node)
+            if part.links is not None:
+                check_links("partitions.links", part.links)
+        for window in self.corruptions:
+            if window.links is not None:
+                check_links("corruptions.links", window.links)
+
+    # -- serialization (chaos reproducers live on disk as JSON) ------------
+
+    def to_dict(self) -> dict:
+        def links_list(links):
+            return None if links is None else sorted([src, dst] for src, dst in links)
+
+        return {
+            "drop_prob": self.drop_prob,
+            "duplicate_prob": self.duplicate_prob,
+            "reorder_prob": self.reorder_prob,
+            "jitter_us": self.jitter_us,
+            "degradations": [
+                {
+                    "start_us": w.start_us,
+                    "end_us": w.end_us,
+                    "bandwidth_factor": w.bandwidth_factor,
+                    "extra_latency_us": w.extra_latency_us,
+                    "nodes": None if w.nodes is None else sorted(w.nodes),
+                }
+                for w in self.degradations
+            ],
+            "stalls": [
+                {"node": s.node, "start_us": s.start_us, "end_us": s.end_us}
+                for s in self.stalls
+            ],
+            "crashes": [{"node": c.node, "at_us": c.at_us} for c in self.crashes],
+            "partitions": [
+                {
+                    "start_us": p.start_us,
+                    "end_us": p.end_us,
+                    "nodes": None if p.nodes is None else sorted(p.nodes),
+                    "links": links_list(p.links),
+                }
+                for p in self.partitions
+            ],
+            "corruptions": [
+                {
+                    "start_us": w.start_us,
+                    "end_us": w.end_us,
+                    "prob": w.prob,
+                    "links": links_list(w.links),
+                }
+                for w in self.corruptions
+            ],
+            "only_links": links_list(self.only_links),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        def links_set(raw):
+            if raw is None:
+                return None
+            return frozenset((int(src), int(dst)) for src, dst in raw)
+
+        def nodes_set(raw):
+            return None if raw is None else frozenset(int(node) for node in raw)
+
+        return cls(
+            drop_prob=float(data.get("drop_prob", 0.0)),
+            duplicate_prob=float(data.get("duplicate_prob", 0.0)),
+            reorder_prob=float(data.get("reorder_prob", 0.0)),
+            jitter_us=float(data.get("jitter_us", 0.0)),
+            degradations=tuple(
+                LinkDegradation(
+                    start_us=float(w["start_us"]),
+                    end_us=float(w["end_us"]),
+                    bandwidth_factor=float(w.get("bandwidth_factor", 1.0)),
+                    extra_latency_us=float(w.get("extra_latency_us", 0.0)),
+                    nodes=nodes_set(w.get("nodes")),
+                )
+                for w in data.get("degradations", ())
+            ),
+            stalls=tuple(
+                NodeStall(
+                    node=int(s["node"]),
+                    start_us=float(s["start_us"]),
+                    end_us=float(s["end_us"]),
+                )
+                for s in data.get("stalls", ())
+            ),
+            crashes=tuple(
+                NodeCrash(node=int(c["node"]), at_us=float(c["at_us"]))
+                for c in data.get("crashes", ())
+            ),
+            partitions=tuple(
+                LinkPartition(
+                    start_us=float(p["start_us"]),
+                    end_us=float(p["end_us"]),
+                    nodes=nodes_set(p.get("nodes")),
+                    links=links_set(p.get("links")),
+                )
+                for p in data.get("partitions", ())
+            ),
+            corruptions=tuple(
+                BitCorruption(
+                    start_us=float(w["start_us"]),
+                    end_us=float(w["end_us"]),
+                    prob=float(w["prob"]),
+                    links=links_set(w.get("links")),
+                )
+                for w in data.get("corruptions", ())
+            ),
+            only_links=links_set(data.get("only_links")),
+        )
 
 
 class FaultyNetwork(Network):
@@ -240,6 +556,7 @@ class FaultyNetwork(Network):
     ) -> None:
         if not isinstance(plan, FaultPlan):
             raise FaultConfigError(f"not a FaultPlan: {plan!r}")
+        plan.validate_topology(num_nodes)
         super().__init__(sim, num_nodes, link_config=link_config, switch_latency_us=switch_latency_us)
         self.plan = plan
         # Fault decisions draw from a *per-directed-link* stream so one
@@ -266,6 +583,25 @@ class FaultyNetwork(Network):
         message.incarnation = self.incarnation
         plan = self.plan
         now = self.sim.now
+        if plan.partitions and plan.severed(message.src, message.dst, now):
+            # A severed link loses everything, reliable or not, and
+            # consumes no random draw: the fate of other links' traffic
+            # (and of this link's traffic outside the window) is
+            # byte-identical with and without the partition.
+            self.stats.record_injected("partition", message)
+            self.stats.record_drop(message)
+            if self.sim.trace_on:
+                tr = self.sim.trace
+                tr.instant(
+                    now,
+                    "network",
+                    "msg_drop",
+                    message.src,
+                    kind=message.kind.value,
+                    dst=message.dst,
+                    at="partition",
+                )
+            return False
         in_scope = plan.only_links is None or (message.src, message.dst) in plan.only_links
         rng = self._link_rng(message.src, message.dst) if in_scope else None
         if (
@@ -302,6 +638,24 @@ class FaultyNetwork(Network):
         if hold > 0:
             self.stats.record_injected("stall", message)
             delay += hold
+        if in_scope and not message.reliable and plan.corruptions:
+            # Draw only while a window covers this link, so plans
+            # without corruption consume the same stream positions as
+            # before this fault type existed.
+            prob = plan.corruption_prob(message.src, message.dst, now)
+            if prob > 0 and rng.random() < prob:
+                message.corrupted = True
+                self.stats.record_injected("corrupt", message)
+                if self.sim.trace_on:
+                    tr = self.sim.trace
+                    tr.instant(
+                        now,
+                        "network",
+                        "msg_corrupt",
+                        message.src,
+                        kind=message.kind.value,
+                        dst=message.dst,
+                    )
         if (
             in_scope
             and not message.reliable

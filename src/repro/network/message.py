@@ -42,10 +42,27 @@ class MessageKind(str, Enum):
     #: Coordinator's membership announcements (reliable).
     FT_DOWN = "ft_down"
     FT_UP = "ft_up"
+    #: Coordinator -> healed node: partition is over, here is the
+    #: authoritative membership (see repro.ft partition handling).
+    FT_REJOIN = "ft_rejoin"
 
     @property
     def is_prefetch(self) -> bool:
         return self in (MessageKind.PREFETCH_REQUEST, MessageKind.PREFETCH_REPLY)
+
+    @property
+    def is_control(self) -> bool:
+        """Membership/liveness/ack traffic that a *fenced* node may still
+        exchange: fencing rejects a suspect's data-plane writes but must
+        keep the control plane open, or a partitioned node could never
+        prove it healed (see repro.ft)."""
+        return self in (
+            MessageKind.ACK,
+            MessageKind.HEARTBEAT,
+            MessageKind.FT_DOWN,
+            MessageKind.FT_UP,
+            MessageKind.FT_REJOIN,
+        )
 
 
 @dataclass(slots=True)
@@ -69,6 +86,16 @@ class Message:
             stamped by the network at send time.  Recovery bumps the
             cluster incarnation; deliveries from an older incarnation
             (in-flight traffic of a discarded execution) are dropped.
+        corrupted: this *transmission* suffered injected bit corruption
+            in the fabric (``repro.network.faults.BitCorruption``).  The
+            flag models an end-to-end checksum: the receiving node
+            verifies every arrival and discards corrupted frames before
+            any protocol code (or liveness observer) sees them, exactly
+            as a CRC mismatch would — a 32-bit CRC misses flips with
+            probability ~2^-32, which rounds to never at our traffic
+            volumes, so the simulation does not model silent passes.
+            Per-transmission by construction: retransmissions and
+            duplicate ghosts are :meth:`clone`\\ s, which reset it.
     """
 
     src: int
@@ -82,6 +109,7 @@ class Message:
     msg_id: int = field(default_factory=lambda: next(_message_ids))
     sent_at: float = -1.0
     delivered_at: float = -1.0
+    corrupted: bool = False
 
     def __post_init__(self) -> None:
         if self.src == self.dst:

@@ -46,6 +46,13 @@ class Network:
         self.incarnation = 0
         #: Nodes currently crashed: their links are silent both ways.
         self._down: set[int] = set()
+        #: Nodes currently fenced by the membership layer: suspected
+        #: (e.g. partitioned) but not declared dead.  Data-plane traffic
+        #: touching a fenced node is dropped — its writes must not leak
+        #: into the cluster, nor the cluster's into it — while control
+        #: traffic (acks, heartbeats, membership) still flows, so the
+        #: node can prove it healed and rejoin without a full rollback.
+        self._fenced: set[int] = set()
         self.switch = Switch(
             sim,
             num_nodes,
@@ -93,6 +100,18 @@ class Network:
 
     def is_down(self, node_id: int) -> bool:
         return node_id in self._down
+
+    def fence_node(self, node_id: int) -> None:
+        """Reject a suspect's data-plane traffic, keep its control plane."""
+        if not 0 <= node_id < self.num_nodes:
+            raise NetworkError(f"unknown node {node_id}")
+        self._fenced.add(node_id)
+
+    def unfence_node(self, node_id: int) -> None:
+        self._fenced.discard(node_id)
+
+    def is_fenced(self, node_id: int) -> bool:
+        return node_id in self._fenced
 
     def _check_destination(self, message: Message) -> None:
         if message.dst not in self._handlers:
@@ -153,14 +172,25 @@ class Network:
             )
 
     def _deliver(self, message: Message) -> None:
+        fenced = (
+            message.src in self._fenced or message.dst in self._fenced
+        ) and not message.kind.is_control
         if (
             message.incarnation != self.incarnation
             or message.src in self._down
             or message.dst in self._down
+            or fenced
         ):
-            # Traffic from a rolled-back incarnation, or touching a
-            # crashed node: the wire eats it silently.
-            reason = "stale" if message.incarnation != self.incarnation else "down"
+            # Traffic from a rolled-back incarnation, touching a crashed
+            # node, or data-plane traffic touching a fenced suspect: the
+            # wire eats it silently (for fenced nodes the transport keeps
+            # retrying until the membership layer resolves the suspicion).
+            if message.incarnation != self.incarnation:
+                reason = "stale"
+            elif fenced:
+                reason = "fenced"
+            else:
+                reason = "down"
             self.stats.record_drop(message)
             if self.sim.trace_on:
                 tr = self.sim.trace

@@ -8,7 +8,7 @@ The reliability layers add two more families of counters:
 
 - *injected faults* (:meth:`TrafficStats.record_injected`), recorded by
   the fault-injection layer per fault kind (drop, duplicate, delay,
-  degrade, stall) and message kind;
+  degrade, stall, partition, corrupt) and message kind;
 - *retransmissions* (:meth:`TrafficStats.record_retransmit`), recorded
   by the reliable transport whenever a timeout forces a resend.
 
@@ -27,7 +27,7 @@ from repro.network.message import Message, MessageKind
 __all__ = ["TrafficStats", "FAULT_KINDS"]
 
 #: The fault vocabulary of the injection layer (repro.network.faults).
-FAULT_KINDS = ("drop", "duplicate", "delay", "degrade", "stall")
+FAULT_KINDS = ("drop", "duplicate", "delay", "degrade", "stall", "partition", "corrupt")
 
 
 @dataclass

@@ -69,6 +69,14 @@ class TransportConfig:
     #: Timeout jitter: each timer is stretched by up to this fraction,
     #: drawn from the experiment's seeded RNG (decorrelates senders).
     jitter_frac: float = 0.1
+    #: Dedup horizon, in sequence numbers per peer: the receive window
+    #: remembers at most this many seqs below the highest seen, so long
+    #: chaos runs don't grow the table without bound.  A duplicate older
+    #: than the horizon would be re-delivered — the window must exceed
+    #: the per-link pipeline depth (a handful of messages) plus any
+    #: parked-and-revived backlog, which the default covers by orders of
+    #: magnitude.
+    dedup_window: int = 4096
 
     def __post_init__(self) -> None:
         if self.timeout_us <= 0:
@@ -79,6 +87,8 @@ class TransportConfig:
             raise ConfigError(f"max_retries must be >= 0, got {self.max_retries}")
         if not 0.0 <= self.jitter_frac <= 1.0:
             raise ConfigError(f"jitter_frac must be in [0, 1], got {self.jitter_frac}")
+        if self.dedup_window < 1:
+            raise ConfigError(f"dedup_window must be >= 1, got {self.dedup_window}")
 
 
 @dataclass
@@ -94,8 +104,14 @@ class TransportStats:
     #: Messages abandoned after max_retries, by message kind.  The
     #: transport no longer raises out of the sim loop on exhaustion: it
     #: records the give-up here and notifies ``on_give_up`` (the failure
-    #: detector, when FT is on) so the peer can be suspected.
+    #: detector, when FT is on) so the peer can be suspected.  The
+    #: message itself is *parked*, not destroyed: if the membership
+    #: layer later decides the peer was merely partitioned and rejoins
+    #: it, :meth:`ReliableTransport.revive` puts parked messages back in
+    #: flight.
     retries_exhausted: dict[str, int] = field(default_factory=dict)
+    #: Parked messages put back in flight after a peer rejoined.
+    revived: int = 0
 
 
 @dataclass
@@ -117,21 +133,40 @@ class _ReceiveWindow:
 
     Sequence numbers from a peer are delivered exactly once: a
     contiguous watermark plus the sparse set of out-of-order arrivals
-    above it (bounded by the peer's in-flight window).
+    above it.  The sparse set is garbage-collected against a horizon
+    ``window`` below the highest seq seen — without it, a permanently
+    missing seq (a sender give-up that was never revived) would pin the
+    watermark forever and the set would grow for the rest of the run.
     """
 
     upto: int = -1
     above: set[int] = field(default_factory=set)
+    #: Highest seq ever seen from this peer (drives the GC horizon).
+    high: int = -1
 
-    def accept(self, seq: int) -> bool:
+    def accept(self, seq: int, window: int = 4096) -> bool:
         """Record ``seq``; True if this is its first arrival."""
         if seq <= self.upto or seq in self.above:
             return False
         self.above.add(seq)
+        if seq > self.high:
+            self.high = seq
+        self._compact()
+        floor = self.high - window
+        if floor > self.upto:
+            # Anything at or below the horizon is assumed seen: a gap
+            # that old is an abandoned send, not an in-flight one.  (A
+            # first arrival from below the horizon *would* be wrongly
+            # suppressed — the window is sized so that cannot happen.)
+            self.upto = floor
+            self.above = {s for s in self.above if s > floor}
+            self._compact()
+        return True
+
+    def _compact(self) -> None:
         while self.upto + 1 in self.above:
             self.upto += 1
             self.above.remove(self.upto)
-        return True
 
 
 class ReliableTransport:
@@ -157,6 +192,11 @@ class ReliableTransport:
             self._shared_rng = None
         self._next_seq: dict[int, int] = {}  # destination -> next seq
         self._pending: dict[tuple[int, int], _Pending] = {}  # (dst, seq) -> state
+        #: Messages abandoned after max_retries, keyed like _pending.
+        #: They keep their seq: on revive the receiver's dedup window
+        #: either delivers them (first arrival) or re-acks (the original
+        #: did land before the give-up).
+        self._parked: dict[tuple[int, int], _Pending] = {}
         self._windows: dict[int, _ReceiveWindow] = {}  # source -> dedup state
         #: Source of timer epochs.  Transport-wide and monotonic — never
         #: rolled back — so timers armed before a crash rollback can
@@ -222,12 +262,15 @@ class ReliableTransport:
                 kind=pending.message.kind.value,
             )
         if pending.attempts > self.config.max_retries:
-            # Give up gracefully: the message is abandoned, the give-up
-            # is recorded, and the peer is reported as suspect.  Raising
+            # Give up gracefully: the message is parked, the give-up is
+            # recorded, and the peer is reported as suspect.  Raising
             # here would unwind the whole simulation out of a timer
             # callback; a dead peer is a liveness problem for the
             # failure detector (or the deadlock watchdog), not a crash.
+            # If the peer turns out to be partitioned rather than dead,
+            # revive() puts the parked message back in flight.
             del self._pending[(dst, seq)]
+            self._parked[(dst, seq)] = pending
             message = pending.message
             kind = message.kind.value
             self.stats.retries_exhausted[kind] = self.stats.retries_exhausted.get(kind, 0) + 1
@@ -296,6 +339,40 @@ class ReliableTransport:
         self.network.stats.record_retransmit(copy)
         self.network.send(copy)
 
+    def revive(self, dst: int) -> int:
+        """Put every message parked for ``dst`` back in flight.
+
+        Called by the membership layer when a fenced peer rejoins after
+        a partition heals: the give-ups were wrong — the peer is alive —
+        so each parked message gets a fresh retry budget and an
+        immediate retransmission.  This is the targeted re-sync of the
+        rejoin path: sequence numbers are unchanged, so the peer's
+        dedup window delivers exactly the messages it missed and
+        re-acks the ones that did land before the partition.
+        """
+        keys = sorted(key for key in self._parked if key[0] == dst)
+        for key in keys:
+            pending = self._parked.pop(key)
+            pending.attempts = 1
+            self._pending[key] = pending
+            self._arm_timer(dst, key[1], pending)
+            spawn(
+                self.sim,
+                self._retransmit(dst, key[1]),
+                name=f"revive[{self.node.node_id}]",
+                group=f"node{self.node.node_id}",
+            )
+        self.stats.revived += len(keys)
+        return len(keys)
+
+    def revive_all(self) -> int:
+        """Revive every parked message (the parking node itself rejoined:
+        all its give-ups happened while it was cut off)."""
+        total = 0
+        for dst in sorted({key[0] for key in self._parked}):
+            total += self.revive(dst)
+        return total
+
     # -- receiver side -----------------------------------------------------
 
     def on_receive(self, message: Message) -> Generator:
@@ -312,7 +389,7 @@ class ReliableTransport:
         if message.seq < 0:
             return True  # untracked datagram (prefetch traffic)
         window = self._windows.setdefault(message.src, _ReceiveWindow())
-        first = window.accept(message.seq)
+        first = window.accept(message.seq, self.config.dedup_window)
         if not first:
             self.stats.duplicates_suppressed += 1
             self.node.events.duplicates_suppressed += 1
@@ -348,7 +425,11 @@ class ReliableTransport:
 
     def _on_ack(self, message: Message) -> None:
         self.stats.acks_received += 1
-        self._pending.pop((message.src, message.payload["seq"]), None)
+        key = (message.src, message.payload["seq"])
+        self._pending.pop(key, None)
+        # A very late ack can land after the give-up: the peer did
+        # receive the message, so the parked copy is obsolete.
+        self._parked.pop(key, None)
 
     # -- checkpoint/recovery ----------------------------------------------
 
@@ -380,9 +461,14 @@ class ReliableTransport:
         """
         self._next_seq = dict(state["next_seq"])
         self._windows = {
-            src: _ReceiveWindow(upto=upto, above=set(above))
+            src: _ReceiveWindow(
+                upto=upto, above=set(above), high=max(above, default=upto)
+            )
             for src, (upto, above) in state["windows"].items()
         }
+        # Parked messages belong to the discarded execution: the
+        # checkpointed pendings below cover everything unacked at the cut.
+        self._parked = {}
         self._pending = {}
         for (dst, seq), (message, attempts) in state["pending"].items():
             pending = _Pending(message, attempts=attempts)

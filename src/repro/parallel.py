@@ -35,7 +35,7 @@ from repro.api.runtime import DsmRuntime, RunConfig
 from repro.experiments.runner import make_configured_app
 from repro.metrics.report import RunReport
 
-__all__ = ["RunSpec", "default_jobs", "run_specs"]
+__all__ = ["RunSpec", "default_jobs", "fan_out", "run_specs"]
 
 
 @dataclass(frozen=True)
@@ -64,6 +64,42 @@ def execute_spec(spec: RunSpec) -> RunReport:
 def _worker(spec: RunSpec) -> tuple[int, str]:
     """Pool entry point: returns (index, RunReport JSON)."""
     return spec.index, execute_spec(spec).to_json()
+
+
+def _fan_out_entry(packed):
+    """Pool entry point for :func:`fan_out`: returns (index, result)."""
+    index, worker, item = packed
+    return index, worker(item)
+
+
+def fan_out(items, worker, jobs: int = 1, on_done=None) -> list:
+    """Apply ``worker`` to every item; return results in item order.
+
+    The generic sibling of :func:`run_specs` for work that is not a
+    :class:`RunSpec` (the chaos harness fans out whole search samples).
+    ``worker`` must be a module-level function and both items and
+    results must pickle — with ``jobs > 1`` they cross a spawn-context
+    process boundary.  ``on_done(index, result)`` fires in *completion*
+    order; the returned list is always in item order, so a ``--jobs N``
+    sweep is identical to the serial one for every N.
+    """
+    items = list(items)
+    results: list = [None] * len(items)
+    if jobs <= 1 or len(items) <= 1:
+        for index, item in enumerate(items):
+            result = worker(item)
+            results[index] = result
+            if on_done is not None:
+                on_done(index, result)
+        return results
+    packed = [(index, worker, item) for index, item in enumerate(items)]
+    context = multiprocessing.get_context("spawn")
+    with context.Pool(processes=min(jobs, len(items))) as pool:
+        for index, result in pool.imap_unordered(_fan_out_entry, packed):
+            results[index] = result
+            if on_done is not None:
+                on_done(index, result)
+    return results
 
 
 def run_specs(

@@ -1,0 +1,149 @@
+"""The chaos-search harness: seeded sampling, the four invariants,
+shrinking to minimal reproducers, and replay.
+
+The expensive guarantee lives in ``test_seeded_bug_is_caught_and_shrunk``:
+with ``FtConfig.split_brain_bug`` armed, a single long stall makes the
+buggy coordinator complete barriers without the fenced node and commit
+an inconsistent checkpoint — the harness must flag it, shrink the plan
+to <= 3 fault entries, and the written reproducer must replay to the
+same failure."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.chaos import (
+    ChaosConfig,
+    ChaosSample,
+    evaluate_sample,
+    fault_entry_count,
+    generate_samples,
+    load_reproducer,
+    sample_plan,
+    search,
+    shrink,
+    write_reproducer,
+)
+from repro.errors import ConfigError
+from repro.network.faults import FaultPlan
+
+# Plausible small-preset wall clocks (µs); passing them skips the
+# baseline calibration runs the CLI would do.
+WALLS = {"SOR": 56_000.0, "FFT": 70_000.0, "LU-CONT": 90_000.0}
+
+
+def make_config(**overrides):
+    defaults = dict(seed=5, budget=6, apps=("SOR", "FFT", "LU-CONT"))
+    defaults.update(overrides)
+    return ChaosConfig(**defaults)
+
+
+def bug_sample(seed=11):
+    """A hand-built 1-entry sample that tickles the seeded split-brain
+    bug: a 135 ms stall fences node 1 long enough for the buggy barrier
+    manager to complete episodes without it."""
+    return ChaosSample(
+        index=0,
+        app_name="SOR",
+        preset="small",
+        num_nodes=4,
+        seed=seed,
+        plan={"stalls": [{"node": 1, "start_us": 10_000.0, "end_us": 145_000.0}]},
+        split_brain_bug=True,
+    )
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        ChaosConfig(budget=0)
+    with pytest.raises(ConfigError):
+        ChaosConfig(apps=("NOT-AN-APP",))
+    with pytest.raises(ConfigError):
+        ChaosConfig(jobs=0)
+
+
+def test_sampled_plans_are_valid_and_deterministic():
+    config = make_config(budget=12)
+    first = generate_samples(config, walls=WALLS)
+    second = generate_samples(config, walls=WALLS)
+    assert first == second
+    assert len(first) == 12
+    for sample in first:
+        # Every sampled plan must pass FaultPlan's own validation...
+        plan = FaultPlan.from_dict(sample.plan)
+        assert not plan.is_noop
+        # ...and must be JSON round-trippable (reproducer files).
+        assert FaultPlan.from_dict(json.loads(json.dumps(sample.plan))) == plan
+
+
+def test_sampler_never_touches_node_zero():
+    rng = np.random.default_rng(42)
+    for _ in range(200):
+        plan = sample_plan(rng, 60_000.0, 4)
+        for crash in plan.get("crashes", ()):
+            assert crash["node"] != 0
+        for stall in plan.get("stalls", ()):
+            assert stall["node"] != 0
+        for cut in plan.get("partitions", ()):
+            assert 0 not in cut.get("nodes", ())
+
+
+def test_clean_sample_passes_all_invariants():
+    sample = ChaosSample(
+        index=0,
+        app_name="SOR",
+        preset="small",
+        num_nodes=4,
+        seed=7,
+        plan={"drop_prob": 0.02},
+    )
+    result = evaluate_sample(sample)
+    assert result.ok
+    assert result.failures == []
+    assert result.wall_time_us > 0
+
+
+def test_seeded_bug_is_caught_and_shrunk(tmp_path):
+    result = evaluate_sample(bug_sample())
+    assert not result.ok
+    assert "split-brain" in result.failures
+
+    shrunk = shrink(result)
+    assert not shrunk.ok
+    assert fault_entry_count(shrunk.sample.plan) <= 3
+
+    # The written reproducer replays to the same failure.
+    path = write_reproducer(shrunk, tmp_path / "repro.json")
+    replayed = evaluate_sample(load_reproducer(path))
+    assert not replayed.ok
+    assert "split-brain" in replayed.failures
+
+
+def test_reproducer_round_trip(tmp_path):
+    sample = bug_sample()
+    result = evaluate_sample(sample)
+    path = write_reproducer(result, tmp_path / "out" / "r.json")
+    loaded = load_reproducer(path)
+    assert loaded.app_name == sample.app_name
+    assert loaded.seed == sample.seed
+    assert loaded.split_brain_bug
+    assert FaultPlan.from_dict(loaded.plan) == FaultPlan.from_dict(sample.plan)
+
+
+def test_load_reproducer_rejects_unknown_version(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"version": 99}))
+    with pytest.raises(ConfigError):
+        load_reproducer(path)
+
+
+def test_search_is_deterministic_across_jobs():
+    """fan_out with jobs=2 must produce the same verdicts as serial."""
+    config = make_config(budget=4, apps=("SOR",))
+
+    def run(jobs):
+        results = search(ChaosConfig(seed=5, budget=4, apps=("SOR",), jobs=jobs))
+        return [(r.sample.index, r.failures, r.error) for r in results]
+
+    assert run(1) == run(2)

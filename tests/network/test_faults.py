@@ -5,12 +5,15 @@ import pytest
 
 from repro.errors import FaultConfigError
 from repro.network import (
+    BitCorruption,
     FaultPlan,
     FaultyNetwork,
     LinkConfig,
     LinkDegradation,
+    LinkPartition,
     Message,
     MessageKind,
+    NodeCrash,
     NodeStall,
 )
 from repro.sim import RandomSource, Simulator
@@ -227,3 +230,167 @@ def test_kind_breakdown_reports_injected_faults():
     assert row["injected_drops"] == 1
     assert row["dropped"] == 1
     assert row["sent"] == 0
+
+
+# -- partitions ------------------------------------------------------------
+
+
+def test_partition_validation():
+    with pytest.raises(FaultConfigError, match="exactly one"):
+        LinkPartition(start_us=0.0, end_us=10.0)
+    with pytest.raises(FaultConfigError, match="exactly one"):
+        LinkPartition(start_us=0.0, end_us=10.0, nodes={1}, links={(0, 1)})
+    with pytest.raises(FaultConfigError):
+        LinkPartition(start_us=10.0, end_us=10.0, nodes={1})
+    with pytest.raises(FaultConfigError, match="at least one"):
+        LinkPartition(start_us=0.0, end_us=10.0, nodes=frozenset())
+    with pytest.raises(FaultConfigError, match="self-link"):
+        LinkPartition(start_us=0.0, end_us=10.0, links={(1, 1)})
+    with pytest.raises(FaultConfigError, match="negative"):
+        LinkPartition(start_us=0.0, end_us=10.0, nodes={-1})
+
+
+def test_crash_and_partition_of_same_node_rejected():
+    crash = NodeCrash(node=2, at_us=5_000.0)
+    cut = LinkPartition(start_us=1_000.0, end_us=9_000.0, nodes={2})
+    with pytest.raises(FaultConfigError, match="node 2"):
+        FaultPlan(crashes=(crash,), partitions=(cut,))
+    # A partition that is fully over before the crash is fine...
+    FaultPlan(
+        crashes=(crash,),
+        partitions=(LinkPartition(start_us=1_000.0, end_us=4_000.0, nodes={2}),),
+    )
+    # ...as is one cutting a different node across the crash instant.
+    FaultPlan(
+        crashes=(crash,),
+        partitions=(LinkPartition(start_us=1_000.0, end_us=9_000.0, nodes={3}),),
+    )
+
+
+def test_partition_topology_validated_against_cluster_size():
+    sim = Simulator()
+    plan = FaultPlan(partitions=(LinkPartition(start_us=0.0, end_us=10.0, nodes={9}),))
+    with pytest.raises(FaultConfigError, match="unknown node 9"):
+        FaultyNetwork(sim, 4, plan, RandomSource(1).stream("network.faults"))
+    plan = FaultPlan(corruptions=(BitCorruption(start_us=0.0, end_us=10.0, prob=0.5, links={(0, 9)}),))
+    with pytest.raises(FaultConfigError, match=r"unknown link \(0, 9\)"):
+        FaultyNetwork(sim, 4, plan, RandomSource(1).stream("network.faults"))
+
+
+def test_node_partition_severs_boundary_both_ways_only():
+    cut = LinkPartition(start_us=0.0, end_us=1e9, nodes={0, 1})
+    plan = FaultPlan(partitions=(cut,))
+    sim, net, inboxes = build(plan)
+    net.send(msg(0, 2))  # crosses the boundary: severed
+    net.send(msg(2, 0))  # severed in the other direction too
+    net.send(msg(0, 1))  # within the cut group: flows
+    net.send(msg(2, 3))  # within the remainder: flows
+    sim.run()
+    assert len(inboxes[2]) == 0 and len(inboxes[0]) == 0
+    assert len(inboxes[1]) == 1 and len(inboxes[3]) == 1
+    assert net.stats.injected_count("partition") == 2
+
+
+def test_link_partition_is_directed():
+    cut = LinkPartition(start_us=0.0, end_us=1e9, links={(0, 1)})
+    plan = FaultPlan(partitions=(cut,))
+    sim, net, inboxes = build(plan)
+    net.send(msg(0, 1))
+    net.send(msg(1, 0))
+    sim.run()
+    assert len(inboxes[1]) == 0
+    assert len(inboxes[0]) == 1
+
+
+def test_partition_severs_even_reliable_messages_within_window_only():
+    cut = LinkPartition(start_us=1_000.0, end_us=2_000.0, nodes={1})
+    plan = FaultPlan(partitions=(cut,))
+    sim, net, inboxes = build(plan)
+    sim.schedule(500.0, net.send, msg(0, 1, reliable=True))
+    sim.schedule(1_500.0, net.send, msg(0, 1, reliable=True))
+    sim.schedule(2_500.0, net.send, msg(0, 1, reliable=True))
+    sim.run()
+    assert len(inboxes[1]) == 2  # only the in-window send vanished
+
+
+# -- corruption ------------------------------------------------------------
+
+
+def test_corruption_validation():
+    with pytest.raises(FaultConfigError, match="prob"):
+        BitCorruption(start_us=0.0, end_us=10.0, prob=0.0)
+    with pytest.raises(FaultConfigError, match="prob"):
+        BitCorruption(start_us=0.0, end_us=10.0, prob=1.5)
+    with pytest.raises(FaultConfigError, match="at least one"):
+        BitCorruption(start_us=0.0, end_us=10.0, prob=0.5, links=frozenset())
+
+
+def test_corruption_marks_transmissions_inside_window():
+    window = BitCorruption(start_us=0.0, end_us=1e9, prob=1.0)
+    plan = FaultPlan(corruptions=(window,))
+    sim, net, inboxes = build(plan)
+    net.send(msg(0, 1))
+    net.send(msg(0, 1, reliable=True))  # magic-reliable: exempt
+    sim.run()
+    assert [m.corrupted for m in inboxes[1]] == [True, False]
+    assert net.stats.injected_count("corrupt") == 1
+
+
+def test_corruption_scoped_to_links():
+    window = BitCorruption(start_us=0.0, end_us=1e9, prob=1.0, links={(0, 1)})
+    plan = FaultPlan(corruptions=(window,))
+    sim, net, inboxes = build(plan)
+    net.send(msg(0, 1))
+    net.send(msg(2, 3))
+    sim.run()
+    assert inboxes[1][0].corrupted
+    assert not inboxes[3][0].corrupted
+
+
+def test_overlapping_corruption_windows_combine_independently():
+    a = BitCorruption(start_us=0.0, end_us=10.0, prob=0.5)
+    b = BitCorruption(start_us=5.0, end_us=15.0, prob=0.5)
+    plan = FaultPlan(corruptions=(a, b))
+    assert plan.corruption_prob(0, 1, 2.0) == 0.5
+    assert plan.corruption_prob(0, 1, 7.0) == 0.75
+    assert plan.corruption_prob(0, 1, 12.0) == 0.5
+    assert plan.corruption_prob(0, 1, 20.0) == 0.0
+
+
+def test_clone_does_not_copy_corruption():
+    message = msg(0, 1)
+    message.corrupted = True
+    assert not message.clone().corrupted
+
+
+# -- serialization ---------------------------------------------------------
+
+
+def test_plan_round_trips_through_dict():
+    plan = FaultPlan(
+        drop_prob=0.1,
+        duplicate_prob=0.05,
+        reorder_prob=0.2,
+        jitter_us=300.0,
+        degradations=(
+            LinkDegradation(start_us=1.0, end_us=2.0, bandwidth_factor=0.5, nodes={1}),
+        ),
+        stalls=(NodeStall(node=2, start_us=3.0, end_us=4.0),),
+        crashes=(NodeCrash(node=3, at_us=9.0),),
+        partitions=(
+            LinkPartition(start_us=5.0, end_us=6.0, nodes={1}),
+            LinkPartition(start_us=7.0, end_us=8.0, links={(0, 2), (2, 0)}),
+        ),
+        corruptions=(BitCorruption(start_us=1.0, end_us=9.0, prob=0.25, links={(1, 2)}),),
+        only_links={(0, 1)},
+    )
+    data = plan.to_dict()
+    import json
+
+    json.dumps(data)  # must be JSON-serializable as-is
+    assert FaultPlan.from_dict(data) == plan
+    assert FaultPlan.from_dict(json.loads(json.dumps(data))) == plan
+
+
+def test_plan_from_empty_dict_is_noop():
+    assert FaultPlan.from_dict({}).is_noop

@@ -140,3 +140,38 @@ def test_legacy_shared_generator_still_accepted():
         )
     sim.run()
     assert 0 < len(got) < 30  # drops happened, some got through
+
+
+def test_partition_of_one_link_leaves_other_links_schedule_identical():
+    from repro.network.faults import LinkPartition
+
+    clean = _run_traffic(FaultPlan())
+    cut = _run_traffic(
+        FaultPlan(
+            partitions=(
+                LinkPartition(start_us=500.0, end_us=2_500.0, links={(0, 1)}),
+            )
+        )
+    )
+    # The cut link lost its in-window traffic (partitions are absolute)...
+    assert len(cut[1]) < len(clean[1])
+    # ...and, because partitions consume zero random draws, the 2->3
+    # schedule is byte-identical — timestamps included.
+    assert cut[3] == clean[3]
+
+
+def test_corruption_on_one_link_leaves_other_links_schedule_identical():
+    from repro.network.faults import BitCorruption
+
+    clean = _run_traffic(FaultPlan())
+    noisy = _run_traffic(
+        FaultPlan(
+            corruptions=(
+                BitCorruption(start_us=0.0, end_us=1e9, prob=0.4, links={(0, 1)}),
+            )
+        )
+    )
+    # Corruption flips payload bits but does not drop or delay: both
+    # links deliver the same schedule, and 2->3 is untouched.
+    assert noisy[3] == clean[3]
+    assert [d[:3] for d in noisy[1]] == [d[:3] for d in clean[1]]

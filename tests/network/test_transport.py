@@ -169,3 +169,34 @@ def test_transport_determinism_under_loss():
         )
 
     assert run_once() == run_once()
+
+
+def test_receive_window_gc_bounds_sparse_set():
+    window = _ReceiveWindow()
+    # A permanently missing seq 0 would pin the watermark forever; the
+    # horizon must force it forward and keep the sparse set bounded.
+    for seq in range(1, 10_001):
+        assert window.accept(seq, window=256)
+    assert window.upto >= 10_000 - 256
+    assert len(window.above) <= 256 + 1
+
+
+def test_receive_window_duplicates_inside_window_still_suppressed():
+    window = _ReceiveWindow()
+    for seq in range(1, 2_000):
+        window.accept(seq, window=256)
+    # A late duplicate below the advanced watermark is suppressed...
+    assert not window.accept(5, window=256)
+    # ...and so is a recent one still inside the window.
+    assert not window.accept(1_999, window=256)
+    # A genuinely new seq is still accepted.
+    assert window.accept(2_000, window=256)
+
+
+def test_receive_window_contiguous_stream_never_grows():
+    window = _ReceiveWindow()
+    for seq in range(5_000):
+        assert window.accept(seq)
+        assert not window.above  # compaction keeps it empty
+    assert window.upto == 4_999
+    assert not window.accept(123)
