@@ -86,6 +86,15 @@ class RunConfig:
     #: observes (no RNG, no scheduling), so the RunReport core is
     #: byte-identical with it on or off.
     profile: Optional[ProfileConfig] = None
+    #: Causal critical-path analysis (``repro.critpath``): rebuild the
+    #: program-activity graph after the run, attribute the exact
+    #: critical path, and attach what-if projections as a versioned
+    #: ``critpath`` report section.  Implies event collection: when no
+    #: tracer is configured, an internal one is created (its events are
+    #: consumed by the analysis and discarded).  Pure post-processing —
+    #: the simulation schedule is untouched and the report core is
+    #: byte-identical with it on or off.
+    critpath: bool = False
     #: Safety valve for runaway simulations (events, not microseconds).
     max_events: Optional[int] = 50_000_000
 
@@ -108,6 +117,8 @@ class RunConfig:
                 object.__setattr__(self, "trace", None)
             else:
                 raise ConfigError(f"trace must be a TraceConfig or bool, got {self.trace!r}")
+        if not isinstance(self.critpath, bool):
+            object.__setattr__(self, "critpath", bool(self.critpath))
         if self.profile is not None and not isinstance(self.profile, ProfileConfig):
             if self.profile is True:
                 object.__setattr__(self, "profile", ProfileConfig())
@@ -148,7 +159,14 @@ class DsmRuntime:
         self.random = RandomSource(config.seed)
         #: The run's tracer: a collecting Tracer when config.trace is
         #: set, else the shared null tracer (zero collection overhead).
-        self.tracer: Tracer = Tracer(config.trace) if config.trace is not None else NULL_TRACER
+        #: Critical-path analysis needs the event stream, so it forces
+        #: an internal tracer when none was requested explicitly.
+        if config.trace is not None:
+            self.tracer: Tracer = Tracer(config.trace)
+        elif config.critpath:
+            self.tracer = Tracer(TraceConfig())
+        else:
+            self.tracer = NULL_TRACER
         self.cluster = Cluster(
             num_nodes=config.num_nodes,
             page_size=config.page_size,
@@ -266,6 +284,13 @@ class DsmRuntime:
         if self.ft is not None:
             extra["ft"] = self.ft.summary()
         profile = self.profiler.to_dict(self.space) if self.profiler.enabled else None
+        critpath = None
+        if self.config.critpath:
+            from repro.critpath import analyze_events
+
+            critpath = analyze_events(
+                self.tracer.events, events_dropped=self.tracer.dropped_events
+            ).to_dict()
         return RunReport(
             app_name=program.name,
             config_label=self.config.label,
@@ -287,6 +312,7 @@ class DsmRuntime:
             traffic_by_kind=stats.kind_breakdown(),
             extra=extra,
             profile=profile,
+            critpath=critpath,
         )
 
     # -- verification support ------------------------------------------------------

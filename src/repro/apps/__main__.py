@@ -51,6 +51,15 @@ def main(argv: list[str] | None = None) -> int:
         "(or a flat event log if PATH ends in .jsonl)",
     )
     parser.add_argument(
+        "--critpath",
+        nargs="?",
+        const="-",
+        metavar="PATH",
+        help="rebuild the program-activity graph after the run and print "
+        "the critical-path epoch table plus what-if projections; writes "
+        "the critpath report section as JSON to PATH if given",
+    )
+    parser.add_argument(
         "--crash",
         type=float,
         metavar="FRAC",
@@ -95,7 +104,9 @@ def main(argv: list[str] | None = None) -> int:
         if args.app == "RADIX":
             app.throttle_prefetch = True
 
-    def build_config(fault_plan=None, trace=False, sanitizer=False, profile=False):
+    def build_config(
+        fault_plan=None, trace=False, sanitizer=False, profile=False, critpath=False
+    ):
         return RunConfig(
             num_nodes=args.nodes,
             threads_per_node=threads_per_node,
@@ -106,6 +117,7 @@ def main(argv: list[str] | None = None) -> int:
             sanitizer=sanitizer,
             trace=TraceConfig() if trace else None,
             profile=profile,
+            critpath=critpath,
         )
 
     plan = None
@@ -129,6 +141,7 @@ def main(argv: list[str] | None = None) -> int:
         trace=bool(args.trace),
         sanitizer=args.sanitizer,
         profile=args.profile is not None,
+        critpath=args.critpath is not None,
     )
 
     started = time.time()
@@ -198,12 +211,32 @@ def main(argv: list[str] | None = None) -> int:
                 handle.write(report.to_json(indent=2))
                 handle.write("\n")
             print(f"  profile report -> {args.profile}")
+    critpath_ok = True
+    if args.critpath is not None:
+        from repro.critpath.format import format_critpath
+
+        section = report.critpath or {}
+        print()
+        print(format_critpath(section, label=f"{args.app} {args.config}"))
+        if args.critpath != "-":
+            import json as _json
+
+            with open(args.critpath, "w") as handle:
+                _json.dump(section, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"  critpath report -> {args.critpath}")
+        if not section.get("identity_exact", False):
+            print("  critpath: IDENTITY VIOLATION (path length != wall clock)")
+            critpath_ok = False
     if args.trace:
         tracer = runtime.tracer
         if args.trace.endswith(".jsonl"):
             tracer.write_jsonl(args.trace)
         else:
-            tracer.write_chrome(args.trace)
+            # When the run was analyzed, the Perfetto export overlays
+            # the critical path: dwell slices per node plus flow arrows
+            # for every cross-node hop.
+            tracer.write_chrome(args.trace, critpath=report.critpath)
         print(f"  trace: {len(tracer)} events -> {args.trace}")
         if not tracer.complete:
             print(f"  trace: WARNING {tracer.dropped_events} events discarded (ring full)")
@@ -216,7 +249,7 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"    {line}")
             return 1
         print("  trace: PhaseTimeline agrees with TimeBreakdown accounting")
-    return 0
+    return 0 if critpath_ok else 1
 
 
 if __name__ == "__main__":

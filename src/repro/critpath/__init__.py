@@ -1,0 +1,27 @@
+"""Causal critical-path analysis over the trace stream.
+
+Builds the program-activity graph (:mod:`repro.critpath.pag`) from a
+run's trace events, extracts the exact critical path with per-category
+and per-entity blame (:mod:`repro.critpath.analyze`), and computes
+what-if latency-tolerance projections (zero-latency network, perfect
+prefetch, free context switches) as lower bounds on the measured wall
+clock.  Pure observation: nothing here is imported by the simulation
+hot path, and runs without ``--critpath`` are byte-identical to before.
+"""
+
+from repro.critpath.analyze import (
+    CritpathResult,
+    PathSegment,
+    analyze_events,
+    analyze_pag,
+)
+from repro.critpath.pag import ProgramActivityGraph, build_pag
+
+__all__ = [
+    "CritpathResult",
+    "PathSegment",
+    "ProgramActivityGraph",
+    "analyze_events",
+    "analyze_pag",
+    "build_pag",
+]

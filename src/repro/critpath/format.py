@@ -1,0 +1,87 @@
+"""Text rendering of a critpath report section (the ``to_dict`` form)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["format_critpath"]
+
+
+def _us(value: float) -> str:
+    return f"{value:,.1f}"
+
+
+def format_critpath(section: dict[str, Any], label: str = "") -> str:
+    """Render the epoch blame table, what-ifs, and per-node slack."""
+    lines: list[str] = []
+    title = "critical path" + (f" [{label}]" if label else "")
+    lines.append(title)
+    lines.append("=" * len(title))
+    wall = section["wall_time_us"]
+    lines.append(
+        f"wall {_us(wall)} us | path {_us(section['path_us'])} us"
+        f" | identity {'exact' if section['identity_exact'] else 'INEXACT'}"
+        f" | hops {section['hops']}"
+        f" | unattributed {_us(section['unattributed_us'])} us"
+    )
+    health = []
+    if section.get("events_dropped"):
+        health.append(f"events_dropped={section['events_dropped']}")
+    if section.get("dangling_arrivals"):
+        health.append(f"dangling_arrivals={section['dangling_arrivals']}")
+    if not section.get("wall_from_finish", True):
+        health.append("wall inferred from last charge (no sched_finish in trace)")
+    if health:
+        lines.append("health: " + ", ".join(health))
+
+    lines.append("")
+    lines.append("path blame by category:")
+    for cat, us in sorted(section["blame_us"].items(), key=lambda kv: -kv[1]):
+        pct = 100.0 * us / wall if wall else 0.0
+        lines.append(f"  {cat:<16} {_us(us):>16} us  {pct:5.1f}%")
+
+    epochs = section.get("epochs") or []
+    if epochs:
+        lines.append("")
+        lines.append("per-epoch blame (epochs are barrier-release intervals):")
+        lines.append(
+            f"  {'epoch':>5} {'span us':>14} {'top wait':<14}"
+            f" {'wait us':>14} {'hot entity':<14}"
+        )
+        for ep in epochs:
+            wait = ep.get("top_wait")
+            wait_us = ep["blame_us"].get(wait, 0.0) if wait else 0.0
+            lines.append(
+                f"  {ep['epoch']:>5} {_us(ep['span_us']):>14}"
+                f" {(wait or '-'):<14} {_us(wait_us):>14}"
+                f" {(ep.get('top_entity') or '-'):<14}"
+            )
+
+    hot = section.get("hot_entities") or []
+    if hot:
+        lines.append("")
+        lines.append("hot entities on the path:")
+        for item in hot:
+            lines.append(f"  {item['entity']:<14} {_us(item['us']):>16} us")
+
+    what_if = section.get("what_if_us") or {}
+    if what_if:
+        lines.append("")
+        lines.append("what-if projections (lower bounds on this run):")
+        for name, us in sorted(what_if.items(), key=lambda kv: kv[1]):
+            speedup = wall / us if us else float("inf")
+            lines.append(f"  {name:<22} {_us(us):>16} us  ({speedup:4.2f}x)")
+
+    per_node = section.get("per_node") or []
+    if per_node:
+        lines.append("")
+        lines.append("per-node path share and slack:")
+        lines.append(
+            f"  {'node':>4} {'on-path us':>16} {'slack us':>16} {'idle us':>16}"
+        )
+        for row in per_node:
+            lines.append(
+                f"  {row['node']:>4} {_us(row['on_path_us']):>16}"
+                f" {_us(row['slack_us']):>16} {_us(row['idle_us']):>16}"
+            )
+    return "\n".join(lines)

@@ -114,22 +114,24 @@ class BarrierSubsystem:
         else:
             from repro.dsm.writenotice import WriteNoticeLog
 
-            yield from self.dsm.send(
-                Message(
-                    src=self.dsm.node_id,
-                    dst=BARRIER_MANAGER,
-                    kind=MessageKind.BARRIER_ARRIVE,
-                    size_bytes=16
-                    + self.dsm.vc.size_bytes
-                    + WriteNoticeLog.wire_bytes(own_new),
-                    payload={
-                        "barrier_id": barrier_id,
-                        "episode": self._episode[barrier_id],
-                        "vc": vc_snapshot,
-                        "notices": own_new,
-                    },
-                )
+            out = Message(
+                src=self.dsm.node_id,
+                dst=BARRIER_MANAGER,
+                kind=MessageKind.BARRIER_ARRIVE,
+                size_bytes=16
+                + self.dsm.vc.size_bytes
+                + WriteNoticeLog.wire_bytes(own_new),
+                payload={
+                    "barrier_id": barrier_id,
+                    "episode": self._episode[barrier_id],
+                    "vc": vc_snapshot,
+                    "notices": own_new,
+                },
             )
+            self.dsm.label_edge(
+                out, "arrive", barrier=barrier_id, episode=self._episode[barrier_id]
+            )
+            yield from self.dsm.send(out)
         return wake
 
     # -- message handlers ----------------------------------------------------
@@ -160,19 +162,19 @@ class BarrierSubsystem:
             from repro.dsm.writenotice import WriteNoticeLog
 
             missing = self.dsm.wn_log.unseen_by(vc_snapshot)
-            yield from self.dsm.send(
-                Message(
-                    src=self.dsm.node_id,
-                    dst=src,
-                    kind=MessageKind.BARRIER_RELEASE,
-                    size_bytes=24 + WriteNoticeLog.wire_bytes(missing),
-                    payload={
-                        "barrier_id": barrier_id,
-                        "episode": episode,
-                        "notices": missing,
-                    },
-                )
+            out = Message(
+                src=self.dsm.node_id,
+                dst=src,
+                kind=MessageKind.BARRIER_RELEASE,
+                size_bytes=24 + WriteNoticeLog.wire_bytes(missing),
+                payload={
+                    "barrier_id": barrier_id,
+                    "episode": episode,
+                    "notices": missing,
+                },
             )
+            self.dsm.label_edge(out, "release", barrier=barrier_id, episode=episode)
+            yield from self.dsm.send(out)
             return
         state = self._manager.setdefault(key, _ManagerEpisode())
         if src in state.node_vcs:
@@ -260,19 +262,22 @@ class BarrierSubsystem:
             if node_id == self.dsm.node_id:
                 yield from self._apply_release(barrier_id, episode, missing)
             else:
-                yield from self.dsm.send(
-                    Message(
-                        src=self.dsm.node_id,
-                        dst=node_id,
-                        kind=MessageKind.BARRIER_RELEASE,
-                        size_bytes=24 + WriteNoticeLog.wire_bytes(missing),
-                        payload={
-                            "barrier_id": barrier_id,
-                            "episode": episode,
-                            "notices": missing,
-                        },
-                    )
+                out = Message(
+                    src=self.dsm.node_id,
+                    dst=node_id,
+                    kind=MessageKind.BARRIER_RELEASE,
+                    size_bytes=24 + WriteNoticeLog.wire_bytes(missing),
+                    payload={
+                        "barrier_id": barrier_id,
+                        "episode": episode,
+                        "notices": missing,
+                    },
                 )
+                # One labelled edge per waiter: the release fan-out is
+                # fully enumerated in the trace, so the PAG knows every
+                # message this barrier episode unblocked.
+                self.dsm.label_edge(out, "release", barrier=barrier_id, episode=episode)
+                yield from self.dsm.send(out)
         del self._manager[(barrier_id, episode)]
 
     def resume_release(self, barrier_id: int, episode: int):

@@ -137,29 +137,29 @@ class LockSubsystem:
                     raise ProtocolError(
                         f"lock {lock_id}: manager is queue tail but has no token"
                     )
-                yield from self.dsm.send(
-                    Message(
-                        src=self.dsm.node_id,
-                        dst=previous,
-                        kind=MessageKind.LOCK_FORWARD,
-                        size_bytes=16 + self.dsm.vc.size_bytes,
-                        payload={
-                            "lock_id": lock_id,
-                            "requester": self.dsm.node_id,
-                            "vc": self.dsm.vc.snapshot(),
-                        },
-                    )
+                out = Message(
+                    src=self.dsm.node_id,
+                    dst=previous,
+                    kind=MessageKind.LOCK_FORWARD,
+                    size_bytes=16 + self.dsm.vc.size_bytes,
+                    payload={
+                        "lock_id": lock_id,
+                        "requester": self.dsm.node_id,
+                        "vc": self.dsm.vc.snapshot(),
+                    },
                 )
+                self.dsm.label_edge(out, "request", lock=lock_id)
+                yield from self.dsm.send(out)
             else:
-                yield from self.dsm.send(
-                    Message(
-                        src=self.dsm.node_id,
-                        dst=manager,
-                        kind=MessageKind.LOCK_REQUEST,
-                        size_bytes=16 + self.dsm.vc.size_bytes,
-                        payload={"lock_id": lock_id, "vc": self.dsm.vc.snapshot()},
-                    )
+                out = Message(
+                    src=self.dsm.node_id,
+                    dst=manager,
+                    kind=MessageKind.LOCK_REQUEST,
+                    size_bytes=16 + self.dsm.vc.size_bytes,
+                    payload={"lock_id": lock_id, "vc": self.dsm.vc.snapshot()},
                 )
+                self.dsm.label_edge(out, "request", lock=lock_id)
+                yield from self.dsm.send(out)
         return wake
 
     def op_release(self, lock_id: int):
@@ -207,15 +207,15 @@ class LockSubsystem:
             # locally delivered forward.
             yield from self._accept_forward(lock_id, msg.src, msg.payload["vc"])
         else:
-            yield from self.dsm.send(
-                Message(
-                    src=self.dsm.node_id,
-                    dst=previous,
-                    kind=MessageKind.LOCK_FORWARD,
-                    size_bytes=16 + self.dsm.vc.size_bytes,
-                    payload={"lock_id": lock_id, "requester": msg.src, "vc": msg.payload["vc"]},
-                )
+            out = Message(
+                src=self.dsm.node_id,
+                dst=previous,
+                kind=MessageKind.LOCK_FORWARD,
+                size_bytes=16 + self.dsm.vc.size_bytes,
+                payload={"lock_id": lock_id, "requester": msg.src, "vc": msg.payload["vc"]},
             )
+            self.dsm.label_edge(out, "forward", lock=lock_id, requester=msg.src)
+            yield from self.dsm.send(out)
 
     def handle_forward(self, msg: Message):
         yield from self.dsm.occupy_dsm(self.dsm.node.costs.lock_handler)
@@ -253,15 +253,17 @@ class LockSubsystem:
         notices = self.dsm.wn_log.unseen_by(requester_vc)
         from repro.dsm.writenotice import WriteNoticeLog
 
-        yield from self.dsm.send(
-            Message(
-                src=self.dsm.node_id,
-                dst=requester,
-                kind=MessageKind.LOCK_GRANT,
-                size_bytes=24 + WriteNoticeLog.wire_bytes(notices),
-                payload={"lock_id": state.lock_id, "notices": notices},
-            )
+        out = Message(
+            src=self.dsm.node_id,
+            dst=requester,
+            kind=MessageKind.LOCK_GRANT,
+            size_bytes=24 + WriteNoticeLog.wire_bytes(notices),
+            payload={"lock_id": state.lock_id, "notices": notices},
         )
+        # The granting handoff: names which node releases the token to
+        # which requester, keyed by the grant message's correlation id.
+        self.dsm.label_edge(out, "grant", lock=state.lock_id, requester=requester)
+        yield from self.dsm.send(out)
 
     def handle_grant(self, msg: Message):
         """Requester-side: token arrives with consistency information."""

@@ -94,6 +94,28 @@ class DsmNode:
         """Generator: charge the send cost and inject the message."""
         return self.node.send_message(message)
 
+    def label_edge(self, message: Message, role: str, **entity) -> None:
+        """Attach an entity label to a causal message edge (trace only).
+
+        Emitted at message *construction* (before the send charge) as a
+        ``pag_edge`` instant carrying the message's correlation id plus
+        the protocol entity it serves (``page=``/``lock=``/``barrier=``).
+        The program-activity-graph builder joins these to the network's
+        ``msg:*`` async spans by id, so wire edges on the critical path
+        are blamed on concrete pages, locks and barriers.  The instant's
+        own timestamp is irrelevant — matching is purely by ``msg``.
+        """
+        if self.sim.trace_on:
+            self.sim.trace.instant(
+                self.sim.now,
+                "protocol",
+                "pag_edge",
+                self.node_id,
+                msg=f"m{message.msg_id}",
+                role=role,
+                **entity,
+            )
+
     # ``occupy_dsm`` is used heavily by the subsystems.
     def _occupy_dsm(self, duration: float):
         yield from self.node.occupy(duration, Category.DSM)
@@ -320,23 +342,23 @@ class DsmNode:
                             page=page_id,
                             writer=writer,
                         )
-                    yield from self.send(
-                        Message(
-                            src=self.node_id,
-                            dst=writer,
-                            kind=MessageKind.DIFF_REQUEST,
-                            size_bytes=36 + self.vc.size_bytes,
-                            payload={
-                                "page_id": page_id,
-                                "t_have": max(
-                                    state.applied_upto[writer],
-                                    covers_updates.get(writer, 0),
-                                ),
-                                "vc": self.vc.snapshot(),
-                                "request_id": request_id,
-                            },
-                        )
+                    out = Message(
+                        src=self.node_id,
+                        dst=writer,
+                        kind=MessageKind.DIFF_REQUEST,
+                        size_bytes=36 + self.vc.size_bytes,
+                        payload={
+                            "page_id": page_id,
+                            "t_have": max(
+                                state.applied_upto[writer],
+                                covers_updates.get(writer, 0),
+                            ),
+                            "vc": self.vc.snapshot(),
+                            "request_id": request_id,
+                        },
                     )
+                    self.label_edge(out, "request", page=page_id, request_id=request_id)
+                    yield from self.send(out)
                 reply_payloads = yield self.sim.all_of(replies)
                 for src, diffs, covers in reply_payloads:
                     batch.extend(diffs)
@@ -532,21 +554,21 @@ class DsmNode:
         size = 24 + sum(s.diff.size_bytes + 12 for s in stored) + WriteNoticeLog.wire_bytes(
             notices
         )
-        yield from self.send(
-            Message(
-                src=self.node_id,
-                dst=msg.src,
-                kind=MessageKind.DIFF_REPLY,
-                size_bytes=size,
-                payload={
-                    "page_id": page_id,
-                    "request_id": msg.payload["request_id"],
-                    "diffs": stored,
-                    "covers_through": covers,
-                    "notices": notices,
-                },
-            )
+        out = Message(
+            src=self.node_id,
+            dst=msg.src,
+            kind=MessageKind.DIFF_REPLY,
+            size_bytes=size,
+            payload={
+                "page_id": page_id,
+                "request_id": msg.payload["request_id"],
+                "diffs": stored,
+                "covers_through": covers,
+                "notices": notices,
+            },
         )
+        self.label_edge(out, "reply", page=page_id, request_id=msg.payload["request_id"])
+        yield from self.send(out)
 
     def handle_diff_reply(self, msg: Message) -> Generator:
         """Hand the reply's diffs to the waiting fetch process.

@@ -1,6 +1,7 @@
 """Experiment harness: regenerate every figure and table of the paper."""
 
 from repro.experiments.crash import crash_matrix
+from repro.experiments.critpath import critpath_matrix
 from repro.experiments.figures import figure1, figure2, figure3, figure4, figure5
 from repro.experiments.runner import CONFIG_LABELS, ExperimentRunner, parse_label
 from repro.experiments.tables import table1, table2
@@ -14,6 +15,7 @@ ALL_EXPERIMENTS = {
     "tab1": table1,
     "tab2": table2,
     "crash": crash_matrix,
+    "critpath": critpath_matrix,
 }
 
 __all__ = [
@@ -21,6 +23,7 @@ __all__ = [
     "CONFIG_LABELS",
     "ExperimentRunner",
     "crash_matrix",
+    "critpath_matrix",
     "figure1",
     "figure2",
     "figure3",

@@ -90,11 +90,20 @@ def main(argv: list[str] | None = None) -> int:
         "with PATH, each run's full RunReport JSON is written using the "
         "same '.APP-LABEL' template as --trace",
     )
+    parser.add_argument(
+        "--critpath",
+        action="store_true",
+        help="attach exact critical-path analysis and what-if projections "
+        "to every run (shorthand for the 'critpath' experiment when no "
+        "ids are given)",
+    )
     args = parser.parse_args(argv)
 
     wanted = list(ALL_EXPERIMENTS) if "all" in args.experiments else list(args.experiments)
     if args.crash and "crash" not in wanted:
         wanted.append("crash")
+    if args.critpath and not wanted:
+        wanted.append("critpath")
     if not wanted:
         parser.error("no experiments requested (give ids, 'all', or --crash)")
     unknown = [e for e in wanted if e not in ALL_EXPERIMENTS]
@@ -116,6 +125,7 @@ def main(argv: list[str] | None = None) -> int:
         crash_frac=args.crash_at,
         crash_loss=args.crash_loss,
         jobs=jobs,
+        critpath=args.critpath,
     )
     for experiment_id in wanted:
         started = time.time()

@@ -67,6 +67,7 @@ class ExperimentRunner:
         crash_frac: float = 0.45,
         crash_loss: float = 0.0,
         jobs: int = 1,
+        critpath: bool = False,
     ) -> None:
         self.num_nodes = num_nodes
         self.preset = preset
@@ -87,6 +88,10 @@ class ExperimentRunner:
         #: other value is a template for per-run RunReport JSON dumps,
         #: derived like the trace template.
         self.profile_template = profile_template
+        #: When set, every run carries a ``critpath`` report section
+        #: (repro.critpath): exact critical-path blame and what-if
+        #: projections, consumed by the ``critpath`` experiment.
+        self.critpath = critpath
         #: Worker processes for grid fan-out (see :meth:`run_many`);
         #: 1 = serial.  Tracing forces serial: the timeline audit needs
         #: the in-process tracer, which cannot cross a process boundary.
@@ -121,6 +126,7 @@ class ExperimentRunner:
             seed=self.seed,
             trace=TraceConfig() if self.trace_template else None,
             profile=bool(self.profile_template),
+            critpath=self.critpath,
         )
         if self.verbose:
             print(f"  running {app_name} [{label}] ...", flush=True)
@@ -189,6 +195,7 @@ class ExperimentRunner:
                     prefetch=prefetch,
                     seed=self.seed,
                     profile=bool(self.profile_template),
+                    critpath=self.critpath,
                 )
                 specs.append(
                     RunSpec(

@@ -96,13 +96,18 @@ class Node:
             return
         yield self.cpu.acquire(priority)
         try:
+            started = self.sim.now
             yield self.sim.timeout(duration)
             self.breakdown.charge(category, duration)
             if self.sim.trace_on:
                 tr = self.sim.trace
                 # One cpu slice per charge: the PhaseTimeline audit
                 # rebuilds the TimeBreakdown from exactly these events.
-                tr.slice(self.sim.now - duration, duration, "cpu", category.value, self.node_id)
+                # The start is captured *before* the timeout, not derived
+                # as ``now - duration``: float subtraction would not
+                # round-trip, and the critical-path builder matches slice
+                # boundaries against message timestamps bit-exactly.
+                tr.slice(started, duration, "cpu", category.value, self.node_id)
         finally:
             self.cpu.release()
 

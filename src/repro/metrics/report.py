@@ -19,10 +19,11 @@ if TYPE_CHECKING:
 __all__ = ["RunReport"]
 
 #: Bumped whenever the serialized layout changes incompatibly.
-#: v2 added the optional ``profile`` section (repro.profile); v1
-#: payloads are still readable (the section is simply absent).
-_SCHEMA_VERSION = 2
-_COMPAT_VERSIONS = (1, 2)
+#: v2 added the optional ``profile`` section (repro.profile); v3 the
+#: optional ``critpath`` section (repro.critpath).  Older payloads are
+#: still readable (the sections are simply absent).
+_SCHEMA_VERSION = 3
+_COMPAT_VERSIONS = (1, 2, 3)
 
 
 @dataclass
@@ -54,6 +55,10 @@ class RunReport:
     #: "core": two runs differing only in profiling produce identical
     #: reports apart from this field.
     profile: Optional[dict] = None
+    #: Versioned critical-path section (CritpathResult.to_dict) when the
+    #: run had ``critpath=`` on, else None.  Same contract as profile:
+    #: not part of the core, reports are otherwise byte-identical.
+    critpath: Optional[dict] = None
 
     # -- aggregation ----------------------------------------------------------
 
@@ -136,6 +141,7 @@ class RunReport:
             "traffic_by_kind": {str(k): dict(v) for k, v in self.traffic_by_kind.items()},
             "extra": dict(self.extra),
             "profile": self.profile,
+            "critpath": self.critpath,
         }
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -176,6 +182,7 @@ class RunReport:
             },
             extra=dict(data.get("extra", {})),
             profile=data.get("profile"),  # absent in v1 payloads
+            critpath=data.get("critpath"),  # absent in v1/v2 payloads
         )
 
     @classmethod

@@ -216,6 +216,10 @@ class Network:
                 message.dst,
                 f"m{message.msg_id}",
                 src=message.src,
+                # Redundant with the matching async b, but lets the PAG
+                # reconstruct the wire edge even when the ring sink
+                # dropped the begin event (the validator flags that).
+                sent_at=message.sent_at,
             )
         self._handlers[message.dst](message)
 

@@ -260,6 +260,7 @@ class ReliableTransport:
                 seq=seq,
                 attempts=pending.attempts,
                 kind=pending.message.kind.value,
+                msg=f"m{pending.message.msg_id}",
             )
         if pending.attempts > self.config.max_retries:
             # Give up gracefully: the message is parked, the give-up is
@@ -335,6 +336,10 @@ class ReliableTransport:
                 seq=seq,
                 attempts=pending.attempts,
                 kind=copy.kind.value,
+                # The wire copy's own correlation id: its msg:* async
+                # span in the trace belongs to a retransmission, which
+                # the critical-path analyzer blames as such.
+                msg=f"m{copy.msg_id}",
             )
         self.network.stats.record_retransmit(copy)
         self.network.send(copy)

@@ -193,6 +193,19 @@ class PrefetchEngine:
             self._pending[request_id] = (page_id, writer)
             record.outstanding += 1
             self.stats.request_messages += 1
+            out = Message(
+                src=self.dsm.node_id,
+                dst=writer,
+                kind=MessageKind.PREFETCH_REQUEST,
+                size_bytes=36 + self.dsm.vc.size_bytes,
+                reliable=False,
+                payload={
+                    "page_id": page_id,
+                    "t_have": t_have,
+                    "vc": self.dsm.vc.snapshot(),
+                    "request_id": request_id,
+                },
+            )
             if tr.enabled:
                 tr.instant(
                     self.dsm.sim.now,
@@ -201,22 +214,11 @@ class PrefetchEngine:
                     self.dsm.node_id,
                     page=page_id,
                     writer=writer,
+                    msg=f"m{out.msg_id}",
+                    request_id=request_id,
                 )
-            accepted = self.dsm.node.network.send(
-                Message(
-                    src=self.dsm.node_id,
-                    dst=writer,
-                    kind=MessageKind.PREFETCH_REQUEST,
-                    size_bytes=36 + self.dsm.vc.size_bytes,
-                    reliable=False,
-                    payload={
-                        "page_id": page_id,
-                        "t_have": t_have,
-                        "vc": self.dsm.vc.snapshot(),
-                        "request_id": request_id,
-                    },
-                )
-            )
+            self.dsm.label_edge(out, "prefetch_request", page=page_id, request_id=request_id)
+            accepted = self.dsm.node.network.send(out)
             if not accepted:
                 # The request never left the node (queue full or an
                 # injected drop).  Deliberately NOT retried here: the
@@ -358,22 +360,22 @@ class PrefetchEngine:
             + sum(s.diff.size_bytes + 12 for s in stored)
             + WriteNoticeLog.wire_bytes(notices)
         )
-        yield from self.dsm.send(
-            Message(
-                src=self.dsm.node_id,
-                dst=msg.src,
-                kind=MessageKind.PREFETCH_REPLY,
-                size_bytes=size,
-                reliable=False,
-                payload={
-                    "page_id": page_id,
-                    "request_id": msg.payload["request_id"],
-                    "diffs": stored,
-                    "covers_through": covers,
-                    "notices": notices,
-                },
-            )
+        out = Message(
+            src=self.dsm.node_id,
+            dst=msg.src,
+            kind=MessageKind.PREFETCH_REPLY,
+            size_bytes=size,
+            reliable=False,
+            payload={
+                "page_id": page_id,
+                "request_id": msg.payload["request_id"],
+                "diffs": stored,
+                "covers_through": covers,
+                "notices": notices,
+            },
         )
+        self.dsm.label_edge(out, "prefetch_reply", page=page_id, request_id=msg.payload["request_id"])
+        yield from self.dsm.send(out)
 
     def _handle_reply(self, msg: Message) -> Generator:
         """Client side: file the diffs in the prefetch heap (not applied)."""

@@ -14,7 +14,9 @@ PATTERN=FRACTION`` rules (fnmatch patterns over the flattened metric
 name, e.g. ``--tol '*/p99'=0.5``), falling back to ``--tolerance``.
 ``slack`` is an absolute floor (``--slack``) so a 2 us jitter on a 1 us
 metric is not a 200% regression.  A tolerance of ``-1`` skips the
-metric entirely.
+metric entirely.  Metrics present on only one side are ``REMOVED``/
+``ADDED``: regressions under an exact gate (tolerance 0 for that
+metric), notes otherwise.
 
 Exit codes: 0 no regressions, 1 regressions found, 2 usage/schema
 error.  The simulation is deterministic, so CI can compare against a
@@ -137,13 +139,28 @@ def compare(
             improvements += 1
         else:
             unchanged += 1
-    for name in only_old:
-        print(f"note: metric {name} missing from NEW", file=out)
-    for name in only_new:
-        print(f"note: metric {name} new in NEW", file=out)
+    # One-sided metrics go through the same tolerance routing as shared
+    # ones: under an exact gate (tolerance 0) a metric that appeared or
+    # vanished IS a difference and fails; with any slop it is a note; a
+    # negative tolerance skips it like any other metric.
+    unmatched = 0
+    for name, verdict in [(n, "REMOVED") for n in only_old] + [
+        (n, "ADDED") for n in only_new
+    ]:
+        metric_tolerance = _tolerance_for(name, rules, tolerance)
+        if metric_tolerance < 0:
+            continue
+        unmatched += 1
+        if metric_tolerance == 0:
+            which = "missing from NEW" if verdict == "REMOVED" else "new in NEW"
+            print(f"{verdict} {name}: {which} (tolerance 0%)", file=out)
+            regressions += 1
+        else:
+            side = "missing from NEW" if verdict == "REMOVED" else "new in NEW"
+            print(f"note: metric {name} {side}", file=out)
     print(
         f"{regressions} regression(s), {improvements} improved, "
-        f"{unchanged} within tolerance, {len(only_old) + len(only_new)} unmatched",
+        f"{unchanged} within tolerance, {unmatched} unmatched",
         file=out,
     )
     return regressions

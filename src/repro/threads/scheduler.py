@@ -97,6 +97,11 @@ class NodeScheduler:
         self._rr = 0
         self.finished_at: Optional[float] = None
         self.done_event: Optional[Event] = None
+        #: Trace-only thread segment counters (tid -> segment index): a
+        #: context_switch instant names the segment it ends and the one
+        #: it starts, so offline analysis can link thread segments into
+        #: causal chains.  Touched only under trace_on.
+        self._segments: dict[int, int] = {}
         #: Trace stall spans currently open, as (name, tid) pairs, so a
         #: crash rollback can close the spans its cancellations orphan.
         self._open_stalls: list[tuple[str, int]] = []
@@ -139,6 +144,7 @@ class NodeScheduler:
             for name, tid in self._open_stalls:
                 tr.end(self.node.sim.now, "sched", name, self.node.node_id, tid=tid)
         self._open_stalls.clear()
+        self._segments = {}
         self.threads = threads
         self._last_run = None
         self._ready_signal = None
@@ -163,6 +169,14 @@ class NodeScheduler:
                 yield from self._idle_until_wakeup()
                 continue
             yield from self._dispatch(thread)
+        if self.node.sim.trace_on:
+            # Causal end-of-node marker: the PAG takes the run's wall
+            # clock as the latest sched_finish across nodes (trailing
+            # transport acks may still occupy the CPU afterwards, but
+            # they are off the application's critical path by definition).
+            self.node.sim.trace.instant(
+                self.node.sim.now, "sched", "sched_finish", self.node.node_id
+            )
         self.finished_at = self.node.sim.now
 
     def _next_ready(self) -> Optional[DsmThread]:
@@ -306,6 +320,12 @@ class NodeScheduler:
             self.node.events.context_switches += 1
             if self.node.sim.trace_on:
                 tr = self.node.sim.trace
+                # Segment links: the switch ends from_tid's current
+                # segment and starts a fresh one for to_tid, so offline
+                # analysis can stitch per-thread execution chains.
+                from_seg = self._segments.get(self._last_run.tid, 0)
+                to_seg = self._segments.get(thread.tid, 0) + 1
+                self._segments[thread.tid] = to_seg
                 tr.instant(
                     self.node.sim.now,
                     "sched",
@@ -313,6 +333,8 @@ class NodeScheduler:
                     self.node.node_id,
                     from_tid=self._last_run.tid,
                     to_tid=thread.tid,
+                    from_seg=from_seg,
+                    to_seg=to_seg,
                 )
         self._last_run = thread
         thread.state = ThreadState.RUNNING

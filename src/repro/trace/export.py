@@ -31,6 +31,7 @@ __all__ = ["chrome_trace", "write_chrome_trace", "write_jsonl", "jsonl_lines"]
 CPU_TID = 0
 IDLE_TID = 1
 PROTOCOL_TID = 2
+CRITPATH_TID = 3
 APP_TID_BASE = 10
 
 _IDLE_NAMES = frozenset((Category.MEMORY_IDLE.value, Category.SYNC_IDLE.value))
@@ -45,8 +46,21 @@ def _track_of(event: TraceEvent) -> int:
     return PROTOCOL_TID
 
 
-def chrome_trace(events: Iterable[TraceEvent]) -> dict[str, Any]:
-    """Render events into a Chrome trace_event JSON object."""
+def chrome_trace(
+    events: Iterable[TraceEvent],
+    critpath: dict[str, Any] | None = None,
+    dropped_events: int = 0,
+) -> dict[str, Any]:
+    """Render events into a Chrome trace_event JSON object.
+
+    ``critpath`` is a critical-path report section
+    (``repro.critpath.CritpathResult.to_dict``): its same-node dwell
+    intervals become X slices on a dedicated per-node track and its
+    cross-node hops become ``s``/``f`` flow events linking the tracks,
+    so Perfetto draws the critical path as arrows through the run.
+    ``dropped_events`` (the tracer's ring-sink discard count) is
+    surfaced in ``otherData`` for the validator.
+    """
     rows: list[dict[str, Any]] = []
     #: (pid, tid) -> thread name, discovered from the event stream.
     threads: dict[tuple[int, int], str] = {}
@@ -79,6 +93,35 @@ def chrome_trace(events: Iterable[TraceEvent]) -> dict[str, Any]:
         if event.args:
             row["args"] = event.args
         rows.append(row)
+    if critpath is not None:
+        for dwell in critpath.get("dwells", ()):
+            key = (dwell["node"], CRITPATH_TID)
+            threads.setdefault(key, "critical path")
+            rows.append(
+                {
+                    "name": "on critical path",
+                    "cat": "critpath",
+                    "ph": "X",
+                    "ts": dwell["start"],
+                    "dur": dwell["end"] - dwell["start"],
+                    "pid": dwell["node"],
+                    "tid": CRITPATH_TID,
+                }
+            )
+        for i, flow in enumerate(critpath.get("flows", ())):
+            threads.setdefault((flow["src"], CRITPATH_TID), "critical path")
+            threads.setdefault((flow["dst"], CRITPATH_TID), "critical path")
+            common = {
+                "name": flow.get("category", "hop"),
+                "cat": "critpath",
+                "id": f"cp{i}",
+            }
+            rows.append(
+                dict(common, ph="s", ts=flow["src_ts"], pid=flow["src"], tid=CRITPATH_TID)
+            )
+            rows.append(
+                dict(common, ph="f", bp="e", ts=flow["dst_ts"], pid=flow["dst"], tid=CRITPATH_TID)
+            )
     # The spec does not require sorted timestamps but viewers load large
     # traces faster when sorted; Python's stable sort preserves emission
     # order at equal timestamps, which keeps B before E and b before e.
@@ -116,16 +159,27 @@ def chrome_trace(events: Iterable[TraceEvent]) -> dict[str, Any]:
                 "args": {"sort_index": tid},
             }
         )
+    other: dict[str, Any] = {"producer": "repro.trace", "time_unit": "us"}
+    if dropped_events:
+        other["events_dropped"] = dropped_events
     return {
         "traceEvents": meta + rows,
         "displayTimeUnit": "ms",
-        "otherData": {"producer": "repro.trace", "time_unit": "us"},
+        "otherData": other,
     }
 
 
-def write_chrome_trace(events: Iterable[TraceEvent], path: str) -> None:
+def write_chrome_trace(
+    events: Iterable[TraceEvent],
+    path: str,
+    critpath: dict[str, Any] | None = None,
+    dropped_events: int = 0,
+) -> None:
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(chrome_trace(events), handle)
+        json.dump(
+            chrome_trace(events, critpath=critpath, dropped_events=dropped_events),
+            handle,
+        )
 
 
 def jsonl_lines(events: Iterable[TraceEvent]) -> Iterable[str]:

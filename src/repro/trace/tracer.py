@@ -260,15 +260,19 @@ class Tracer:
 
     # -- export convenience (implemented in repro.trace.export) ------------
 
-    def chrome_trace(self) -> dict[str, Any]:
+    def chrome_trace(self, critpath: Optional[dict[str, Any]] = None) -> dict[str, Any]:
         from repro.trace.export import chrome_trace
 
-        return chrome_trace(self.events)
+        return chrome_trace(
+            self.events, critpath=critpath, dropped_events=self.dropped_events
+        )
 
-    def write_chrome(self, path: str) -> None:
+    def write_chrome(self, path: str, critpath: Optional[dict[str, Any]] = None) -> None:
         from repro.trace.export import write_chrome_trace
 
-        write_chrome_trace(self.events, path)
+        write_chrome_trace(
+            self.events, path, critpath=critpath, dropped_events=self.dropped_events
+        )
 
     def write_jsonl(self, path: str) -> None:
         from repro.trace.export import write_jsonl

@@ -14,6 +14,13 @@ Checks:
 - async ``e`` events have a preceding ``b`` with the same ``(cat, id)``
   (an unterminated ``b`` is legal — that is what a dropped message
   looks like — but an orphan ``e`` is a bug).
+
+Exit codes: 0 valid, 1 format violations, 2 load errors *or* dangling
+causal edges — an orphan async ``e`` means a program-activity-graph
+wire edge references an event the ring sink dropped (the trace's
+``otherData.events_dropped`` count, surfaced in the output, says how
+many were discarded), so critical-path analysis of the file would be
+reconstructing from partial causality.
 """
 
 from __future__ import annotations
@@ -131,12 +138,26 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     errors = validate_chrome_trace(trace, max_errors=args.max_errors)
     events = trace.get("traceEvents", []) if isinstance(trace, dict) else []
+    dropped = 0
+    if isinstance(trace, dict):
+        other = trace.get("otherData")
+        if isinstance(other, dict):
+            dropped = int(other.get("events_dropped", 0) or 0)
+    if dropped:
+        print(f"WARNING: {dropped} events dropped at collection (ring full)")
+    dangling = [e for e in errors if "async e with no open b" in e]
     if errors:
         print(f"INVALID: {args.trace} ({len(events)} events)")
         for error in errors:
             print(f"  - {error}")
+        if dangling:
+            print(
+                f"  {len(dangling)} causal (PAG) edge(s) reference dropped/"
+                "missing events — critical-path analysis would be partial"
+            )
+            return 2
         return 1
-    print(f"OK: {args.trace} ({len(events)} events)")
+    print(f"OK: {args.trace} ({len(events)} events, {dropped} dropped)")
     return 0
 
 

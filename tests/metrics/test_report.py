@@ -183,8 +183,42 @@ def test_profile_section_round_trips():
     assert "profile" in make_report().to_dict()
 
 
+def test_critpath_section_round_trips():
+    section = {
+        "version": 1,
+        "wall_time_us": 10.0,
+        "path_us": 10.0,
+        "identity_exact": True,
+        "blame_us": {"cpu": 10.0},
+        "what_if_us": {"zero_latency_network": 8.0},
+    }
+    report = make_report(critpath=section)
+    clone = RunReport.from_json(report.to_json())
+    assert clone.critpath == section
+    # Absent by default, but the key is always serialized (schema v3).
+    assert make_report().critpath is None
+    assert "critpath" in make_report().to_dict()
+
+
+def test_v2_document_reads_as_v3_with_absent_critpath():
+    """A v2 file (profile era, no critpath key) loads cleanly and
+    upgrades to a stable v3 document."""
+    import json
+
+    data = make_report(profile={"version": 1}).to_dict()
+    data["schema"] = 2
+    del data["critpath"]
+    upgraded = RunReport.from_json(json.dumps(data))
+    assert upgraded.critpath is None
+    assert upgraded.profile == {"version": 1}
+    v3 = json.loads(upgraded.to_json())
+    assert v3["schema"] == 3
+    assert v3["critpath"] is None
+    assert RunReport.from_dict(v3).to_json() == upgraded.to_json()
+
+
 def test_v1_document_round_trips_stably_through_json():
-    """v1 -> from_json -> to_json(v2) -> from_json is a fixed point:
+    """v1 -> from_json -> to_json(v3) -> from_json is a fixed point:
     the upgraded document re-loads to an identical report."""
     import json
 
@@ -193,15 +227,17 @@ def test_v1_document_round_trips_stably_through_json():
     ).to_dict()
     data["schema"] = 1
     del data["profile"]
+    del data["critpath"]
     # v1 files also predate the transport/fault fields' guarantees;
     # from_dict fills them via .get defaults.
     v1_json = json.dumps(data)
 
     upgraded = RunReport.from_json(v1_json)
-    v2_json = upgraded.to_json()
-    assert json.loads(v2_json)["schema"] == 2
-    reloaded = RunReport.from_json(v2_json)
+    v3_json = upgraded.to_json()
+    assert json.loads(v3_json)["schema"] == 3
+    reloaded = RunReport.from_json(v3_json)
     assert reloaded.to_dict() == upgraded.to_dict()
-    assert reloaded.to_json() == v2_json
+    assert reloaded.to_json() == v3_json
     assert reloaded.profile is None
+    assert reloaded.critpath is None
     assert reloaded.injected_faults == {"drop": 2}

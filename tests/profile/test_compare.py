@@ -125,13 +125,44 @@ def test_negative_tolerance_skips_metric():
     assert compare(old, new, rules=rules, out=io.StringIO()) == 0
 
 
-def test_unmatched_metrics_are_noted_not_regressions():
+def test_unmatched_metrics_fail_under_exact_gate():
+    # Under the default tolerance 0 the comparison is exact: a metric
+    # that appeared or vanished is a difference, not a footnote.
     out = io.StringIO()
     count = compare({"a": 1.0, "gone": 5.0}, {"a": 1.0, "fresh": 5.0}, out=out)
+    assert count == 2
+    text = out.getvalue()
+    assert "REMOVED gone" in text and "ADDED fresh" in text
+    assert "2 unmatched" in text
+
+
+def test_unmatched_metrics_are_notes_with_slop():
+    out = io.StringIO()
+    count = compare(
+        {"a": 1.0, "gone": 5.0}, {"a": 1.0, "fresh": 5.0}, tolerance=0.1, out=out
+    )
     assert count == 0
     text = out.getvalue()
     assert "missing from NEW" in text and "new in NEW" in text
     assert "2 unmatched" in text
+
+
+def test_unmatched_metrics_respect_per_metric_rules():
+    # A -1 rule skips a one-sided metric entirely; a 0 rule makes just
+    # that metric exact even when the default tolerance is loose.
+    rules = _parse_tolerance_rules(["gone=-1"])
+    assert (
+        compare({"gone": 5.0, "a": 1.0}, {"a": 1.0}, rules=rules, out=io.StringIO())
+        == 0
+    )
+    rules = _parse_tolerance_rules(["fresh=0"])
+    assert (
+        compare(
+            {"a": 1.0}, {"a": 1.0, "fresh": 5.0}, tolerance=0.5, rules=rules,
+            out=io.StringIO(),
+        )
+        == 1
+    )
 
 
 # -- CLI ----------------------------------------------------------------------

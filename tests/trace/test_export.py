@@ -145,6 +145,64 @@ def test_validator_cli(tmp_path, capsys):
     assert "OK:" in out and "INVALID:" in out and "ERROR:" in out
 
 
+def test_validator_cli_exits_2_on_dangling_causal_edge(tmp_path, capsys):
+    """An orphan async e is a PAG wire edge whose begin the ring sink
+    dropped: worse than a format nit, so it gets its own exit code."""
+    from repro.trace.validate import main
+
+    doc = wrap([row(ph="e", cat="network", id="m9", name="msg:diff_reply")])
+    doc["otherData"] = {"events_dropped": 7}
+    dangling = tmp_path / "dangling.json"
+    dangling.write_text(json.dumps(doc))
+    assert main([str(dangling)]) == 2
+    out = capsys.readouterr().out
+    assert "7 events dropped" in out
+    assert "causal (PAG) edge" in out
+
+
+def test_validator_cli_reports_drop_count_on_valid_trace(tmp_path, capsys):
+    from repro.trace.validate import main
+
+    doc = chrome_trace(sample_tracer().events, dropped_events=3)
+    path = tmp_path / "t.json"
+    path.write_text(json.dumps(doc))
+    assert main([str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "3 events dropped" in out
+
+
+def test_chrome_trace_surfaces_dropped_events_and_critpath_overlay():
+    from repro.trace.export import CRITPATH_TID
+
+    section = {
+        "dwells": [{"node": 0, "start": 0.0, "end": 5.0}],
+        "flows": [
+            {"src": 0, "src_ts": 5.0, "dst": 1, "dst_ts": 6.0, "category": "diff_rtt"}
+        ],
+    }
+    doc = chrome_trace(sample_tracer().events, critpath=section, dropped_events=2)
+    assert doc["otherData"]["events_dropped"] == 2
+    rows = [e for e in doc["traceEvents"] if e.get("cat") == "critpath"]
+    phases = sorted(r["ph"] for r in rows)
+    assert phases == ["X", "f", "s"]
+    flow = next(r for r in rows if r["ph"] == "s")
+    assert flow["name"] == "diff_rtt" and flow["id"] == "cp0"
+    dwell = next(r for r in rows if r["ph"] == "X")
+    assert dwell["tid"] == CRITPATH_TID and dwell["dur"] == 5.0
+    # The overlay track is named in the metadata.
+    meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+    assert any(
+        e["name"] == "thread_name"
+        and e["tid"] == CRITPATH_TID
+        and e["args"] == {"name": "critical path"}
+        for e in meta
+    )
+    # No events_dropped key when nothing was dropped (byte-stability).
+    clean = chrome_trace(sample_tracer().events)
+    assert "events_dropped" not in clean["otherData"]
+    assert validate_chrome_trace(doc) == []
+
+
 def test_tracer_write_helpers(tmp_path):
     tracer = sample_tracer()
     chrome_path = tmp_path / "t.json"

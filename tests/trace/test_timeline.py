@@ -123,6 +123,8 @@ def test_tracing_is_deterministic_itself():
     Correlation ids embed Message.msg_id, which is unique per *process*
     (a global counter), not per run — so compare with ids canonically
     renumbered by first occurrence; everything else must be identical.
+    The same renumbering covers ``args.msg``, the causal-edge labels
+    that reference a message's correlation id from instant events.
     """
 
     def stream():
@@ -133,6 +135,11 @@ def test_tracing_is_deterministic_itself():
             row = event.as_dict()
             if "id" in row:
                 row["id"] = mapping.setdefault(row["id"], f"#{len(mapping)}")
+            args = row.get("args")
+            if args and "msg" in args:
+                args = dict(args)
+                args["msg"] = mapping.setdefault(args["msg"], f"#{len(mapping)}")
+                row["args"] = args
             rows.append(row)
         return rows
 
