@@ -291,6 +291,39 @@ class DsmRuntime:
             critpath = analyze_events(
                 self.tracer.events, events_dropped=self.tracer.dropped_events
             ).to_dict()
+        transport_health = None
+        transports = self.cluster.transports
+        if transports and transports[0].adaptive:
+            network = self.cluster.network
+            per_node = {}
+            parked_live = 0
+            for transport in transports:
+                snapshot = transport.health_snapshot()
+                per_node[str(transport.node.node_id)] = snapshot
+                # Parked messages toward peers that are neither down nor
+                # fenced at end of run: the no-livelock invariant's
+                # numerator (down/fenced peers are legitimately parked —
+                # their revival belongs to a rollback/rejoin that the
+                # workload finished without needing).
+                parked_live += sum(
+                    count
+                    for dst, count in snapshot["parked_by_peer"].items()
+                    if not network.is_down(int(dst)) and not network.is_fenced(int(dst))
+                )
+            transport_health = {
+                "per_node": per_node,
+                "cwnd_max": transports[0].config.cwnd_max,
+                "max_in_flight": max(
+                    s["max_in_flight"] for s in per_node.values()
+                ),
+                "paced": sum(s["paced"] for s in per_node.values()),
+                "shed": stats.total_shed,
+                "rtt_samples": sum(s["rtt_samples"] for s in per_node.values()),
+                "cwnd_halvings": sum(s["cwnd_halvings"] for s in per_node.values()),
+                "unacked": sum(s["unacked"] for s in per_node.values()),
+                "pacing_backlog": sum(s["pacing_backlog"] for s in per_node.values()),
+                "parked_live": parked_live,
+            }
         return RunReport(
             app_name=program.name,
             config_label=self.config.label,
@@ -313,6 +346,7 @@ class DsmRuntime:
             extra=extra,
             profile=profile,
             critpath=critpath,
+            transport_health=transport_health,
         )
 
     # -- verification support ------------------------------------------------------

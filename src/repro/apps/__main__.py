@@ -19,6 +19,7 @@ from repro.api.runtime import DsmRuntime, RunConfig
 from repro.apps.registry import APP_ORDER, make_app
 from repro.experiments.runner import parse_label
 from repro.network.faults import FaultPlan, NodeCrash
+from repro.network.transport import TransportConfig
 from repro.trace import PhaseTimeline, TraceConfig
 
 
@@ -87,6 +88,12 @@ def main(argv: list[str] | None = None) -> int:
         help="check LRC protocol invariants at every transition",
     )
     parser.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="use the adaptive transport (RTT-estimated RTO, AIMD "
+        "window, backpressure) instead of the static timeout/retry policy",
+    )
+    parser.add_argument(
         "--profile",
         nargs="?",
         const="-",
@@ -118,6 +125,7 @@ def main(argv: list[str] | None = None) -> int:
             trace=TraceConfig() if trace else None,
             profile=profile,
             critpath=critpath,
+            transport=TransportConfig(adaptive=args.adaptive),
         )
 
     plan = None

@@ -1,6 +1,6 @@
 """Command-line chaos search and reproducer replay.
 
-Search (exit 0 when every sample passes all four invariants, 1 when
+Search (exit 0 when every sample passes all invariants, 1 when
 any fails — failing plans are shrunk and written to ``--out``)::
 
     python -m repro.chaos --seed 7 --budget 50 --jobs 2
@@ -50,6 +50,7 @@ def _run_search(args: argparse.Namespace) -> int:
         preset=args.preset,
         jobs=args.jobs,
         split_brain_bug=args.split_brain_bug,
+        adaptive=args.adaptive,
     )
     started = time.perf_counter()
     done = 0
@@ -126,6 +127,12 @@ def main(argv=None) -> int:
         "--split-brain-bug",
         action="store_true",
         help="arm the deliberately seeded split-brain hole (harness validation only)",
+    )
+    parser.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="run every sample on the adaptive transport and grade the "
+        "bounded-in-flight and no-livelock invariants",
     )
     parser.add_argument(
         "--replay", metavar="FILE", help="replay one reproducer instead of searching"

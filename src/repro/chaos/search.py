@@ -25,6 +25,7 @@ from repro.apps import available_apps, make_app
 from repro.errors import ConfigError, ProtocolError, SimulationError
 from repro.ft import FtConfig
 from repro.network.faults import FaultPlan
+from repro.network.transport import TransportConfig
 from repro.parallel import fan_out
 
 __all__ = [
@@ -66,6 +67,10 @@ class ChaosConfig:
     #: Liveness bound: a sample exceeding this many simulation events is
     #: declared livelocked (clean small runs take well under a tenth).
     max_events: int = 5_000_000
+    #: Run every sample on the adaptive transport (RTT-estimated RTO,
+    #: AIMD window, backpressure) and grade the two adaptive
+    #: invariants: bounded in-flight growth and no-livelock.
+    adaptive: bool = False
 
     def __post_init__(self) -> None:
         if self.budget < 1:
@@ -104,6 +109,7 @@ class ChaosSample:
     plan: dict
     split_brain_bug: bool = False
     max_events: int = 5_000_000
+    adaptive: bool = False
 
 
 @dataclass
@@ -115,7 +121,10 @@ class SampleResult:
     #: invariant tripped), ``liveness`` (event bound exceeded or the
     #: run deadlocked), ``determinism`` (re-run differed), ``verify``
     #: (the app's answer was wrong), ``split-brain`` (a checkpoint
-    #: committed across a membership split).
+    #: committed across a membership split), and — adaptive arm only —
+    #: ``inflight`` (a peer exceeded the AIMD window bound) and
+    #: ``livelock`` (a run ended with unsent/unacked/parked traffic
+    #: toward live peers).
     failures: list[str] = field(default_factory=list)
     error: str = ""
     wall_time_us: float = 0.0
@@ -225,6 +234,7 @@ def generate_samples(
                 plan=sample_plan(rng, walls[app_name], config.num_nodes),
                 split_brain_bug=config.split_brain_bug,
                 max_events=config.max_events,
+                adaptive=config.adaptive,
             )
         )
     return samples
@@ -249,6 +259,7 @@ def _execute(sample: ChaosSample):
         # membership layer revives, and invariant 4 needs its summary.
         ft=FtConfig(split_brain_bug=sample.split_brain_bug),
         max_events=sample.max_events,
+        transport=TransportConfig(adaptive=True) if sample.adaptive else TransportConfig(),
     )
     runtime = DsmRuntime(config)
     app = make_app(sample.app_name, sample.preset)
@@ -262,7 +273,7 @@ def _execute(sample: ChaosSample):
 
 
 def evaluate_sample(sample: ChaosSample) -> SampleResult:
-    """Run one sample twice and grade it against the four invariants."""
+    """Run one sample twice and grade it against every invariant."""
     try:
         first, verify_error = _execute(sample)
     except ProtocolError as exc:
@@ -277,6 +288,32 @@ def evaluate_sample(sample: ChaosSample) -> SampleResult:
     error = ""
     if first.extra.get("ft", {}).get("split_brain_checkpoints", 0):
         failures.append("split-brain")
+    health = first.transport_health
+    if health is not None:
+        # Adaptive invariant 1: the AIMD window bounds in-flight
+        # unacked messages under every sampled plan.
+        if health["max_in_flight"] > health["cwnd_max"]:
+            failures.append("inflight")
+            error = (
+                f"in-flight high-water {health['max_in_flight']} "
+                f"exceeds cwnd_max {health['cwnd_max']}"
+            )
+        # Adaptive invariant 2 (no-livelock): the simulation runs its
+        # event heap dry, so at end of run every paced message must
+        # have been sent, every sent message acked or parked, and
+        # parked messages may only point at peers that are down or
+        # fenced — anything else is traffic stranded toward a live
+        # peer that no future event would ever move.
+        if (
+            health["pacing_backlog"]
+            or health["unacked"]
+            or health["parked_live"]
+        ):
+            failures.append("livelock")
+            error = (
+                f"end-of-run backlog: paced={health['pacing_backlog']} "
+                f"unacked={health['unacked']} parked_live={health['parked_live']}"
+            )
     if verify_error is not None:
         failures.append("verify")
         error = verify_error
@@ -385,6 +422,7 @@ def reproducer_dict(result: SampleResult) -> dict:
         "seed": sample.seed,
         "split_brain_bug": sample.split_brain_bug,
         "max_events": sample.max_events,
+        "adaptive": sample.adaptive,
         "failures": list(result.failures),
         "error": result.error,
         # Round-trip through FaultPlan so the stored form is normalized
@@ -415,6 +453,7 @@ def load_reproducer(path: Path) -> ChaosSample:
             plan=plan,
             split_brain_bug=bool(data.get("split_brain_bug", False)),
             max_events=int(data.get("max_events", 5_000_000)),
+            adaptive=bool(data.get("adaptive", False)),
         )
     except KeyError as exc:
         raise ConfigError(f"reproducer missing field: {exc}") from exc

@@ -34,7 +34,7 @@ from repro.errors import ProtocolError
 from repro.machine.node import Node
 from repro.memory import apply_diff, make_diff
 from repro.metrics.counters import Category
-from repro.network import Message, MessageKind
+from repro.network import PRIORITY_DEMAND, Message, MessageKind
 from repro.sim import Event, spawn
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -347,6 +347,9 @@ class DsmNode:
                         dst=writer,
                         kind=MessageKind.DIFF_REQUEST,
                         size_bytes=36 + self.vc.size_bytes,
+                        # A faulting thread is stalled on this round
+                        # trip: demand class, never shed, paced last.
+                        priority=PRIORITY_DEMAND,
                         payload={
                             "page_id": page_id,
                             "t_have": max(
@@ -559,6 +562,9 @@ class DsmNode:
             dst=msg.src,
             kind=MessageKind.DIFF_REPLY,
             size_bytes=size,
+            # The requester's fault is blocked on this reply: demand
+            # class, ahead of any notice/prefetch backlog on the link.
+            priority=PRIORITY_DEMAND,
             payload={
                 "page_id": page_id,
                 "request_id": msg.payload["request_id"],

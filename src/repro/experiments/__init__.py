@@ -1,5 +1,6 @@
 """Experiment harness: regenerate every figure and table of the paper."""
 
+from repro.experiments.adaptive import adaptive_matrix
 from repro.experiments.crash import crash_matrix
 from repro.experiments.critpath import critpath_matrix
 from repro.experiments.figures import figure1, figure2, figure3, figure4, figure5
@@ -16,12 +17,14 @@ ALL_EXPERIMENTS = {
     "tab2": table2,
     "crash": crash_matrix,
     "critpath": critpath_matrix,
+    "adaptive": adaptive_matrix,
 }
 
 __all__ = [
     "ALL_EXPERIMENTS",
     "CONFIG_LABELS",
     "ExperimentRunner",
+    "adaptive_matrix",
     "crash_matrix",
     "critpath_matrix",
     "figure1",

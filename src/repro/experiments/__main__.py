@@ -34,6 +34,12 @@ def main(argv: list[str] | None = None) -> int:
         help="run the crash-recovery matrix (shorthand for the 'crash' id)",
     )
     parser.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="run the static-vs-adaptive transport matrix (shorthand for "
+        "the 'adaptive' id)",
+    )
+    parser.add_argument(
         "--crash-node",
         type=int,
         default=3,
@@ -102,10 +108,12 @@ def main(argv: list[str] | None = None) -> int:
     wanted = list(ALL_EXPERIMENTS) if "all" in args.experiments else list(args.experiments)
     if args.crash and "crash" not in wanted:
         wanted.append("crash")
+    if args.adaptive and "adaptive" not in wanted:
+        wanted.append("adaptive")
     if args.critpath and not wanted:
         wanted.append("critpath")
     if not wanted:
-        parser.error("no experiments requested (give ids, 'all', or --crash)")
+        parser.error("no experiments requested (give ids, 'all', --crash, or --adaptive)")
     unknown = [e for e in wanted if e not in ALL_EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiment(s): {unknown}")

@@ -70,6 +70,12 @@ class FailureDetector:
         self.config = config
         self.sim = ft.sim
         self.num_nodes = ft.num_nodes
+        #: Effective silence threshold.  Starts at the configured value;
+        #: the manager raises it to the adaptive transport's give-up
+        #: deadline when one is in use — suspicion must key off when
+        #: transports actually stop trying, not a fixed retry count
+        #: calibrated for the static 10 ms timeout ladder.
+        self.suspicion_timeout_us = config.suspicion_timeout_us
         #: Last time the coordinator heard *anything* from each node.
         self.last_heard: dict[int, float] = {
             n: 0.0 for n in range(self.num_nodes) if n != COORDINATOR
@@ -161,7 +167,7 @@ class FailureDetector:
         heard = sum(
             1
             for node in members
-            if now - self.last_heard[node] <= self.config.suspicion_timeout_us
+            if now - self.last_heard[node] <= self.suspicion_timeout_us
         )
         return (heard + 1) * 2 > len(members) + 1
 
@@ -208,7 +214,7 @@ class FailureDetector:
         for node in range(self.num_nodes):
             if node == COORDINATOR or node in self.down:
                 continue
-            silent = now - self.last_heard[node] > config.suspicion_timeout_us
+            silent = now - self.last_heard[node] > self.suspicion_timeout_us
             if not silent:
                 continue
             suspicion = self._suspect(node)

@@ -124,6 +124,17 @@ class FtManager:
             transport.on_give_up = (
                 lambda dst, msg, _src=reporter: self.detector.on_give_up(_src, dst, msg)
             )
+        if self.cluster.transports and self.cluster.transports[0].adaptive:
+            # Suspicion must key off when transports actually stop
+            # trying.  The adaptive give-up is a wall deadline
+            # (give_up_us), not the static retry ladder the configured
+            # suspicion timeout was calibrated against — a node silent
+            # for less than the give-up deadline may simply be behind a
+            # congested link the transports are still probing.
+            self.detector.suspicion_timeout_us = max(
+                config.suspicion_timeout_us,
+                self.cluster.transports[0].config.give_up_us,
+            )
         for scheduler in runtime.schedulers:
             scheduler.record_values = True
 

@@ -131,6 +131,12 @@ class EventCounters:
     #: Arrivals discarded by the end-to-end checksum (injected bit
     #: corruption); each one costs a receive and provokes a retransmit.
     corruption_detected: int = 0
+    # Adaptive-transport backpressure (zero with the adaptive layer off).
+    #: Sends the AIMD window deferred into the transport pacing queue.
+    messages_paced: int = 0
+    #: Prefetches shed at the source because the transport reported the
+    #: destination under pressure (counted, never silent).
+    prefetch_shed: int = 0
     # Thread run lengths: busy time between consecutive long-latency events.
     run_lengths_sum: float = 0.0
     run_lengths_count: int = 0

@@ -20,10 +20,12 @@ __all__ = ["RunReport"]
 
 #: Bumped whenever the serialized layout changes incompatibly.
 #: v2 added the optional ``profile`` section (repro.profile); v3 the
-#: optional ``critpath`` section (repro.critpath).  Older payloads are
-#: still readable (the sections are simply absent).
-_SCHEMA_VERSION = 3
-_COMPAT_VERSIONS = (1, 2, 3)
+#: optional ``critpath`` section (repro.critpath); v4 the optional
+#: ``transport_health`` section (adaptive transport) and the
+#: paced/shed event counters.  Older payloads are still readable (the
+#: sections are simply absent and the counters default to zero).
+_SCHEMA_VERSION = 4
+_COMPAT_VERSIONS = (1, 2, 3, 4)
 
 
 @dataclass
@@ -59,6 +61,10 @@ class RunReport:
     #: run had ``critpath=`` on, else None.  Same contract as profile:
     #: not part of the core, reports are otherwise byte-identical.
     critpath: Optional[dict] = None
+    #: Adaptive-transport health (per-node srtt/rttvar/rto/cwnd plus
+    #: paced/shed/parked totals) when the run used an adaptive
+    #: transport, else None — static runs carry no trace of the layer.
+    transport_health: Optional[dict] = None
 
     # -- aggregation ----------------------------------------------------------
 
@@ -142,6 +148,7 @@ class RunReport:
             "extra": dict(self.extra),
             "profile": self.profile,
             "critpath": self.critpath,
+            "transport_health": self.transport_health,
         }
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -183,6 +190,7 @@ class RunReport:
             extra=dict(data.get("extra", {})),
             profile=data.get("profile"),  # absent in v1 payloads
             critpath=data.get("critpath"),  # absent in v1/v2 payloads
+            transport_health=data.get("transport_health"),  # v4+
         )
 
     @classmethod

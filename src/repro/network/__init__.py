@@ -12,7 +12,13 @@ from repro.network.faults import (
     NodeStall,
 )
 from repro.network.link import Link, LinkConfig
-from repro.network.message import Message, MessageKind
+from repro.network.message import (
+    PRIORITY_DEMAND,
+    PRIORITY_NOTICE,
+    PRIORITY_PREFETCH,
+    Message,
+    MessageKind,
+)
 from repro.network.network import Network
 from repro.network.stats import TrafficStats
 from repro.network.switch import Switch
@@ -31,6 +37,9 @@ __all__ = [
     "Network",
     "NodeCrash",
     "NodeStall",
+    "PRIORITY_DEMAND",
+    "PRIORITY_NOTICE",
+    "PRIORITY_PREFETCH",
     "ReliableTransport",
     "Switch",
     "TrafficStats",

@@ -13,9 +13,24 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any
 
-__all__ = ["MessageKind", "Message"]
+__all__ = [
+    "MessageKind",
+    "Message",
+    "PRIORITY_DEMAND",
+    "PRIORITY_NOTICE",
+    "PRIORITY_PREFETCH",
+]
 
 _message_ids = itertools.count()
+
+#: Traffic classes for the adaptive transport's backpressure machinery
+#: (repro.network.transport).  Lower value = more urgent.  Demand
+#: traffic — page faults, diffs, synchronization — is paced but never
+#: shed; membership/write-notice announcements rank below it; prefetch
+#: traffic is speculative and is shed first under congestion.
+PRIORITY_DEMAND = 0
+PRIORITY_NOTICE = 1
+PRIORITY_PREFETCH = 2
 
 
 class MessageKind(str, Enum):
@@ -65,6 +80,27 @@ class MessageKind(str, Enum):
         )
 
 
+#: Default backpressure class per message kind.  Demand faults, diffs
+#: and synchronization outrank membership/notice announcements, which
+#: outrank speculative prefetch traffic.
+_DEFAULT_PRIORITY = {
+    MessageKind.DIFF_REQUEST: PRIORITY_DEMAND,
+    MessageKind.DIFF_REPLY: PRIORITY_DEMAND,
+    MessageKind.LOCK_REQUEST: PRIORITY_DEMAND,
+    MessageKind.LOCK_FORWARD: PRIORITY_DEMAND,
+    MessageKind.LOCK_GRANT: PRIORITY_DEMAND,
+    MessageKind.BARRIER_ARRIVE: PRIORITY_DEMAND,
+    MessageKind.BARRIER_RELEASE: PRIORITY_DEMAND,
+    MessageKind.ACK: PRIORITY_DEMAND,
+    MessageKind.HEARTBEAT: PRIORITY_NOTICE,
+    MessageKind.FT_DOWN: PRIORITY_NOTICE,
+    MessageKind.FT_UP: PRIORITY_NOTICE,
+    MessageKind.FT_REJOIN: PRIORITY_NOTICE,
+    MessageKind.PREFETCH_REQUEST: PRIORITY_PREFETCH,
+    MessageKind.PREFETCH_REPLY: PRIORITY_PREFETCH,
+}
+
+
 @dataclass(slots=True)
 class Message:
     """A single datagram between two nodes.
@@ -110,12 +146,24 @@ class Message:
     sent_at: float = -1.0
     delivered_at: float = -1.0
     corrupted: bool = False
+    #: Backpressure class (PRIORITY_*): defaults from the kind, may be
+    #: tagged explicitly at construction.  -1 = derive from kind.
+    priority: int = -1
+    #: Which transmission attempt this wire copy is (1 = first flight).
+    #: Stamped per copy by the adaptive transport and echoed back in
+    #: the ack, pinning the ack to one copy — TCP timestamps in
+    #: miniature, so retransmitted messages still yield unambiguous
+    #: round-trip samples.  0 = untagged (static transport, untracked
+    #: datagrams); :meth:`clone` resets it, each copy stamps its own.
+    attempt: int = 0
 
     def __post_init__(self) -> None:
         if self.src == self.dst:
             raise ValueError(f"message to self: node {self.src}")
         if self.size_bytes < 0:
             raise ValueError(f"negative message size: {self.size_bytes}")
+        if self.priority < 0:
+            self.priority = _DEFAULT_PRIORITY[self.kind]
 
     def clone(self) -> "Message":
         """A fresh wire copy (new msg_id, clean timestamps).
@@ -133,6 +181,7 @@ class Message:
             reliable=self.reliable,
             seq=self.seq,
             incarnation=self.incarnation,
+            priority=self.priority,
         )
 
     @property

@@ -10,7 +10,11 @@ The reliability layers add two more families of counters:
   the fault-injection layer per fault kind (drop, duplicate, delay,
   degrade, stall, partition, corrupt) and message kind;
 - *retransmissions* (:meth:`TrafficStats.record_retransmit`), recorded
-  by the reliable transport whenever a timeout forces a resend.
+  by the reliable transport whenever a timeout forces a resend;
+- *backpressure* (:meth:`TrafficStats.record_paced` and
+  :meth:`TrafficStats.record_shed`), recorded by the adaptive transport
+  when a send is deferred into the pacing queue and by the prefetch
+  engine when a speculative request is shed at the source.
 
 :meth:`TrafficStats.kind_breakdown` flattens everything into one
 per-kind table, so experiment output can separate prefetch-drop
@@ -44,6 +48,10 @@ class TrafficStats:
     injected_by_fault: dict[str, dict[MessageKind, int]] = field(
         default_factory=lambda: defaultdict(lambda: defaultdict(int))
     )
+    #: Sends deferred by the adaptive transport's pacing queue.
+    paced_by_kind: dict[MessageKind, int] = field(default_factory=lambda: defaultdict(int))
+    #: Speculative messages shed at the source under backpressure.
+    shed_by_kind: dict[MessageKind, int] = field(default_factory=lambda: defaultdict(int))
 
     def record_send(self, message: Message) -> None:
         self.messages_by_kind[message.kind] += 1
@@ -61,6 +69,13 @@ class TrafficStats:
 
     def record_injected(self, fault: str, message: Message) -> None:
         self.injected_by_fault[fault][message.kind] += 1
+
+    def record_paced(self, message: Message) -> None:
+        self.paced_by_kind[message.kind] += 1
+
+    def record_shed(self, kind: MessageKind) -> None:
+        """Shed messages never exist as objects — recorded by kind."""
+        self.shed_by_kind[kind] += 1
 
     # -- aggregates -------------------------------------------------------
 
@@ -84,6 +99,14 @@ class TrafficStats:
     def total_injected_faults(self) -> int:
         return sum(sum(by_kind.values()) for by_kind in self.injected_by_fault.values())
 
+    @property
+    def total_paced(self) -> int:
+        return sum(self.paced_by_kind.values())
+
+    @property
+    def total_shed(self) -> int:
+        return sum(self.shed_by_kind.values())
+
     def injected_count(self, fault: str) -> int:
         return sum(self.injected_by_fault.get(fault, {}).values())
 
@@ -105,6 +128,8 @@ class TrafficStats:
             self.delivered_by_kind,
             self.drops_by_kind,
             self.retransmits_by_kind,
+            self.paced_by_kind,
+            self.shed_by_kind,
         ):
             kinds.update(counters)
         for by_kind in self.injected_by_fault.values():
@@ -123,6 +148,14 @@ class TrafficStats:
                 count = self.injected_by_fault.get(fault, {}).get(kind, 0)
                 if count:
                     row[f"injected_{fault}s"] = count
+            # Backpressure columns appear only when nonzero (like the
+            # injected-fault columns): static runs stay byte-identical.
+            paced = self.paced_by_kind.get(kind, 0)
+            if paced:
+                row["paced"] = paced
+            shed = self.shed_by_kind.get(kind, 0)
+            if shed:
+                row["shed"] = shed
             table[kind.value] = row
         return table
 

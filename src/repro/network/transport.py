@@ -23,20 +23,55 @@ relying on the link model's "reliable messages are never lost" magic.
 Prefetch traffic (``reliable=False``) deliberately bypasses the
 transport — the paper drops prefetches rather than retransmit them.
 
+Adaptive mode (``TransportConfig.adaptive``) replaces the static
+timeout/retry policy with a feedback-driven one, per peer:
+
+- **RTT estimation** — SRTT/RTTVAR via Jacobson's algorithm, giving
+  ``RTO = SRTT + 4*RTTVAR`` clamped to ``[min_rto_us, max_rto_us]``.
+  Each wire copy is stamped with its attempt number and the ack echoes
+  it back (TCP timestamps in miniature), so even retransmitted
+  messages yield unambiguous samples; echo-less acks fall back to
+  Karn's rule (sample only single-flight frames).  A degraded link
+  inflates the RTO instead of provoking spurious retransmits; a
+  healthy one converges near the true round trip.
+- **AIMD congestion control** — at most ``cwnd`` messages are in
+  flight per peer: a timeout halves the window, a clean ack grows it
+  additively.  Excess sends wait in a deterministic pacing queue,
+  drained in priority order (demand before notices; prefetch traffic
+  never reaches the transport — the prefetch engine sheds it at the
+  source under pressure, see :mod:`repro.prefetch.engine`).
+- **Deadline give-up** — a message is abandoned once it has been
+  unacked for ``give_up_us`` (wall deadline, not a retry count);
+  parked messages toward a live, unfenced peer are re-probed so a
+  transient partition that never matured into a fence cannot strand
+  them forever.
+
+With ``adaptive=False`` (the default) every code path, RNG draw and
+timer computation is identical to the static transport, so reports are
+byte-identical to runs that predate the adaptive layer.
+
 CPU accounting: initial sends are charged by the caller as before;
 retransmissions and acks charge ``msg_send_cpu`` at handler priority,
 so reliability overhead shows up in the DSM share of the breakdown.
+(A pacing-queue drain injects the already-paid-for datagram without a
+second send charge: the CPU cost was spent preparing the message at
+``send_tracked`` time; only its NIC injection was deferred.)
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Generator
+from typing import TYPE_CHECKING, Generator, Optional
 
 import numpy as np
 
 from repro.errors import ConfigError
-from repro.network.message import Message, MessageKind
+from repro.network.message import (
+    Message,
+    MessageKind,
+    PRIORITY_NOTICE,
+)
 from repro.metrics.counters import Category
 from repro.sim import spawn
 
@@ -60,11 +95,16 @@ class TransportConfig:
 
     #: Base retransmission timeout.  Generous relative to the fabric's
     #: RTT (a 4 KB diff costs ~230 us of serialization each way) so a
-    #: fault-free run never retransmits spuriously.
+    #: fault-free run never retransmits spuriously.  In adaptive mode
+    #: this is only the *initial* RTO, replaced by the Jacobson
+    #: estimate after the first clean sample.
     timeout_us: float = 10_000.0
     #: Multiplier applied to the timeout after every expiry.
     backoff: float = 2.0
     #: Retransmissions per message before the transport gives up on it.
+    #: (Adaptive mode gives up on the ``give_up_us`` deadline instead;
+    #: the retry count remains a backstop for checkpoint-restored
+    #: pendings whose original send time predates the rollback.)
     max_retries: int = 10
     #: Timeout jitter: each timer is stretched by up to this fraction,
     #: drawn from the experiment's seeded RNG (decorrelates senders).
@@ -75,8 +115,80 @@ class TransportConfig:
     #: than the horizon would be re-delivered — the window must exceed
     #: the per-link pipeline depth (a handful of messages) plus any
     #: parked-and-revived backlog, which the default covers by orders of
-    #: magnitude.
+    #: magnitude.  This config field is the single source of truth:
+    #: :meth:`_ReceiveWindow.accept` takes it as a required argument.
     dedup_window: int = 4096
+    #: Enable the adaptive layer: RTT-estimated RTO, AIMD windowing,
+    #: pacing, and deadline-based give-up.  Off by default — the static
+    #: path is byte-identical to the pre-adaptive transport.
+    adaptive: bool = False
+    #: RTO clamp floor (adaptive): the estimator never retransmits
+    #: faster than this, whatever the variance says.  The floor must
+    #: cover the fabric's benign queuing tail (an ack serialized behind
+    #: a multi-KB diff transfer), not just the smoothed RTT — variance
+    #: decays between rare spikes, so ``SRTT + 4*RTTVAR`` alone would
+    #: retransmit spuriously on a clean fabric.
+    min_rto_us: float = 5_000.0
+    #: RTO clamp ceiling (adaptive): also caps the per-attempt backoff,
+    #: so a degraded peer is probed at least this often.  The ceiling
+    #: bounds the worst post-heal wait after an outage (a retry timer
+    #: armed just before the fabric heals burns at most one ceiling
+    #: before probing again), so it is set as low as the slowest
+    #: *learnable* fabric allows: it must stay above the estimator's
+    #: converged RTO on the committed degraded fabric (~15 ms each way
+    #: -> ~35-40 ms RTO), or every message there would retransmit
+    #: spuriously forever.
+    max_rto_us: float = 45_000.0
+    #: Initial AIMD window, in messages, per peer (adaptive).
+    cwnd_init: int = 4
+    #: AIMD window ceiling (adaptive); also the bound the chaos
+    #: harness's bounded-in-flight invariant checks against.
+    cwnd_max: int = 64
+    #: Unacked-age deadline after which an adaptive transport abandons
+    #: a message (parks it and reports the peer to ``on_give_up``).
+    #: With the park probe below, the deadline is the cadence at which
+    #: an unreachable peer is re-probed *and* re-reported — shorter
+    #: means faster post-outage recovery (park -> short probe beats
+    #: riding out a fully backed-off ladder) at the cost of more
+    #: suspicion reports during a real outage.
+    give_up_us: float = 100_000.0
+    #: Parked messages toward a live, unfenced peer are re-probed this
+    #: long after the give-up (adaptive): a partition that healed
+    #: before any fence/rejoin cycle must not strand them forever.
+    #: Deliberately short (the RTO floor): toward a peer that still
+    #: looks alive, a park is then just one more ladder step with a
+    #: fresh give-up deadline — the ``on_give_up`` suspicion report
+    #: still fires every deadline burn — while dead or fenced peers
+    #: are guarded by the probe's down/fenced check and stay parked
+    #: for rollback/rejoin.  A long interval here would turn every
+    #: post-heal park into a stall an order of magnitude above the
+    #: RTO ceiling.
+    park_probe_us: float = 5_000.0
+    #: Receiver-pressure signal (adaptive): a peer whose current RTO
+    #: has inflated to at least this multiple of what the estimator
+    #: alone would set is reported congested to
+    #: :meth:`ReliableTransport.under_pressure` (the prefetch engine
+    #: sheds speculative traffic on it).  Measuring *retained backoff*
+    #: — not the RTO's absolute value — separates congestion from a
+    #: fabric that is merely slow: a sustained latency shift re-derives
+    #: the RTO from clean samples (no backoff retained, no pressure),
+    #: while loss or an outage walks the RTO up multiplicatively past
+    #: the estimate.  The default fires after one retained doubling.
+    pressure_rtt_factor: float = 2.0
+    #: Headroom multiplier over the decayed peak RTT (adaptive).  The
+    #: RTO must cover the recent *tail* of the RTT distribution, and
+    #: ``SRTT + 4*RTTVAR`` structurally underestimates it when spikes
+    #: are bursty: the variance term decays between bursts, so the
+    #: second burst retransmits spuriously even though the first one
+    #: was observed in full.  A decaying per-peer maximum — the same
+    #: max-filter idea BBR applies to its bandwidth estimate — keeps
+    #: the RTO above recently seen worst-case round trips.
+    peak_margin: float = 1.25
+    #: Per-sample decay of the peak-RTT filter.  After a degradation
+    #: episode ends, a few dozen clean samples walk the peak back down
+    #: so both the RTO and the pressure signal recover instead of
+    #: remembering the worst round trip forever.
+    peak_decay: float = 0.95
 
     def __post_init__(self) -> None:
         if self.timeout_us <= 0:
@@ -89,6 +201,33 @@ class TransportConfig:
             raise ConfigError(f"jitter_frac must be in [0, 1], got {self.jitter_frac}")
         if self.dedup_window < 1:
             raise ConfigError(f"dedup_window must be >= 1, got {self.dedup_window}")
+        if self.min_rto_us <= 0 or self.max_rto_us < self.min_rto_us:
+            raise ConfigError(
+                f"need 0 < min_rto_us <= max_rto_us, got "
+                f"{self.min_rto_us}/{self.max_rto_us}"
+            )
+        if self.cwnd_init < 1 or self.cwnd_max < self.cwnd_init:
+            raise ConfigError(
+                f"need 1 <= cwnd_init <= cwnd_max, got "
+                f"{self.cwnd_init}/{self.cwnd_max}"
+            )
+        if self.give_up_us <= 0:
+            raise ConfigError(f"give_up_us must be positive, got {self.give_up_us}")
+        if self.park_probe_us <= 0:
+            raise ConfigError(f"park_probe_us must be positive, got {self.park_probe_us}")
+        if self.pressure_rtt_factor < 1.0:
+            raise ConfigError(
+                f"pressure_rtt_factor must be >= 1, got {self.pressure_rtt_factor}"
+            )
+        if self.peak_margin < 1.0:
+            raise ConfigError(f"peak_margin must be >= 1, got {self.peak_margin}")
+        if not 0.0 < self.peak_decay < 1.0:
+            raise ConfigError(f"peak_decay must be in (0, 1), got {self.peak_decay}")
+
+    @property
+    def initial_rto_us(self) -> float:
+        """The adaptive estimator's pre-sample RTO (clamped base timeout)."""
+        return min(self.max_rto_us, max(self.min_rto_us, self.timeout_us))
 
 
 @dataclass
@@ -112,6 +251,24 @@ class TransportStats:
     retries_exhausted: dict[str, int] = field(default_factory=dict)
     #: Parked messages put back in flight after a peer rejoined.
     revived: int = 0
+    # Adaptive-layer counters (all zero with adaptive off).
+    #: Sends deferred into the pacing queue by a full AIMD window.
+    paced: int = 0
+    #: Clean (Karn-admissible) RTT samples folded into the estimator.
+    rtt_samples: int = 0
+    #: AIMD multiplicative decreases (one per retransmission timeout).
+    cwnd_halvings: int = 0
+    #: High-water mark of per-peer in-flight unacked messages.
+    max_in_flight: int = 0
+    #: Parked messages re-flighted by the park probe (peer still live).
+    park_probes: int = 0
+    #: Retained-backoff retransmissions cut short by liveness evidence
+    #: (an arrival from the peer while a pending sat on a backed-off
+    #: timer; see :meth:`ReliableTransport._on_peer_evidence`).
+    fast_reflights: int = 0
+    #: Timeouts later proven spurious by an ack of a pre-retransmission
+    #: copy (the Eifel undo reverts their AIMD halvings).
+    spurious_timeouts: int = 0
 
 
 @dataclass
@@ -122,9 +279,43 @@ class _Pending:
     attempts: int = 1
     #: Bumped on every (re)send and on ack; stale timers check it.
     epoch: int = 0
-    #: First transmission time (profiling; -1 for pendings restored from
-    #: a checkpoint, whose original send predates the rollback).
+    #: First transmission time (profiling and RTT sampling; -1 for
+    #: pendings never transmitted yet — pacing-queued — or restored
+    #: from a checkpoint, whose original send predates the rollback,
+    #: and for revived re-flights, which Karn's rule excludes anyway).
     first_sent_at: float = -1.0
+    #: Adaptive give-up deadline (absolute sim time; -1 = use the
+    #: static retry-count policy).
+    deadline_at: float = -1.0
+    #: Transmission time of each wire copy, keyed by attempt number.
+    #: The ack's attempt echo looks up the matching copy here, turning
+    #: every ack — retransmitted messages included — into an exact
+    #: round-trip sample.  Cleared on park/revive (fresh flights).
+    send_times: dict[int, float] = field(default_factory=dict)
+    #: AIMD halvings this message's timeouts caused, undone if the ack
+    #: proves them spurious (see the Eifel undo in ``_on_ack``).
+    halved: int = 0
+
+
+@dataclass
+class _PeerState:
+    """Adaptive estimator + congestion state toward one destination."""
+
+    srtt: float = -1.0  # -1 until the first Karn-clean sample
+    rttvar: float = 0.0
+    rto: float = 0.0
+    #: Smallest clean sample ever (the RTT-inflation baseline).
+    min_rtt: float = -1.0
+    #: Decaying maximum of recent samples (the burst tail the RTO must
+    #: cover; see ``TransportConfig.peak_margin``).
+    peak_rtt: float = 0.0
+    cwnd: float = 1.0
+    in_flight: int = 0
+    #: Pacing queues by priority class (demand, then notices).  Keys
+    #: are (dst, seq); ``queued`` is the membership set so an ack or a
+    #: park can lazily remove an entry without a deque scan.
+    queues: tuple[deque, deque] = field(default_factory=lambda: (deque(), deque()))
+    queued: set[tuple[int, int]] = field(default_factory=set)
 
 
 @dataclass
@@ -144,8 +335,13 @@ class _ReceiveWindow:
     #: Highest seq ever seen from this peer (drives the GC horizon).
     high: int = -1
 
-    def accept(self, seq: int, window: int = 4096) -> bool:
-        """Record ``seq``; True if this is its first arrival."""
+    def accept(self, seq: int, window: int) -> bool:
+        """Record ``seq``; True if this is its first arrival.
+
+        ``window`` is the caller's ``TransportConfig.dedup_window`` —
+        deliberately not defaulted here, so the config stays the single
+        source of truth for the horizon.
+        """
         if seq <= self.upto or seq in self.above:
             return False
         self.above.add(seq)
@@ -190,6 +386,7 @@ class ReliableTransport:
         else:
             self._random = rng
             self._shared_rng = None
+        self._adaptive = config.adaptive
         self._next_seq: dict[int, int] = {}  # destination -> next seq
         self._pending: dict[tuple[int, int], _Pending] = {}  # (dst, seq) -> state
         #: Messages abandoned after max_retries, keyed like _pending.
@@ -198,6 +395,8 @@ class ReliableTransport:
         #: did land before the give-up).
         self._parked: dict[tuple[int, int], _Pending] = {}
         self._windows: dict[int, _ReceiveWindow] = {}  # source -> dedup state
+        #: Adaptive per-destination estimator/window state.
+        self._peers: dict[int, _PeerState] = {}
         #: Source of timer epochs.  Transport-wide and monotonic — never
         #: rolled back — so timers armed before a crash rollback can
         #: never match a pending restored after it.
@@ -205,6 +404,10 @@ class ReliableTransport:
         #: Called as ``on_give_up(dst, message)`` when retries run out
         #: (wired to the failure detector's suspicion path under FT).
         self.on_give_up = None
+
+    @property
+    def adaptive(self) -> bool:
+        return self._adaptive
 
     # -- sender side -------------------------------------------------------
 
@@ -214,11 +417,28 @@ class ReliableTransport:
         Called by :meth:`Node.send_message` after the send CPU cost has
         been charged.  The message leaves as a droppable datagram; the
         transport guarantees (eventual) delivery, not this transmission.
+        In adaptive mode a full congestion window defers the actual
+        transmission into the pacing queue instead.
         """
         seq = self._next_seq.get(message.dst, 0)
         self._next_seq[message.dst] = seq + 1
         message.seq = seq
         message.reliable = False
+        if self._adaptive:
+            pending = _Pending(message, deadline_at=self.sim.now + self.config.give_up_us)
+            self._pending[(message.dst, seq)] = pending
+            self.stats.data_sent += 1
+            peer = self._peer(message.dst)
+            if peer.in_flight >= int(peer.cwnd):
+                self._enqueue(peer, message.dst, seq, pending)
+                return True
+            self._admit(peer)
+            pending.first_sent_at = self.sim.now
+            message.attempt = 1
+            pending.send_times[1] = self.sim.now
+            self.network.send(message)
+            self._arm_timer(message.dst, seq, pending)
+            return True
         pending = _Pending(message, first_sent_at=self.sim.now)
         self._pending[(message.dst, seq)] = pending
         self.stats.data_sent += 1
@@ -226,13 +446,105 @@ class ReliableTransport:
         self._arm_timer(message.dst, seq, pending)
         return True
 
+    def _peer(self, dst: int) -> _PeerState:
+        peer = self._peers.get(dst)
+        if peer is None:
+            # The peak filter starts pessimistic — the tail is assumed
+            # as bad as the initial RTO until samples decay it down —
+            # so a first burst toward a freshly warmed-up peer (low
+            # SRTT, but incast queuing an order of magnitude above it)
+            # is covered without spurious retransmissions.
+            peer = _PeerState(
+                rto=self.config.initial_rto_us,
+                cwnd=float(self.config.cwnd_init),
+                peak_rtt=self.config.initial_rto_us / self.config.peak_margin**2,
+            )
+            self._peers[dst] = peer
+        return peer
+
+    def _admit(self, peer: _PeerState) -> None:
+        peer.in_flight += 1
+        if peer.in_flight > self.stats.max_in_flight:
+            self.stats.max_in_flight = peer.in_flight
+
+    def _enqueue(self, peer: _PeerState, dst: int, seq: int, pending: _Pending) -> None:
+        """Defer a transmission until the AIMD window opens (adaptive)."""
+        prio = min(pending.message.priority, PRIORITY_NOTICE)
+        peer.queues[prio].append((dst, seq))
+        peer.queued.add((dst, seq))
+        self.stats.paced += 1
+        self.node.events.messages_paced += 1
+        self.network.stats.record_paced(pending.message)
+        if self.sim.profile_on:
+            self.sim.profile.count(self.node.node_id, "transport_paced")
+        if self.sim.trace_on:
+            self.sim.trace.instant(
+                self.sim.now,
+                "transport",
+                "transport_paced",
+                self.node.node_id,
+                dst=dst,
+                seq=seq,
+                priority=pending.message.priority,
+                kind=pending.message.kind.value,
+            )
+
+    def _dequeue(self, peer: _PeerState) -> Optional[tuple[int, int]]:
+        for queue in peer.queues:
+            while queue:
+                key = queue.popleft()
+                if key in peer.queued:
+                    peer.queued.discard(key)
+                    return key
+        return None
+
+    def _drain(self, dst: int, peer: _PeerState) -> None:
+        """Transmit paced messages while the window has room (adaptive)."""
+        while peer.in_flight < int(peer.cwnd):
+            key = self._dequeue(peer)
+            if key is None:
+                return
+            pending = self._pending.get(key)
+            if pending is None:
+                continue
+            self._admit(peer)
+            message = pending.message
+            if message.sent_at >= 0:
+                # A revived re-flight that queued: each wire copy owns
+                # its timestamps, and Karn's rule already excludes it
+                # from sampling (first_sent_at stays -1).
+                message = message.clone()
+                self.stats.retransmissions += 1
+                self.node.events.retransmissions += 1
+                self.network.stats.record_retransmit(message)
+            else:
+                pending.first_sent_at = self.sim.now
+            message.attempt = pending.attempts
+            pending.send_times[pending.attempts] = self.sim.now
+            # The give-up clock starts at transmission, not at enqueue:
+            # a message that sat out an outage in the pacing queue gets
+            # its full deadline on the wire, instead of parking on its
+            # first timeout after the fabric already healed.
+            pending.deadline_at = self.sim.now + self.config.give_up_us
+            self.network.send(message)
+            self._arm_timer(key[0], key[1], pending)
+
     def _jitter_rng(self, dst: int) -> np.random.Generator:
         if self._random is None:
             return self._shared_rng
         return self._random.stream(f"transport[{self.node.node_id}->{dst}]")
 
     def _timeout_us(self, dst: int, attempts: int) -> float:
-        base = self.config.timeout_us * self.config.backoff ** (attempts - 1)
+        if self._adaptive:
+            # The peer RTO alone — every timeout already multiplies it
+            # by ``backoff`` (Karn retention in :meth:`_on_timeout`), so
+            # stacking an attempts exponent on top would back off
+            # *doubly*: the ladder would blow past the give-up deadline
+            # during an outage the singly-backed-off ladder (capped at
+            # ``max_rto_us``) rides out and delivers through.
+            base = min(self.config.max_rto_us, self._peer(dst).rto)
+        else:
+            base = self.config.timeout_us * self.config.backoff ** (attempts - 1)
         jitter = 1.0 + self.config.jitter_frac * float(self._jitter_rng(dst).random())
         return base * jitter
 
@@ -242,6 +554,11 @@ class ReliableTransport:
         self.sim.schedule(
             self._timeout_us(dst, pending.attempts), self._on_timeout, dst, seq, pending.epoch
         )
+
+    def _give_up_due(self, pending: _Pending) -> bool:
+        if self._adaptive and pending.deadline_at >= 0:
+            return self.sim.now >= pending.deadline_at
+        return pending.attempts > self.config.max_retries
 
     def _on_timeout(self, dst: int, seq: int, epoch: int) -> None:
         pending = self._pending.get((dst, seq))
@@ -262,7 +579,7 @@ class ReliableTransport:
                 kind=pending.message.kind.value,
                 msg=f"m{pending.message.msg_id}",
             )
-        if pending.attempts > self.config.max_retries:
+        if self._give_up_due(pending):
             # Give up gracefully: the message is parked, the give-up is
             # recorded, and the peer is reported as suspect.  Raising
             # here would unwind the whole simulation out of a timer
@@ -294,9 +611,45 @@ class ReliableTransport:
                     attempts=pending.attempts,
                     kind=kind,
                 )
+            if self._adaptive:
+                peer = self._peer(dst)
+                peer.in_flight = max(0, peer.in_flight - 1)
+                # A give-up must never leave a fenced-in pacing backlog
+                # behind: the freed window slot re-flights the queue.
+                self._drain(dst, peer)
+                # Self-healing probe: a partition can heal before any
+                # fence (so no rejoin ever revives this message).  The
+                # probe re-flights it if the peer still looks alive;
+                # crashed/fenced peers are left to rollback/rejoin.
+                self.sim.schedule(
+                    self.config.park_probe_us, self._probe_parked, dst, seq
+                )
             if self.on_give_up is not None:
                 self.on_give_up(dst, message)
             return
+        if self._adaptive:
+            peer = self._peer(dst)
+            peer.cwnd = max(1.0, peer.cwnd / 2.0)
+            pending.halved += 1
+            self.stats.cwnd_halvings += 1
+            # Karn's other half: the backed-off RTO is retained for
+            # subsequent messages until a fresh clean sample replaces
+            # it.  Without this, a latency jump above the estimate
+            # strands the estimator — every message gets retransmitted,
+            # Karn's rule rejects every sample, and the RTO never
+            # learns.  With it, a few timeouts walk the peer RTO up
+            # past the new RTT, the next message survives un-resent,
+            # and its sample re-seeds the estimator at the true value.
+            peer.rto = min(self.config.max_rto_us, peer.rto * self.config.backoff)
+            if self.sim.trace_on:
+                self.sim.trace.instant(
+                    self.sim.now,
+                    "transport",
+                    "cwnd_halved",
+                    self.node.node_id,
+                    dst=dst,
+                    cwnd=round(peer.cwnd, 3),
+                )
         pending.attempts += 1
         # Re-arm before the resend process runs: a retransmission stuck
         # behind a busy CPU must still be covered by a live timer.
@@ -342,7 +695,107 @@ class ReliableTransport:
                 msg=f"m{copy.msg_id}",
             )
         self.network.stats.record_retransmit(copy)
+        if self._adaptive:
+            copy.attempt = pending.attempts
+            pending.send_times[pending.attempts] = self.sim.now
         self.network.send(copy)
+
+    def _probe_parked(self, dst: int, seq: int) -> None:
+        """Adaptive park probe: re-flight a give-up whose peer is alive.
+
+        Fenced peers are revived by the membership layer's rejoin, and
+        crashed peers by checkpoint rollback — the probe covers the gap
+        between them: a peer that was unreachable long enough to burn
+        the give-up deadline but came back before any fence.
+        """
+        if (dst, seq) not in self._parked:
+            return
+        if self.network.is_down(dst) or self.network.is_fenced(dst):
+            return
+        self.stats.park_probes += 1
+        if self.sim.trace_on:
+            self.sim.trace.instant(
+                self.sim.now, "transport", "park_probe", self.node.node_id, dst=dst, seq=seq
+            )
+        self._revive_keys(dst, [(dst, seq)])
+
+    def _on_peer_evidence(self, src: int) -> None:
+        """Adaptive fast re-flight: an arrival from ``src`` proves the
+        path to it works *now*.
+
+        During an outage the retained Karn backoff walks the peer RTO to
+        its ceiling, so pendings sent just before the fabric healed sit
+        on ceiling-length timers while a static transport's fresh exponential
+        ladder would have recovered in a fraction of that.  Evidence of
+        liveness cuts the wait: pendings that have gone unacked longer
+        than the *estimator's* RTO (the retained backoff excluded) are
+        retransmitted immediately, and parked give-ups toward the peer
+        are revived without waiting for the park probe.  On a clean
+        fabric the retained RTO equals the estimator's and this is a
+        no-op; after a re-flight the pending's fresh send time keeps
+        subsequent arrivals from re-triggering, so there is no storm.
+        """
+        if not self._adaptive:
+            return
+        if self.network.is_down(src) or self.network.is_fenced(src):
+            return  # revival of those belongs to rollback/rejoin
+        parked = sorted(key for key in self._parked if key[0] == src)
+        if parked:
+            self.stats.park_probes += len(parked)
+            self._revive_keys(src, parked)
+        peer = self._peers.get(src)
+        if peer is None:
+            return
+        est = self._estimator_rto(peer)
+        if peer.rto <= est:
+            return  # no retained backoff to cut
+        for key in sorted(self._pending):
+            if key[0] != src:
+                continue
+            pending = self._pending[key]
+            if key in peer.queued:
+                continue  # pacing-queued, not on the wire
+            last = max(pending.send_times.values(), default=pending.first_sent_at)
+            if last < 0 or self.sim.now - last < est:
+                continue
+            self.stats.fast_reflights += 1
+            pending.attempts += 1
+            self._arm_timer(src, key[1], pending)
+            spawn(
+                self.sim,
+                self._retransmit(src, key[1]),
+                name=f"reflight[{self.node.node_id}]",
+                group=f"node{self.node.node_id}",
+            )
+
+    def _revive_keys(self, dst: int, keys: list[tuple[int, int]]) -> int:
+        """Re-flight parked messages (shared by revive and the probe)."""
+        for key in keys:
+            pending = self._parked.pop(key)
+            pending.attempts = 1
+            self._pending[key] = pending
+            if self._adaptive:
+                # A fresh give-up deadline and a clean attempt ledger:
+                # the revived flight re-numbers from attempt 1, and any
+                # straggler ack of a pre-park copy must not be allowed
+                # to match a stale send time.
+                pending.first_sent_at = -1.0
+                pending.send_times.clear()
+                pending.halved = 0
+                pending.deadline_at = self.sim.now + self.config.give_up_us
+                peer = self._peer(dst)
+                if peer.in_flight >= int(peer.cwnd):
+                    self._enqueue(peer, dst, key[1], pending)
+                    continue
+                self._admit(peer)
+            self._arm_timer(dst, key[1], pending)
+            spawn(
+                self.sim,
+                self._retransmit(dst, key[1]),
+                name=f"revive[{self.node.node_id}]",
+                group=f"node{self.node.node_id}",
+            )
+        return len(keys)
 
     def revive(self, dst: int) -> int:
         """Put every message parked for ``dst`` back in flight.
@@ -356,19 +809,9 @@ class ReliableTransport:
         re-acks the ones that did land before the partition.
         """
         keys = sorted(key for key in self._parked if key[0] == dst)
-        for key in keys:
-            pending = self._parked.pop(key)
-            pending.attempts = 1
-            self._pending[key] = pending
-            self._arm_timer(dst, key[1], pending)
-            spawn(
-                self.sim,
-                self._retransmit(dst, key[1]),
-                name=f"revive[{self.node.node_id}]",
-                group=f"node{self.node.node_id}",
-            )
-        self.stats.revived += len(keys)
-        return len(keys)
+        revived = self._revive_keys(dst, keys)
+        self.stats.revived += revived
+        return revived
 
     def revive_all(self) -> int:
         """Revive every parked message (the parking node itself rejoined:
@@ -377,6 +820,114 @@ class ReliableTransport:
         for dst in sorted({key[0] for key in self._parked}):
             total += self.revive(dst)
         return total
+
+    # -- adaptive estimator ------------------------------------------------
+
+    def _estimator_rto(self, peer: _PeerState) -> float:
+        """The clamped Jacobson RTO, ignoring any retained backoff.
+
+        The peak-RTT term handles bursty queuing tails (an all-to-all
+        exchange phase serializes replies at the responder, so round
+        trips spike an order of magnitude above SRTT): Jacobson's
+        variance decays between bursts, but the decayed-maximum filter
+        remembers the tail long enough to cover the next one.
+        """
+        if peer.srtt < 0:
+            return self.config.initial_rto_us
+        return min(
+            self.config.max_rto_us,
+            max(
+                self.config.min_rto_us,
+                peer.srtt + 4.0 * peer.rttvar,
+                self.config.peak_margin * peer.peak_rtt,
+            ),
+        )
+
+    def _rtt_sample(self, dst: int, peer: _PeerState, sample: float) -> None:
+        """Fold one Karn-clean ack round trip into Jacobson's estimator."""
+        self.stats.rtt_samples += 1
+        if peer.srtt < 0:
+            peer.srtt = sample
+            peer.rttvar = sample / 2.0
+        else:
+            peer.rttvar = 0.75 * peer.rttvar + 0.25 * abs(peer.srtt - sample)
+            peer.srtt = 0.875 * peer.srtt + 0.125 * sample
+        if peer.min_rtt < 0 or sample < peer.min_rtt:
+            peer.min_rtt = sample
+        peer.peak_rtt = max(sample, peer.peak_rtt * self.config.peak_decay)
+        peer.rto = self._estimator_rto(peer)
+        if self.sim.profile_on:
+            pf = self.sim.profile
+            pf.observe(self.node.node_id, "transport_rtt_us", sample)
+            pf.observe(self.node.node_id, "transport_rto_us", peer.rto)
+        if self.sim.trace_on:
+            self.sim.trace.instant(
+                self.sim.now,
+                "transport",
+                "rto_update",
+                self.node.node_id,
+                dst=dst,
+                sample_us=round(sample, 3),
+                srtt_us=round(peer.srtt, 3),
+                rttvar_us=round(peer.rttvar, 3),
+                rto_us=round(peer.rto, 3),
+            )
+
+    def under_pressure(self, dst: int) -> bool:
+        """Backpressure signal for speculative senders (prefetch).
+
+        True while the adaptive layer sees congestion toward ``dst``:
+        either the AIMD window is saturated with a pacing backlog, or
+        the peer is carrying retained timeout backoff — its RTO has
+        been walked multiplicatively past what the estimator alone
+        would set (loss or an outage does that; a fabric that is
+        merely *slow* does not, because clean samples keep re-deriving
+        the RTO, so speculative traffic is not shed just for latency).
+        Always False with the adaptive layer off (the legacy
+        drop-streak throttle applies instead).
+        """
+        if not self._adaptive:
+            return False
+        peer = self._peers.get(dst)
+        if peer is None:
+            return False
+        if peer.queued:
+            return True
+        return peer.rto >= self.config.pressure_rtt_factor * self._estimator_rto(peer)
+
+    def health_snapshot(self) -> dict:
+        """Adaptive-layer health for ``RunReport.transport_health``.
+
+        Keys are JSON-safe (peer ids as strings); values are rounded so
+        the section is stable under serialization.
+        """
+        peers = {}
+        for dst in sorted(self._peers):
+            peer = self._peers[dst]
+            peers[str(dst)] = {
+                "srtt_us": round(peer.srtt, 3),
+                "rttvar_us": round(peer.rttvar, 3),
+                "rto_us": round(peer.rto, 3),
+                "cwnd": round(peer.cwnd, 3),
+                "in_flight": peer.in_flight,
+                "queued": len(peer.queued),
+            }
+        parked_by_peer: dict[str, int] = {}
+        for dst, _seq in sorted(self._parked):
+            parked_by_peer[str(dst)] = parked_by_peer.get(str(dst), 0) + 1
+        return {
+            "peers": peers,
+            "parked_by_peer": parked_by_peer,
+            "unacked": len(self._pending),
+            "pacing_backlog": sum(len(p.queued) for p in self._peers.values()),
+            "max_in_flight": self.stats.max_in_flight,
+            "paced": self.stats.paced,
+            "rtt_samples": self.stats.rtt_samples,
+            "cwnd_halvings": self.stats.cwnd_halvings,
+            "park_probes": self.stats.park_probes,
+            "fast_reflights": self.stats.fast_reflights,
+            "spurious_timeouts": self.stats.spurious_timeouts,
+        }
 
     # -- receiver side -----------------------------------------------------
 
@@ -390,7 +941,11 @@ class ReliableTransport:
         """
         if message.kind is MessageKind.ACK:
             self._on_ack(message)
+            self._on_peer_evidence(message.src)
             return False
+        # Every arrival — heartbeat, datagram, data — is liveness
+        # evidence for its sender (see _on_peer_evidence).
+        self._on_peer_evidence(message.src)
         if message.seq < 0:
             return True  # untracked datagram (prefetch traffic)
         window = self._windows.setdefault(message.src, _ReceiveWindow())
@@ -416,6 +971,11 @@ class ReliableTransport:
         )
         self.stats.acks_sent += 1
         self.node.events.acks_sent += 1
+        ack_payload: dict = {"seq": message.seq}
+        if message.attempt:
+            # Echo which wire copy is being acked (adaptive senders
+            # stamp it); static-mode acks are byte-identical without.
+            ack_payload["attempt"] = message.attempt
         self.network.send(
             Message(
                 src=self.node.node_id,
@@ -423,7 +983,7 @@ class ReliableTransport:
                 kind=MessageKind.ACK,
                 size_bytes=ACK_BYTES,
                 reliable=False,
-                payload={"seq": message.seq},
+                payload=ack_payload,
             )
         )
         return first
@@ -431,10 +991,54 @@ class ReliableTransport:
     def _on_ack(self, message: Message) -> None:
         self.stats.acks_received += 1
         key = (message.src, message.payload["seq"])
-        self._pending.pop(key, None)
+        pending = self._pending.pop(key, None)
         # A very late ack can land after the give-up: the peer did
         # receive the message, so the parked copy is obsolete.
         self._parked.pop(key, None)
+        if not self._adaptive or pending is None:
+            return
+        dst = message.src
+        peer = self._peer(dst)
+        if key in peer.queued:
+            # Acked while still pacing-queued: only possible for a
+            # revived message whose pre-park transmission was acked
+            # very late.  It never consumed a window slot.
+            peer.queued.discard(key)
+        else:
+            peer.in_flight = max(0, peer.in_flight - 1)
+            sent = pending.send_times.get(message.payload.get("attempt", 0))
+            if sent is not None:
+                # The attempt echo pins this ack to one wire copy, so
+                # the round trip is unambiguous even for retransmitted
+                # messages (where Karn's rule alone must discard the
+                # measurement).  The sample carries the disambiguation
+                # for free: a fast ack of the latest copy re-derives
+                # the RTO from the estimator after a loss episode,
+                # while a slow ack of the *first* copy measures the
+                # post-jump RTT directly and hoists the RTO past it in
+                # one update — no spurious-retransmission ladder walk.
+                self._rtt_sample(dst, peer, self.sim.now - sent)
+                if message.payload["attempt"] < pending.attempts and pending.halved:
+                    # Eifel-style undo: the ack is for an *earlier* copy
+                    # than the latest retransmission, so the message was
+                    # never lost — the timeout was spurious (an RTT jump,
+                    # not congestion) and its multiplicative decreases
+                    # are reverted.  The sample above already re-derived
+                    # the RTO from the new round trip.
+                    self.stats.spurious_timeouts += pending.halved
+                    peer.cwnd = min(
+                        float(self.config.cwnd_max),
+                        peer.cwnd * (2.0 ** pending.halved),
+                    )
+            elif pending.attempts == 1 and pending.first_sent_at >= 0:
+                # Echo-less ack (e.g. for a copy predating a checkpoint
+                # rollback): fall back to Karn's rule — only frames
+                # transmitted exactly once yield an unambiguous sample.
+                self._rtt_sample(dst, peer, self.sim.now - pending.first_sent_at)
+            if peer.cwnd < self.config.cwnd_max:
+                # Additive increase: ~one window per RTT of clean acks.
+                peer.cwnd = min(float(self.config.cwnd_max), peer.cwnd + 1.0 / peer.cwnd)
+        self._drain(dst, peer)
 
     # -- checkpoint/recovery ----------------------------------------------
 
@@ -462,7 +1066,9 @@ class ReliableTransport:
 
         Timer epochs come from ``_timer_serial``, which is *not* rolled
         back: any timer armed before the rollback can never match a
-        restored pending.
+        restored pending.  Adaptive estimator/window state is reset to
+        its initial values — it described the discarded execution — and
+        every restored pending re-enters the in-flight accounting.
         """
         self._next_seq = dict(state["next_seq"])
         self._windows = {
@@ -475,7 +1081,11 @@ class ReliableTransport:
         # checkpointed pendings below cover everything unacked at the cut.
         self._parked = {}
         self._pending = {}
+        self._peers = {}
         for (dst, seq), (message, attempts) in state["pending"].items():
             pending = _Pending(message, attempts=attempts)
+            if self._adaptive:
+                pending.deadline_at = self.sim.now + self.config.give_up_us
+                self._admit(self._peer(dst))
             self._pending[(dst, seq)] = pending
             self._arm_timer(dst, seq, pending)

@@ -74,6 +74,10 @@ class PrefetchStats:
     #: Remote prefetches withheld while the drop-driven throttle is in
     #: its cool-off window (the paper's RADIX mitigation).
     throttled: int = 0
+    #: Prefetch requests shed at the source because the adaptive
+    #: transport reported the destination under pressure (closed-loop
+    #: backpressure; zero with the adaptive layer off).
+    shed: int = 0
 
     @property
     def covered(self) -> int:
@@ -164,7 +168,26 @@ class PrefetchEngine:
             self.stats.unnecessary += 1
             yield from self.dsm.node.occupy(costs.prefetch_issue_local, Category.PREFETCH)
             return
-        if self.dsm.sim.now < self._cooloff_until:
+        transport = self.dsm.node.transport
+        if transport is not None and transport.adaptive:
+            # Closed-loop backpressure: the transport's RTT/window state
+            # replaces the hand-tuned drop cool-off.  Writers whose link
+            # shows congestion (pacing backlog or inflated SRTT) are
+            # shed — counted, never silent — and the demand fetch path
+            # (reliable, paced) covers the page if it is really needed.
+            kept = []
+            for writer in writers:
+                if transport.under_pressure(writer[0]):
+                    self._shed_request(page_id, writer[0])
+                else:
+                    kept.append(writer)
+            writers = kept
+            if not writers:
+                yield from self.dsm.node.occupy(
+                    costs.prefetch_issue_local, Category.PREFETCH
+                )
+                return
+        elif self.dsm.sim.now < self._cooloff_until:
             # The network has been dropping our requests: hold remote
             # prefetches back and let the demand fetch (reliable) do the
             # work — burning 140us per doomed request only adds load.
@@ -226,8 +249,39 @@ class PrefetchEngine:
                 # record's outstanding count classifies it "too late".
                 self._note_drop()
 
+    def _shed_request(self, page_id: int, writer: int) -> None:
+        """Count one backpressure-shed prefetch request (adaptive)."""
+        self.stats.shed += 1
+        self.dsm.node.events.prefetch_shed += 1
+        self.dsm.node.network.stats.record_shed(MessageKind.PREFETCH_REQUEST)
+        if self.dsm.sim.profile_on:
+            self.dsm.sim.profile.count(self.dsm.node_id, "prefetch_shed")
+        if self.dsm.sim.trace_on:
+            self.dsm.sim.trace.instant(
+                self.dsm.sim.now,
+                "prefetch",
+                "prefetch_shed",
+                self.dsm.node_id,
+                page=page_id,
+                writer=writer,
+            )
+
     def _note_drop(self) -> None:
         self.stats.drops_observed += 1
+        transport = self.dsm.node.transport
+        if transport is not None and transport.adaptive:
+            # Closed-loop mode: drops feed the transport's own RTT and
+            # window signals; no hand-tuned cool-off on top.
+            if self.dsm.sim.trace_on:
+                self.dsm.sim.trace.instant(
+                    self.dsm.sim.now,
+                    "prefetch",
+                    "prefetch_drop",
+                    self.dsm.node_id,
+                    streak=0,
+                    cooloff_us=0.0,
+                )
+            return
         self._drop_streak += 1
         cooloff = min(
             self.THROTTLE_MAX_US,

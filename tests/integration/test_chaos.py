@@ -161,3 +161,48 @@ def test_tight_timeout_budget_still_converges():
         transport=TransportConfig(timeout_us=1_500.0, max_retries=20),
     )
     assert report.retransmissions > 0
+
+
+def test_adaptive_transport_survives_combined_hazards_and_verifies():
+    """Loss + bit corruption + a degradation window at once, on the
+    adaptive transport: the app still computes the right answer (the
+    run() helper verifies) and the recovery stays bounded — AIMD and
+    the estimator must not let the hazards compound into a storm."""
+    from repro.network import BitCorruption, LinkDegradation
+
+    plan = FaultPlan(
+        drop_prob=0.05,
+        corruptions=(BitCorruption(start_us=0.0, end_us=500_000.0, prob=0.05),),
+        degradations=(
+            LinkDegradation(
+                start_us=10_000.0, end_us=40_000.0, extra_latency_us=8_000.0
+            ),
+        ),
+    )
+    _, report = run("SOR", fault_plan=plan, transport=TransportConfig(adaptive=True))
+    assert report.retransmissions > 0
+    assert report.events.corruption_detected > 0
+    # Bounded: a handful of recoveries per hazard event, not per message.
+    hazards = report.injected_faults.get("drop", 0) + report.events.corruption_detected
+    assert report.retransmissions <= 4 * hazards
+    health = report.transport_health
+    assert health is not None
+    assert health["max_in_flight"] <= health["cwnd_max"]
+
+
+def test_adaptive_off_is_byte_identical_to_default_transport():
+    """The adaptive layer disabled must leave no trace: the whole
+    RunReport serializes identically to a run on the default config."""
+    _, default = run("SOR", fault_plan=CHAOS_PLAN)
+    _, explicit = run(
+        "SOR", fault_plan=CHAOS_PLAN, transport=TransportConfig(adaptive=False)
+    )
+    assert explicit.to_json(indent=2) == default.to_json(indent=2)
+
+
+def test_adaptive_run_is_deterministic_end_to_end():
+    """Same seed + same plan on the adaptive transport: byte-identical
+    reports across runs."""
+    _, first = run("FFT", fault_plan=CHAOS_PLAN, transport=TransportConfig(adaptive=True))
+    _, second = run("FFT", fault_plan=CHAOS_PLAN, transport=TransportConfig(adaptive=True))
+    assert first.to_json(indent=2) == second.to_json(indent=2)

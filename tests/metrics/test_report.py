@@ -195,30 +195,73 @@ def test_critpath_section_round_trips():
     report = make_report(critpath=section)
     clone = RunReport.from_json(report.to_json())
     assert clone.critpath == section
-    # Absent by default, but the key is always serialized (schema v3).
+    # Absent by default, but the key is always serialized.
     assert make_report().critpath is None
     assert "critpath" in make_report().to_dict()
 
 
-def test_v2_document_reads_as_v3_with_absent_critpath():
+def test_transport_health_section_round_trips():
+    section = {
+        "per_node": {"0": {"peers": {"1": {"srtt_us": 450.0, "cwnd": 8.0}}}},
+        "cwnd_max": 64,
+        "max_in_flight": 9,
+        "paced": 12,
+        "shed": 3,
+        "parked_live": 0,
+    }
+    report = make_report(transport_health=section)
+    clone = RunReport.from_json(report.to_json())
+    assert clone.transport_health == section
+    # Absent by default (static transport): the key serializes as None.
+    assert make_report().transport_health is None
+    assert "transport_health" in make_report().to_dict()
+
+
+def test_v2_document_reads_as_v4_with_absent_critpath():
     """A v2 file (profile era, no critpath key) loads cleanly and
-    upgrades to a stable v3 document."""
+    upgrades to a stable v4 document."""
     import json
 
     data = make_report(profile={"version": 1}).to_dict()
     data["schema"] = 2
     del data["critpath"]
+    del data["transport_health"]
     upgraded = RunReport.from_json(json.dumps(data))
     assert upgraded.critpath is None
+    assert upgraded.transport_health is None
     assert upgraded.profile == {"version": 1}
-    v3 = json.loads(upgraded.to_json())
-    assert v3["schema"] == 3
-    assert v3["critpath"] is None
-    assert RunReport.from_dict(v3).to_json() == upgraded.to_json()
+    v4 = json.loads(upgraded.to_json())
+    assert v4["schema"] == 4
+    assert v4["critpath"] is None
+    assert v4["transport_health"] is None
+    assert RunReport.from_dict(v4).to_json() == upgraded.to_json()
+
+
+def test_v3_document_reads_as_v4_with_absent_transport_health():
+    """A v3 file (critpath era, no transport_health key, no paced/shed
+    event counters) loads cleanly and upgrades to a stable v4 document
+    with the new counters defaulting to zero."""
+    import json
+
+    data = make_report(critpath={"version": 1}).to_dict()
+    data["schema"] = 3
+    del data["transport_health"]
+    for entry in data["node_events"]:
+        del entry["messages_paced"]
+        del entry["prefetch_shed"]
+    upgraded = RunReport.from_json(json.dumps(data))
+    assert upgraded.transport_health is None
+    assert upgraded.critpath == {"version": 1}
+    assert upgraded.events.messages_paced == 0
+    assert upgraded.events.prefetch_shed == 0
+    v4 = json.loads(upgraded.to_json())
+    assert v4["schema"] == 4
+    assert v4["transport_health"] is None
+    assert RunReport.from_dict(v4).to_json() == upgraded.to_json()
 
 
 def test_v1_document_round_trips_stably_through_json():
-    """v1 -> from_json -> to_json(v3) -> from_json is a fixed point:
+    """v1 -> from_json -> to_json(v4) -> from_json is a fixed point:
     the upgraded document re-loads to an identical report."""
     import json
 
@@ -228,13 +271,14 @@ def test_v1_document_round_trips_stably_through_json():
     data["schema"] = 1
     del data["profile"]
     del data["critpath"]
+    del data["transport_health"]
     # v1 files also predate the transport/fault fields' guarantees;
     # from_dict fills them via .get defaults.
     v1_json = json.dumps(data)
 
     upgraded = RunReport.from_json(v1_json)
     v3_json = upgraded.to_json()
-    assert json.loads(v3_json)["schema"] == 3
+    assert json.loads(v3_json)["schema"] == 4
     reloaded = RunReport.from_json(v3_json)
     assert reloaded.to_dict() == upgraded.to_dict()
     assert reloaded.to_json() == v3_json

@@ -141,13 +141,14 @@ def test_unreliable_messages_bypass_the_transport():
 
 def test_receive_window_dedups_out_of_order():
     window = _ReceiveWindow()
-    assert window.accept(0)
-    assert window.accept(2)
-    assert not window.accept(0)
-    assert not window.accept(2)
-    assert window.accept(1)
+    dedup = TransportConfig().dedup_window
+    assert window.accept(0, dedup)
+    assert window.accept(2, dedup)
+    assert not window.accept(0, dedup)
+    assert not window.accept(2, dedup)
+    assert window.accept(1, dedup)
     assert window.upto == 2 and window.above == set()
-    assert not window.accept(1)
+    assert not window.accept(1, dedup)
 
 
 def test_transport_determinism_under_loss():
@@ -195,8 +196,9 @@ def test_receive_window_duplicates_inside_window_still_suppressed():
 
 def test_receive_window_contiguous_stream_never_grows():
     window = _ReceiveWindow()
+    dedup = TransportConfig().dedup_window
     for seq in range(5_000):
-        assert window.accept(seq)
+        assert window.accept(seq, dedup)
         assert not window.above  # compaction keeps it empty
     assert window.upto == 4_999
-    assert not window.accept(123)
+    assert not window.accept(123, dedup)
