@@ -37,6 +37,7 @@ from repro.network import FaultPlan, LinkConfig, TransportConfig
 from repro.prefetch.engine import PrefetchEngine, PrefetchStats
 from repro.profile import NULL_PROFILER, ProfileConfig, Profiler
 from repro.sim import RandomSource
+from repro.telemetry import NULL_TELEMETRY, TelemetryConfig, TelemetrySampler
 from repro.threads import DsmThread, NodeScheduler, SchedulingPolicy
 from repro.trace import NULL_TRACER, TraceConfig, Tracer
 
@@ -95,6 +96,14 @@ class RunConfig:
     #: the simulation schedule is untouched and the report core is
     #: byte-identical with it on or off.
     critpath: bool = False
+    #: Sim-time telemetry (``repro.telemetry``): windowed time series of
+    #: gauges and counter deltas across the stack, with watchdog
+    #: findings, as a versioned ``telemetry`` report section.  ``None``
+    #: (default) samples nothing; a :class:`TelemetryConfig` (or ``True``
+    #: for the defaults) enables the flight recorder.  Pure observation:
+    #: the simulation schedule and the report core are byte-identical
+    #: with it on or off.
+    telemetry: Optional[TelemetryConfig] = None
     #: Safety valve for runaway simulations (events, not microseconds).
     max_events: Optional[int] = 50_000_000
 
@@ -127,6 +136,15 @@ class RunConfig:
             else:
                 raise ConfigError(
                     f"profile must be a ProfileConfig or bool, got {self.profile!r}"
+                )
+        if self.telemetry is not None and not isinstance(self.telemetry, TelemetryConfig):
+            if self.telemetry is True:
+                object.__setattr__(self, "telemetry", TelemetryConfig())
+            elif self.telemetry is False:
+                object.__setattr__(self, "telemetry", None)
+            else:
+                raise ConfigError(
+                    f"telemetry must be a TelemetryConfig or bool, got {self.telemetry!r}"
                 )
 
     @property
@@ -212,6 +230,15 @@ class DsmRuntime:
             sanitizer = ProtocolSanitizer(config.num_nodes)
             sanitizer.profile = self.profiler
             self.cluster.sim.sanitizer = sanitizer
+        #: The run's telemetry sampler: collecting when config.telemetry
+        #: is set, else the shared null sampler (one cached-boolean check
+        #: in the run loop).
+        if config.telemetry is not None:
+            self.telemetry = TelemetrySampler(config.telemetry)
+            self.telemetry.attach(self)
+        else:
+            self.telemetry = NULL_TELEMETRY
+        self.cluster.sim.telemetry = self.telemetry
         #: Fault-tolerance layer (failure detection, checkpoint/recovery).
         self.ft: Optional[FtManager] = (
             FtManager(self, config.ft) if config.ft is not None else None
@@ -310,9 +337,22 @@ class DsmRuntime:
                     for dst, count in snapshot["parked_by_peer"].items()
                     if not network.is_down(int(dst)) and not network.is_fenced(int(dst))
                 )
+            min_cwnds = [
+                t.extremes.min_cwnd for t in transports if t.extremes.min_cwnd >= 0
+            ]
             transport_health = {
                 "per_node": per_node,
                 "cwnd_max": transports[0].config.cwnd_max,
+                # Worst-case excursions across all nodes: the end-of-run
+                # gauges only show where the run *landed*, the extremes
+                # show where it *went*.
+                "extremes": {
+                    "max_backlog": max(t.extremes.max_backlog for t in transports),
+                    "min_cwnd": round(min(min_cwnds), 3) if min_cwnds else -1.0,
+                    "max_rto_us": round(
+                        max(t.extremes.max_rto_us for t in transports), 3
+                    ),
+                },
                 "max_in_flight": max(
                     s["max_in_flight"] for s in per_node.values()
                 ),
@@ -347,6 +387,9 @@ class DsmRuntime:
             profile=profile,
             critpath=critpath,
             transport_health=transport_health,
+            telemetry=(
+                self.telemetry.finalize(wall) if self.telemetry.enabled else None
+            ),
         )
 
     # -- verification support ------------------------------------------------------

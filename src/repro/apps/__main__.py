@@ -20,6 +20,7 @@ from repro.apps.registry import APP_ORDER, make_app
 from repro.experiments.runner import parse_label
 from repro.network.faults import FaultPlan, NodeCrash
 from repro.network.transport import TransportConfig
+from repro.telemetry import TelemetryConfig
 from repro.trace import PhaseTimeline, TraceConfig
 
 
@@ -101,7 +102,31 @@ def main(argv: list[str] | None = None) -> int:
         help="collect latency histograms and hot-entity tables; prints a "
         "summary, and writes the full RunReport JSON to PATH if given",
     )
+    parser.add_argument(
+        "--telemetry",
+        nargs="?",
+        const="-",
+        metavar="PATH",
+        help="record windowed time series across the stack and grade them "
+        "with the watchdog monitors; prints findings, and writes the full "
+        "RunReport JSON (telemetry section included) to PATH if given",
+    )
+    parser.add_argument(
+        "--telemetry-interval",
+        type=float,
+        default=5000.0,
+        metavar="US",
+        help="telemetry window width in simulated microseconds (default 5000)",
+    )
+    parser.add_argument(
+        "--telemetry-strict",
+        action="store_true",
+        help="exit nonzero when the watchdog monitors report findings",
+    )
     args = parser.parse_args(argv)
+
+    if args.telemetry_strict and args.telemetry is None:
+        args.telemetry = "-"  # strict grading implies collection
 
     threads_per_node, prefetch = parse_label(args.config)
     app = make_app(args.app, args.preset)
@@ -112,7 +137,12 @@ def main(argv: list[str] | None = None) -> int:
             app.throttle_prefetch = True
 
     def build_config(
-        fault_plan=None, trace=False, sanitizer=False, profile=False, critpath=False
+        fault_plan=None,
+        trace=False,
+        sanitizer=False,
+        profile=False,
+        critpath=False,
+        telemetry=False,
     ):
         return RunConfig(
             num_nodes=args.nodes,
@@ -125,6 +155,11 @@ def main(argv: list[str] | None = None) -> int:
             trace=TraceConfig() if trace else None,
             profile=profile,
             critpath=critpath,
+            telemetry=(
+                TelemetryConfig(interval_us=args.telemetry_interval)
+                if telemetry
+                else None
+            ),
             transport=TransportConfig(adaptive=args.adaptive),
         )
 
@@ -150,6 +185,7 @@ def main(argv: list[str] | None = None) -> int:
         sanitizer=args.sanitizer,
         profile=args.profile is not None,
         critpath=args.critpath is not None,
+        telemetry=args.telemetry is not None,
     )
 
     started = time.time()
@@ -219,6 +255,29 @@ def main(argv: list[str] | None = None) -> int:
                 handle.write(report.to_json(indent=2))
                 handle.write("\n")
             print(f"  profile report -> {args.profile}")
+    telemetry_ok = True
+    if args.telemetry is not None:
+        section = report.telemetry or {}
+        findings = section.get("findings", [])
+        print(
+            f"  telemetry: {len(section.get('windows', []))} windows of "
+            f"{section.get('interval_us', 0):g} us, {len(findings)} finding(s)"
+        )
+        for finding in findings:
+            print(
+                f"    [{finding['monitor']}] node {finding['node']}"
+                + (f" peer {finding['peer']}" if "peer" in finding else "")
+                + f" @ {finding['t_start_us'] / 1000:.1f}-"
+                f"{finding['t_end_us'] / 1000:.1f} ms: {finding['detail']}"
+            )
+        if args.telemetry != "-":
+            with open(args.telemetry, "w") as handle:
+                handle.write(report.to_json(indent=2))
+                handle.write("\n")
+            print(f"  telemetry report -> {args.telemetry}")
+        if args.telemetry_strict and findings:
+            print(f"  telemetry: STRICT — {len(findings)} watchdog finding(s)")
+            telemetry_ok = False
     critpath_ok = True
     if args.critpath is not None:
         from repro.critpath.format import format_critpath
@@ -242,9 +301,11 @@ def main(argv: list[str] | None = None) -> int:
             tracer.write_jsonl(args.trace)
         else:
             # When the run was analyzed, the Perfetto export overlays
-            # the critical path: dwell slices per node plus flow arrows
-            # for every cross-node hop.
-            tracer.write_chrome(args.trace, critpath=report.critpath)
+            # the critical path (dwell slices plus flow arrows) and the
+            # telemetry series (counter tracks) on the same timeline.
+            tracer.write_chrome(
+                args.trace, critpath=report.critpath, telemetry=report.telemetry
+            )
         print(f"  trace: {len(tracer)} events -> {args.trace}")
         if not tracer.complete:
             print(f"  trace: WARNING {tracer.dropped_events} events discarded (ring full)")
@@ -257,7 +318,7 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"    {line}")
             return 1
         print("  trace: PhaseTimeline agrees with TimeBreakdown accounting")
-    return 0 if critpath_ok else 1
+    return 0 if (critpath_ok and telemetry_ok) else 1
 
 
 if __name__ == "__main__":

@@ -326,6 +326,12 @@ class BarrierSubsystem:
                     pf.entity_add("barrier", barrier_id, "wait_us", waited)
                     pf.entity_add("barrier", barrier_id, "waits")
             wake.succeed(None)
+        if self.dsm.sim.telemetry_on:
+            # Per-node epoch boundary for the flight recorder: the
+            # closed episode's stall/switch accounting ends here.
+            self.dsm.sim.telemetry.on_barrier_epoch(
+                self.dsm.node_id, barrier_id, episode
+            )
 
     # -- checkpoint / recovery ----------------------------------------------
 

@@ -22,10 +22,12 @@ __all__ = ["RunReport"]
 #: v2 added the optional ``profile`` section (repro.profile); v3 the
 #: optional ``critpath`` section (repro.critpath); v4 the optional
 #: ``transport_health`` section (adaptive transport) and the
-#: paced/shed event counters.  Older payloads are still readable (the
-#: sections are simply absent and the counters default to zero).
-_SCHEMA_VERSION = 4
-_COMPAT_VERSIONS = (1, 2, 3, 4)
+#: paced/shed event counters; v5 the optional ``telemetry`` section
+#: (repro.telemetry) and the transport_health ``extremes`` watermarks.
+#: Older payloads are still readable (the sections are simply absent
+#: and the counters default to zero).
+_SCHEMA_VERSION = 5
+_COMPAT_VERSIONS = (1, 2, 3, 4, 5)
 
 
 @dataclass
@@ -65,6 +67,11 @@ class RunReport:
     #: paced/shed/parked totals) when the run used an adaptive
     #: transport, else None — static runs carry no trace of the layer.
     transport_health: Optional[dict] = None
+    #: Versioned telemetry section (TelemetrySampler.finalize: windowed
+    #: time series, barrier epochs, watchdog findings) when the run had
+    #: ``telemetry=`` on, else None.  Same contract as profile/critpath:
+    #: not part of the core, reports are otherwise byte-identical.
+    telemetry: Optional[dict] = None
 
     # -- aggregation ----------------------------------------------------------
 
@@ -149,6 +156,7 @@ class RunReport:
             "profile": self.profile,
             "critpath": self.critpath,
             "transport_health": self.transport_health,
+            "telemetry": self.telemetry,
         }
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -191,6 +199,7 @@ class RunReport:
             profile=data.get("profile"),  # absent in v1 payloads
             critpath=data.get("critpath"),  # absent in v1/v2 payloads
             transport_health=data.get("transport_health"),  # v4+
+            telemetry=data.get("telemetry"),  # v5+
         )
 
     @classmethod

@@ -28,10 +28,52 @@ from dataclasses import dataclass, field
 
 from repro.network.message import Message, MessageKind
 
-__all__ = ["TrafficStats", "FAULT_KINDS"]
+__all__ = ["TrafficStats", "TransportExtremes", "FAULT_KINDS"]
 
 #: The fault vocabulary of the injection layer (repro.network.faults).
 FAULT_KINDS = ("drop", "duplicate", "delay", "degrade", "stall", "partition", "corrupt")
+
+
+@dataclass
+class TransportExtremes:
+    """Worst-case excursions of the adaptive transport's live state.
+
+    End-of-run gauges (``health_snapshot``) only show *final* values: a
+    congestion window that collapsed to the floor mid-run and recovered
+    looks identical to one that never moved.  These watermarks record
+    the excursions themselves, deterministically, without telemetry:
+
+    - ``max_backlog`` — high-water mark of any single peer's pacing
+      queue (sends deferred by a full AIMD window);
+    - ``min_cwnd`` — smallest congestion window any multiplicative
+      decrease produced (``-1`` until the first halving: a window that
+      never shrank has no meaningful minimum);
+    - ``max_rto_us`` — largest RTO the estimator or retained timeout
+      backoff ever set.
+    """
+
+    max_backlog: int = 0
+    min_cwnd: float = -1.0
+    max_rto_us: float = 0.0
+
+    def observe_backlog(self, backlog: int) -> None:
+        if backlog > self.max_backlog:
+            self.max_backlog = backlog
+
+    def observe_cwnd(self, cwnd: float) -> None:
+        if self.min_cwnd < 0 or cwnd < self.min_cwnd:
+            self.min_cwnd = cwnd
+
+    def observe_rto(self, rto_us: float) -> None:
+        if rto_us > self.max_rto_us:
+            self.max_rto_us = rto_us
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "max_backlog": self.max_backlog,
+            "min_cwnd": round(self.min_cwnd, 3),
+            "max_rto_us": round(self.max_rto_us, 3),
+        }
 
 
 @dataclass

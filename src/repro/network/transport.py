@@ -73,6 +73,7 @@ from repro.network.message import (
     PRIORITY_NOTICE,
 )
 from repro.metrics.counters import Category
+from repro.network.stats import TransportExtremes
 from repro.sim import spawn
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -374,6 +375,7 @@ class ReliableTransport:
         self.network = node.network
         self.config = config
         self.stats = TransportStats()
+        self.extremes = TransportExtremes()
         # Timeout jitter must be deterministic *per endpoint pair*: with
         # one stream per node, destination A's retry count would shift
         # which draws destination B's timers see, coupling unrelated
@@ -472,6 +474,7 @@ class ReliableTransport:
         prio = min(pending.message.priority, PRIORITY_NOTICE)
         peer.queues[prio].append((dst, seq))
         peer.queued.add((dst, seq))
+        self.extremes.observe_backlog(len(peer.queued))
         self.stats.paced += 1
         self.node.events.messages_paced += 1
         self.network.stats.record_paced(pending.message)
@@ -632,6 +635,7 @@ class ReliableTransport:
             peer.cwnd = max(1.0, peer.cwnd / 2.0)
             pending.halved += 1
             self.stats.cwnd_halvings += 1
+            self.extremes.observe_cwnd(peer.cwnd)
             # Karn's other half: the backed-off RTO is retained for
             # subsequent messages until a fresh clean sample replaces
             # it.  Without this, a latency jump above the estimate
@@ -641,6 +645,7 @@ class ReliableTransport:
             # past the new RTT, the next message survives un-resent,
             # and its sample re-seeds the estimator at the true value.
             peer.rto = min(self.config.max_rto_us, peer.rto * self.config.backoff)
+            self.extremes.observe_rto(peer.rto)
             if self.sim.trace_on:
                 self.sim.trace.instant(
                     self.sim.now,
@@ -856,6 +861,7 @@ class ReliableTransport:
             peer.min_rtt = sample
         peer.peak_rtt = max(sample, peer.peak_rtt * self.config.peak_decay)
         peer.rto = self._estimator_rto(peer)
+        self.extremes.observe_rto(peer.rto)
         if self.sim.profile_on:
             pf = self.sim.profile
             pf.observe(self.node.node_id, "transport_rtt_us", sample)
@@ -927,6 +933,7 @@ class ReliableTransport:
             "park_probes": self.stats.park_probes,
             "fast_reflights": self.stats.fast_reflights,
             "spurious_timeouts": self.stats.spurious_timeouts,
+            "extremes": self.extremes.as_dict(),
         }
 
     # -- receiver side -----------------------------------------------------

@@ -259,6 +259,7 @@ class Simulator:
     def __init__(self) -> None:
         from repro.ft.sanitizer import NULL_SANITIZER  # deferred: keep sim dep-free
         from repro.profile.profiler import NULL_PROFILER  # deferred: keep sim dep-free
+        from repro.telemetry.sampler import NULL_TELEMETRY  # deferred: keep sim dep-free
         from repro.trace.tracer import NULL_TRACER  # deferred: keep sim dep-free
 
         #: Current simulated time in microseconds (read-only for users).
@@ -270,6 +271,7 @@ class Simulator:
         self.trace = NULL_TRACER
         self.sanitizer = NULL_SANITIZER
         self.profile = NULL_PROFILER
+        self.telemetry = NULL_TELEMETRY
         #: Live (spawned, not yet finished/cancelled) processes, in spawn
         #: order.  Powers group cancellation and the deadlock watchdog.
         self._processes: dict[int, Any] = {}
@@ -303,6 +305,15 @@ class Simulator:
     def profile(self, profiler) -> None:
         self._profile = profiler
         self.profile_on = bool(profiler.enabled)
+
+    @property
+    def telemetry(self):
+        return self._telemetry
+
+    @telemetry.setter
+    def telemetry(self, sampler) -> None:
+        self._telemetry = sampler
+        self.telemetry_on = bool(sampler.enabled)
 
     @property
     def events_handled(self) -> int:
@@ -412,6 +423,14 @@ class Simulator:
                     time, _seq, fn, args = pop(heap)
                     if time < self.now:
                         raise SimulationError("event heap produced a time in the past")
+                    # Sample telemetry windows *before* time advances
+                    # past their boundaries: a sample at boundary W must
+                    # see the world with every event before W executed
+                    # and none at/after W.  One cached-boolean check on
+                    # the heap path only — the _nowq fast path cannot
+                    # advance time.
+                    if self.telemetry_on and time >= self._telemetry.next_due:
+                        self._telemetry.advance_to(time)
                     self.now = time
                 else:
                     _seq, fn, args = nowq.popleft()

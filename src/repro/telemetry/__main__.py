@@ -1,0 +1,54 @@
+"""Offline telemetry rendering: ``python -m repro.telemetry FILE``.
+
+``FILE`` is a RunReport JSON with a telemetry section, a bare section
+written by ``--telemetry PATH``, or a Chrome trace whose counter tracks
+were exported alongside the run.  Renders a text dashboard to stdout
+(or ``--html OUT`` for a self-contained page) and re-runs the watchdogs
+over the loaded series.
+
+Exit status: 0 on success, 1 when ``--strict`` and the watchdogs
+report findings, 2 when the file cannot be loaded.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.telemetry.render import load_section, render_html, render_text
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="Render a telemetry dashboard from a RunReport or trace file.",
+    )
+    parser.add_argument("file", help="RunReport JSON, telemetry section, or Chrome trace")
+    parser.add_argument("--html", metavar="OUT", help="write a self-contained HTML dashboard")
+    parser.add_argument("--node", type=int, help="restrict the text dashboard to one node")
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 when the watchdogs report findings",
+    )
+    args = parser.parse_args(argv)
+    try:
+        section = load_section(args.file)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.html:
+        with open(args.html, "w", encoding="utf-8") as handle:
+            handle.write(render_html(section, title=args.file))
+        print(f"wrote {args.html}")
+    else:
+        print(render_text(section, node=args.node))
+    findings = section.get("findings", [])
+    if args.strict and findings:
+        print(f"strict: {len(findings)} watchdog finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -32,6 +32,7 @@ CPU_TID = 0
 IDLE_TID = 1
 PROTOCOL_TID = 2
 CRITPATH_TID = 3
+TELEMETRY_TID = 4
 APP_TID_BASE = 10
 
 _IDLE_NAMES = frozenset((Category.MEMORY_IDLE.value, Category.SYNC_IDLE.value))
@@ -46,10 +47,82 @@ def _track_of(event: TraceEvent) -> int:
     return PROTOCOL_TID
 
 
+def _telemetry_rows(
+    section: dict[str, Any], threads: dict[tuple[int, int], str]
+) -> list[dict[str, Any]]:
+    """Telemetry series as Chrome counter (``"C"``) rows.
+
+    One counter row per metric per node per window boundary; per-peer
+    estimator metrics become one multi-series row (one args key per
+    peer), which Perfetto renders as stacked series on a single track.
+    The metric names come from the shared taxonomy in
+    :mod:`repro.telemetry.sampler`, so the offline renderer can rebuild
+    the section from the trace alone.
+    """
+    from repro.telemetry.sampler import DELTA_METRICS, GAUGE_METRICS, PEER_METRICS
+
+    rows: list[dict[str, Any]] = []
+    windows = section.get("windows", [])
+    for node_key, entry in section.get("nodes", {}).items():
+        pid = int(node_key)
+        threads.setdefault((pid, TELEMETRY_TID), "telemetry")
+        for name in GAUGE_METRICS:
+            series = entry.get("gauges", {}).get(name, [])
+            for ts, value in zip(windows, series):
+                rows.append(
+                    {
+                        "name": name,
+                        "cat": "telemetry",
+                        "ph": "C",
+                        "ts": ts,
+                        "pid": pid,
+                        "tid": TELEMETRY_TID,
+                        "args": {"value": value},
+                    }
+                )
+        for name in DELTA_METRICS:
+            series = entry.get("deltas", {}).get(name, [])
+            for ts, value in zip(windows, series):
+                rows.append(
+                    {
+                        "name": name,
+                        "cat": "telemetry",
+                        "ph": "C",
+                        "ts": ts,
+                        "pid": pid,
+                        "tid": TELEMETRY_TID,
+                        "args": {"value": value},
+                    }
+                )
+        peers = entry.get("peers", {})
+        if peers:
+            for metric in PEER_METRICS:
+                for index, ts in enumerate(windows):
+                    args = {
+                        peer_key: track[metric][index]
+                        for peer_key, track in sorted(peers.items(), key=lambda p: int(p[0]))
+                        if index < len(track.get(metric, ()))
+                    }
+                    if args:
+                        rows.append(
+                            {
+                                "name": f"transport.peer.{metric}",
+                                "cat": "telemetry",
+                                "ph": "C",
+                                "ts": ts,
+                                "pid": pid,
+                                "tid": TELEMETRY_TID,
+                                "args": args,
+                            }
+                        )
+    return rows
+
+
 def chrome_trace(
     events: Iterable[TraceEvent],
     critpath: dict[str, Any] | None = None,
     dropped_events: int = 0,
+    telemetry: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Render events into a Chrome trace_event JSON object.
 
@@ -58,6 +131,9 @@ def chrome_trace(
     intervals become X slices on a dedicated per-node track and its
     cross-node hops become ``s``/``f`` flow events linking the tracks,
     so Perfetto draws the critical path as arrows through the run.
+    ``telemetry`` is a telemetry report section
+    (``repro.telemetry.TelemetrySampler.finalize``): its windowed
+    series become counter tracks overlaid on the same timeline.
     ``dropped_events`` (the tracer's ring-sink discard count) is
     surfaced in ``otherData`` for the validator.
     """
@@ -122,6 +198,8 @@ def chrome_trace(
             rows.append(
                 dict(common, ph="f", bp="e", ts=flow["dst_ts"], pid=flow["dst"], tid=CRITPATH_TID)
             )
+    if telemetry is not None:
+        rows.extend(_telemetry_rows(telemetry, threads))
     # The spec does not require sorted timestamps but viewers load large
     # traces faster when sorted; Python's stable sort preserves emission
     # order at equal timestamps, which keeps B before E and b before e.
@@ -162,6 +240,8 @@ def chrome_trace(
     other: dict[str, Any] = {"producer": "repro.trace", "time_unit": "us"}
     if dropped_events:
         other["events_dropped"] = dropped_events
+    if telemetry is not None:
+        other["telemetry_version"] = telemetry.get("version", 1)
     return {
         "traceEvents": meta + rows,
         "displayTimeUnit": "ms",
@@ -174,10 +254,16 @@ def write_chrome_trace(
     path: str,
     critpath: dict[str, Any] | None = None,
     dropped_events: int = 0,
+    telemetry: dict[str, Any] | None = None,
 ) -> None:
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(
-            chrome_trace(events, critpath=critpath, dropped_events=dropped_events),
+            chrome_trace(
+                events,
+                critpath=critpath,
+                dropped_events=dropped_events,
+                telemetry=telemetry,
+            ),
             handle,
         )
 

@@ -260,18 +260,34 @@ class Tracer:
 
     # -- export convenience (implemented in repro.trace.export) ------------
 
-    def chrome_trace(self, critpath: Optional[dict[str, Any]] = None) -> dict[str, Any]:
+    def chrome_trace(
+        self,
+        critpath: Optional[dict[str, Any]] = None,
+        telemetry: Optional[dict[str, Any]] = None,
+    ) -> dict[str, Any]:
         from repro.trace.export import chrome_trace
 
         return chrome_trace(
-            self.events, critpath=critpath, dropped_events=self.dropped_events
+            self.events,
+            critpath=critpath,
+            dropped_events=self.dropped_events,
+            telemetry=telemetry,
         )
 
-    def write_chrome(self, path: str, critpath: Optional[dict[str, Any]] = None) -> None:
+    def write_chrome(
+        self,
+        path: str,
+        critpath: Optional[dict[str, Any]] = None,
+        telemetry: Optional[dict[str, Any]] = None,
+    ) -> None:
         from repro.trace.export import write_chrome_trace
 
         write_chrome_trace(
-            self.events, path, critpath=critpath, dropped_events=self.dropped_events
+            self.events,
+            path,
+            critpath=critpath,
+            dropped_events=self.dropped_events,
+            telemetry=telemetry,
         )
 
     def write_jsonl(self, path: str) -> None:

@@ -13,14 +13,20 @@ Checks:
 - ``X`` events carry a non-negative ``dur``;
 - async ``e`` events have a preceding ``b`` with the same ``(cat, id)``
   (an unterminated ``b`` is legal — that is what a dropped message
-  looks like — but an orphan ``e`` is a bug).
+  looks like — but an orphan ``e`` is a bug);
+- counter (``C``) events carry a non-empty ``args`` dict of finite
+  numeric series values (booleans and nested objects are rejected) —
+  a telemetry overlay with a malformed payload would render as an
+  empty or garbage counter track.
 
-Exit codes: 0 valid, 1 format violations, 2 load errors *or* dangling
-causal edges — an orphan async ``e`` means a program-activity-graph
-wire edge references an event the ring sink dropped (the trace's
-``otherData.events_dropped`` count, surfaced in the output, says how
-many were discarded), so critical-path analysis of the file would be
-reconstructing from partial causality.
+Exit codes: 0 valid, 1 format violations, 2 load errors, dangling
+causal edges, *or* malformed counter payloads — an orphan async ``e``
+means a program-activity-graph wire edge references an event the ring
+sink dropped (the trace's ``otherData.events_dropped`` count, surfaced
+in the output, says how many were discarded), so critical-path
+analysis of the file would be reconstructing from partial causality;
+a malformed counter payload means the telemetry overlay cannot be
+trusted, so dashboards rebuilt from the trace would be wrong.
 """
 
 from __future__ import annotations
@@ -98,6 +104,20 @@ def validate_chrome_trace(trace: Any, max_errors: int = 20) -> list[str]:
                 if ts < begin_ts:
                     if report(f"{where}: E at {ts} before its B at {begin_ts}"):
                         return errors
+        elif ph == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or not args:
+                if report(f"{where}: C counter without a non-empty args dict"):
+                    return errors
+            else:
+                for series, value in args.items():
+                    if isinstance(value, bool) or not isinstance(value, (int, float)):
+                        if report(
+                            f"{where}: C counter series {series!r} has "
+                            f"non-numeric value {value!r}"
+                        ):
+                            return errors
+                        break
         elif ph in ("b", "e"):
             if "id" not in event:
                 if report(f"{where}: async {ph} without an id"):
@@ -146,6 +166,7 @@ def main(argv: list[str] | None = None) -> int:
     if dropped:
         print(f"WARNING: {dropped} events dropped at collection (ring full)")
     dangling = [e for e in errors if "async e with no open b" in e]
+    bad_counters = [e for e in errors if "C counter" in e]
     if errors:
         print(f"INVALID: {args.trace} ({len(events)} events)")
         for error in errors:
@@ -154,6 +175,12 @@ def main(argv: list[str] | None = None) -> int:
             print(
                 f"  {len(dangling)} causal (PAG) edge(s) reference dropped/"
                 "missing events — critical-path analysis would be partial"
+            )
+            return 2
+        if bad_counters:
+            print(
+                f"  {len(bad_counters)} malformed counter payload(s) — the "
+                "telemetry overlay cannot be trusted"
             )
             return 2
         return 1

@@ -217,51 +217,92 @@ def test_transport_health_section_round_trips():
     assert "transport_health" in make_report().to_dict()
 
 
-def test_v2_document_reads_as_v4_with_absent_critpath():
+def test_telemetry_section_round_trips():
+    section = {
+        "version": 1,
+        "interval_us": 5000.0,
+        "windows": [5000.0, 10000.0],
+        "nodes": {"0": {"gauges": {"sched.runnable": [1, 0]}, "deltas": {}}},
+        "network": {"deltas": {"net.messages": [4, 2]}},
+        "findings": [],
+    }
+    report = make_report(telemetry=section)
+    clone = RunReport.from_json(report.to_json())
+    assert clone.telemetry == section
+    # Absent by default (telemetry off): the key serializes as None.
+    assert make_report().telemetry is None
+    assert "telemetry" in make_report().to_dict()
+
+
+def test_v2_document_reads_as_v5_with_absent_critpath():
     """A v2 file (profile era, no critpath key) loads cleanly and
-    upgrades to a stable v4 document."""
+    upgrades to a stable v5 document."""
     import json
 
     data = make_report(profile={"version": 1}).to_dict()
     data["schema"] = 2
     del data["critpath"]
     del data["transport_health"]
+    del data["telemetry"]
     upgraded = RunReport.from_json(json.dumps(data))
     assert upgraded.critpath is None
     assert upgraded.transport_health is None
+    assert upgraded.telemetry is None
     assert upgraded.profile == {"version": 1}
-    v4 = json.loads(upgraded.to_json())
-    assert v4["schema"] == 4
-    assert v4["critpath"] is None
-    assert v4["transport_health"] is None
-    assert RunReport.from_dict(v4).to_json() == upgraded.to_json()
+    v5 = json.loads(upgraded.to_json())
+    assert v5["schema"] == 5
+    assert v5["critpath"] is None
+    assert v5["transport_health"] is None
+    assert v5["telemetry"] is None
+    assert RunReport.from_dict(v5).to_json() == upgraded.to_json()
 
 
-def test_v3_document_reads_as_v4_with_absent_transport_health():
-    """A v3 file (critpath era, no transport_health key, no paced/shed
-    event counters) loads cleanly and upgrades to a stable v4 document
-    with the new counters defaulting to zero."""
+def test_v3_document_reads_as_v5_with_absent_transport_health():
+    """A v3 file (critpath era, no transport_health/telemetry keys, no
+    paced/shed event counters) loads cleanly and upgrades to a stable
+    v5 document with the new counters defaulting to zero."""
     import json
 
     data = make_report(critpath={"version": 1}).to_dict()
     data["schema"] = 3
     del data["transport_health"]
+    del data["telemetry"]
     for entry in data["node_events"]:
         del entry["messages_paced"]
         del entry["prefetch_shed"]
     upgraded = RunReport.from_json(json.dumps(data))
     assert upgraded.transport_health is None
+    assert upgraded.telemetry is None
     assert upgraded.critpath == {"version": 1}
     assert upgraded.events.messages_paced == 0
     assert upgraded.events.prefetch_shed == 0
-    v4 = json.loads(upgraded.to_json())
-    assert v4["schema"] == 4
-    assert v4["transport_health"] is None
-    assert RunReport.from_dict(v4).to_json() == upgraded.to_json()
+    v5 = json.loads(upgraded.to_json())
+    assert v5["schema"] == 5
+    assert v5["transport_health"] is None
+    assert RunReport.from_dict(v5).to_json() == upgraded.to_json()
+
+
+def test_v4_document_reads_as_v5_with_absent_telemetry():
+    """A v4 file (adaptive-transport era, no telemetry key, no
+    transport_health extremes) loads cleanly and upgrades to a stable
+    v5 document."""
+    import json
+
+    health = {"per_node": {"0": {"unacked": 0}}, "cwnd_max": 64, "paced": 2}
+    data = make_report(transport_health=health).to_dict()
+    data["schema"] = 4
+    del data["telemetry"]
+    upgraded = RunReport.from_json(json.dumps(data))
+    assert upgraded.telemetry is None
+    assert upgraded.transport_health == health
+    v5 = json.loads(upgraded.to_json())
+    assert v5["schema"] == 5
+    assert v5["telemetry"] is None
+    assert RunReport.from_dict(v5).to_json() == upgraded.to_json()
 
 
 def test_v1_document_round_trips_stably_through_json():
-    """v1 -> from_json -> to_json(v4) -> from_json is a fixed point:
+    """v1 -> from_json -> to_json(v5) -> from_json is a fixed point:
     the upgraded document re-loads to an identical report."""
     import json
 
@@ -272,16 +313,17 @@ def test_v1_document_round_trips_stably_through_json():
     del data["profile"]
     del data["critpath"]
     del data["transport_health"]
+    del data["telemetry"]
     # v1 files also predate the transport/fault fields' guarantees;
     # from_dict fills them via .get defaults.
     v1_json = json.dumps(data)
 
     upgraded = RunReport.from_json(v1_json)
-    v3_json = upgraded.to_json()
-    assert json.loads(v3_json)["schema"] == 4
-    reloaded = RunReport.from_json(v3_json)
+    v5_json = upgraded.to_json()
+    assert json.loads(v5_json)["schema"] == 5
+    reloaded = RunReport.from_json(v5_json)
     assert reloaded.to_dict() == upgraded.to_dict()
-    assert reloaded.to_json() == v3_json
+    assert reloaded.to_json() == v5_json
     assert reloaded.profile is None
     assert reloaded.critpath is None
     assert reloaded.injected_faults == {"drop": 2}

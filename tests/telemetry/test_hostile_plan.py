@@ -1,0 +1,99 @@
+"""The committed hostile-plan example: what aggregates miss.
+
+A degraded-fabric window (bandwidth quashed, +40 ms flat latency) in
+the middle of an adaptive-transport SOR run drives RTO expiries that
+halve congestion windows down to the AIMD floor.  The fabric heals, the
+windows grow back, and every end-of-run gauge looks healthy — the
+pathology is only visible in (a) the telemetry time series, where the
+cwnd_pinned watchdog flags the floor episode, and (b) the
+transport-health extremes, whose ``min_cwnd`` watermark records where
+the run *went* rather than where it *landed*.
+"""
+
+import pytest
+
+from repro.api.runtime import DsmRuntime, RunConfig
+from repro.apps import Sor
+from repro.network import FaultPlan, TransportConfig
+from repro.network.faults import LinkDegradation
+from repro.telemetry import TelemetryConfig
+
+#: The mid-run fabric brown-out: 6-40 ms into the run, messages crawl.
+HOSTILE_PLAN = FaultPlan(
+    degradations=(
+        LinkDegradation(
+            start_us=6000.0,
+            end_us=40000.0,
+            bandwidth_factor=0.02,
+            extra_latency_us=40000.0,
+        ),
+    )
+)
+
+
+def run(telemetry=True):
+    return DsmRuntime(
+        RunConfig(
+            num_nodes=4,
+            threads_per_node=1,
+            transport=TransportConfig(adaptive=True),
+            fault_plan=HOSTILE_PLAN,
+            telemetry=TelemetryConfig(interval_us=2000.0) if telemetry else None,
+        )
+    ).execute(Sor(rows=48, cols=48, iterations=4))
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run()
+
+
+def test_watchdog_flags_the_floor_episode(report):
+    pinned = [f for f in report.telemetry["findings"] if f["monitor"] == "cwnd_pinned"]
+    assert pinned, "the brown-out must pin at least one congestion window"
+    windows = report.telemetry["windows"]
+    for finding in pinned:
+        # The episode lies inside the run, not at its edges: this is a
+        # mid-run excursion, fully recovered by the end.
+        assert 0 < finding["window_start"] <= finding["window_end"] < len(windows) - 1
+
+
+def test_aggregates_alone_would_miss_it(report):
+    """Every end-of-run congestion window has recovered well above the
+    floor — the final snapshot contains no trace of the episode."""
+    floor_pinned = {
+        (f["node"], f["peer"])
+        for f in report.telemetry["findings"]
+        if f["monitor"] == "cwnd_pinned"
+    }
+    per_node = report.transport_health["per_node"]
+    for node, peer in floor_pinned:
+        final_cwnd = per_node[str(node)]["peers"][str(peer)]["cwnd"]
+        assert final_cwnd > 1.0, (
+            f"node {node} -> peer {peer}: final cwnd {final_cwnd} should have "
+            "recovered above the floor (else the aggregate would show it too)"
+        )
+
+
+def test_extremes_watermark_records_it_without_telemetry():
+    """The satellite guarantee: even with telemetry off, the extremes
+    watermarks expose the worst-case excursion the gauges hide."""
+    bare = run(telemetry=False)
+    assert bare.telemetry is None
+    extremes = bare.transport_health["extremes"]
+    assert extremes["min_cwnd"] == 1.0  # the AIMD floor was touched
+    finals = [
+        peer["cwnd"]
+        for snapshot in bare.transport_health["per_node"].values()
+        for peer in snapshot["peers"].values()
+    ]
+    assert min(finals) > extremes["min_cwnd"]
+    assert extremes["max_rto_us"] >= max(
+        peer["rto_us"]
+        for snapshot in bare.transport_health["per_node"].values()
+        for peer in snapshot["peers"].values()
+    )
+
+
+def test_findings_are_deterministic(report):
+    assert run().telemetry["findings"] == report.telemetry["findings"]

@@ -211,3 +211,76 @@ def test_tracer_write_helpers(tmp_path):
     tracer.write_jsonl(str(jsonl_path))
     assert validate_chrome_trace(json.loads(chrome_path.read_text())) == []
     assert len(jsonl_path.read_text().splitlines()) == len(tracer)
+
+
+# -- telemetry counter overlay ------------------------------------------------
+
+
+def telemetry_section():
+    return {
+        "version": 1,
+        "interval_us": 5.0,
+        "windows": [5.0, 10.0],
+        "nodes": {
+            "0": {
+                "gauges": {"sched.runnable": [1, 0]},
+                "deltas": {"dsm.faults": [2, 1]},
+                "peers": {"1": {"cwnd": [8.0, 4.0], "rto_us": [900.0, 1800.0]}},
+            }
+        },
+        "network": {"deltas": {"net.messages": [3, 1]}},
+        "findings": [],
+    }
+
+
+def test_chrome_trace_telemetry_counter_overlay():
+    from repro.trace.export import TELEMETRY_TID
+
+    doc = chrome_trace(sample_tracer().events, telemetry=telemetry_section())
+    counters = [e for e in doc["traceEvents"] if e.get("ph") == "C"]
+    assert counters and all(e["cat"] == "telemetry" for e in counters)
+    assert all(e["tid"] == TELEMETRY_TID for e in counters)
+    runnable = [e for e in counters if e["name"] == "sched.runnable"]
+    assert [(e["ts"], e["args"]["value"]) for e in runnable] == [(5.0, 1), (10.0, 0)]
+    # Per-peer metrics ride one multi-series track, keyed by peer id.
+    cwnd = [e for e in counters if e["name"] == "transport.peer.cwnd"]
+    assert [(e["ts"], e["args"]) for e in cwnd] == [
+        (5.0, {"1": 8.0}),
+        (10.0, {"1": 4.0}),
+    ]
+    assert doc["otherData"]["telemetry_version"] == 1
+    # The overlaid trace still validates, and its timestamps stay sorted.
+    assert validate_chrome_trace(doc) == []
+    ts = [e["ts"] for e in doc["traceEvents"] if e["ph"] != "M"]
+    assert ts == sorted(ts)
+    # Without the section: no counter rows, no marker (byte-stability).
+    clean = chrome_trace(sample_tracer().events)
+    assert not any(e.get("ph") == "C" for e in clean["traceEvents"])
+    assert "telemetry_version" not in clean["otherData"]
+
+
+def test_validator_rejects_malformed_counter_payloads():
+    # No args at all / empty args.
+    assert any(
+        "C counter" in e for e in validate_chrome_trace(wrap([row(ph="C")]))
+    )
+    assert any(
+        "C counter" in e for e in validate_chrome_trace(wrap([row(ph="C", args={})]))
+    )
+    # Non-numeric series values (strings, booleans, nested objects).
+    for bad in ("high", True, {"nested": 1}, None):
+        errors = validate_chrome_trace(wrap([row(ph="C", args={"value": bad})]))
+        assert any("non-numeric" in e for e in errors), bad
+    # Well-formed counters pass.
+    good = wrap([row(ph="C", args={"value": 3}), row(ph="C", args={"0": 1.5, "1": 2})])
+    assert validate_chrome_trace(good) == []
+
+
+def test_validator_cli_exits_2_on_malformed_counter(tmp_path, capsys):
+    from repro.trace.validate import main
+
+    path = tmp_path / "counter.json"
+    path.write_text(json.dumps(wrap([row(ph="C", args={"value": "high"})])))
+    assert main([str(path)]) == 2
+    out = capsys.readouterr().out
+    assert "malformed counter payload" in out
