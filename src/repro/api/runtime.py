@@ -27,11 +27,12 @@ import numpy as np
 
 from repro.api.program import Program
 from repro.api.shared import SharedMatrix, SharedVector
+from repro.dsm.backend import BACKEND_NAMES
 from repro.dsm.protocol import DsmNode
 from repro.errors import ConfigError
 from repro.ft import FtConfig, FtManager, ProtocolSanitizer
 from repro.machine import Cluster, CostModel
-from repro.memory import SharedAddressSpace, Segment, apply_diff
+from repro.memory import SharedAddressSpace, Segment
 from repro.metrics.report import RunReport
 from repro.network import FaultPlan, LinkConfig, TransportConfig
 from repro.prefetch.engine import PrefetchEngine, PrefetchStats
@@ -106,10 +107,18 @@ class RunConfig:
     telemetry: Optional[TelemetryConfig] = None
     #: Safety valve for runaway simulations (events, not microseconds).
     max_events: Optional[int] = 50_000_000
+    #: Coherence protocol (``repro.dsm.backend``): ``lrc`` (TreadMarks-
+    #: style lazy release consistency, the default), ``hlrc`` (home-based
+    #: LRC), or ``sc`` (single-writer sequentially-consistent invalidate).
+    protocol: str = "lrc"
 
     def __post_init__(self) -> None:
         if self.threads_per_node < 1:
             raise ConfigError("threads_per_node must be >= 1")
+        if self.protocol not in BACKEND_NAMES:
+            raise ConfigError(
+                f"unknown protocol {self.protocol!r} (choose from {BACKEND_NAMES})"
+            )
         if self.num_nodes < 2:
             raise ConfigError("num_nodes must be >= 2")
         if self.ft is None and self.fault_plan is not None and (
@@ -197,7 +206,8 @@ class DsmRuntime:
         )
         self.space = SharedAddressSpace(config.page_size)
         self.dsm_nodes: list[DsmNode] = [
-            DsmNode(node, config.num_nodes) for node in self.cluster.nodes
+            DsmNode(node, config.num_nodes, protocol=config.protocol)
+            for node in self.cluster.nodes
         ]
         self.prefetch_engines: list[PrefetchEngine] = []
         if config.prefetch or config.history_prefetch:
@@ -227,7 +237,7 @@ class DsmRuntime:
         )
         self.cluster.sim.profile = self.profiler
         if config.sanitizer:
-            sanitizer = ProtocolSanitizer(config.num_nodes)
+            sanitizer = ProtocolSanitizer(config.num_nodes, protocol=config.protocol)
             sanitizer.profile = self.profiler
             self.cluster.sim.sanitizer = sanitizer
         #: The run's telemetry sampler: collecting when config.telemetry
@@ -367,6 +377,7 @@ class DsmRuntime:
         return RunReport(
             app_name=program.name,
             config_label=self.config.label,
+            protocol=self.config.protocol,
             num_nodes=self.config.num_nodes,
             threads_per_node=self.config.threads_per_node,
             wall_time_us=wall,
@@ -397,34 +408,11 @@ class DsmRuntime:
     def global_page(self, page_id: int) -> np.ndarray:
         """The authoritative final contents of a page.
 
-        Reconstructed by replaying every flushed diff — plus each node's
-        still-unflushed dirty modifications — in happened-before order,
-        starting from the demand-zero page.  This is exactly the value
-        any node would observe after synchronizing with everyone.
+        How the value is reconstructed is protocol-specific (LRC replays
+        the cluster-wide diff history; SC reads the owner's copy), so
+        the work is delegated to the coherence backend.
         """
-        from repro.dsm.interval import StoredDiff
-        from repro.memory import make_diff
-
-        page = np.zeros(self.config.page_size, dtype=np.uint8)
-        deltas: list[StoredDiff] = []
-        for dsm in self.dsm_nodes:
-            deltas.extend(dsm.diff_store.diffs_after(page_id, 0))
-            coherence = dsm._coherence.get(page_id)
-            if coherence is not None and coherence.dirty and coherence.twin is not None:
-                virtual = make_diff(
-                    page_id, coherence.twin, dsm.node.pages.page(page_id)
-                )
-                deltas.append(
-                    StoredDiff(
-                        proc=dsm.node_id,
-                        covers_through=dsm.vc[dsm.node_id] + 1,
-                        lamport=dsm.intervals.lamport + 1,
-                        diff=virtual,
-                    )
-                )
-        for item in sorted(deltas, key=lambda s: (s.lamport, s.proc)):
-            apply_diff(page, item.diff)
-        return page
+        return self.dsm_nodes[0].backend.global_page(self, page_id)
 
     def read_global(self, addr: int, nbytes: int, dtype: np.dtype = np.uint8) -> np.ndarray:
         """Authoritative bytes for a region (for verifiers)."""

@@ -17,6 +17,7 @@ import time
 
 from repro.api.runtime import DsmRuntime, RunConfig
 from repro.apps.registry import APP_ORDER, make_app
+from repro.dsm.backend import BACKEND_NAMES
 from repro.experiments.runner import parse_label
 from repro.network.faults import FaultPlan, NodeCrash
 from repro.network.transport import TransportConfig
@@ -40,6 +41,14 @@ def main(argv: list[str] | None = None) -> int:
         "--preset", default="default", choices=["small", "default", "paper"]
     )
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--protocol",
+        default="lrc",
+        choices=sorted(BACKEND_NAMES),
+        help="coherence backend: lrc (TreadMarks-style lazy release "
+        "consistency), hlrc (home-based LRC), sc (single-writer "
+        "sequentially-consistent invalidate)",
+    )
     parser.add_argument("--no-verify", action="store_true")
     parser.add_argument(
         "--history-prefetch",
@@ -86,7 +95,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--sanitizer",
         action="store_true",
-        help="check LRC protocol invariants at every transition",
+        help="check the selected protocol's invariants at every transition",
     )
     parser.add_argument(
         "--adaptive",
@@ -150,6 +159,7 @@ def main(argv: list[str] | None = None) -> int:
             prefetch=prefetch,
             history_prefetch=args.history_prefetch,
             seed=args.seed,
+            protocol=args.protocol,
             fault_plan=fault_plan,
             sanitizer=sanitizer,
             trace=TraceConfig() if trace else None,

@@ -66,6 +66,7 @@ def _run_entry(report: RunReport) -> dict:
     return {
         "app": report.app_name,
         "config": report.config_label,
+        "protocol": report.protocol,
         "metrics": metrics,
         "quantiles": quantiles,
         "hot_pages": profile.get("hot_pages", []),
@@ -82,6 +83,7 @@ def run_bench(
     top_n: int = 5,
     verbose: bool = True,
     jobs: int = 1,
+    protocol: str = "lrc",
 ) -> dict:
     """Run the sweep and return the BENCH document (not yet written).
 
@@ -98,6 +100,7 @@ def run_bench(
                 threads_per_node=threads_per_node,
                 prefetch=prefetch,
                 seed=seed,
+                protocol=protocol,
                 profile=ProfileConfig(top_n=top_n),
             )
             specs.append(
@@ -129,6 +132,7 @@ def run_bench(
         "preset": preset,
         "nodes": num_nodes,
         "seed": seed,
+        "protocol": protocol,
         "configs": list(configs),
         "runs": [_run_entry(report) for report in reports],
     }

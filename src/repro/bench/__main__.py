@@ -21,6 +21,7 @@ from repro.bench import (
     run_bench,
 )
 from repro.apps.registry import APP_ORDER
+from repro.dsm.backend import BACKEND_NAMES
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -45,6 +46,12 @@ def main(argv: list[str] | None = None) -> int:
         "--preset", default="small", choices=["small", "default", "paper"]
     )
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--protocol",
+        default="lrc",
+        choices=sorted(BACKEND_NAMES),
+        help="coherence backend for every cell (default lrc)",
+    )
     parser.add_argument(
         "--quick",
         action="store_true",
@@ -82,7 +89,8 @@ def main(argv: list[str] | None = None) -> int:
     jobs = default_jobs() if args.jobs == 0 else max(1, args.jobs)
     print(
         f"bench: {len(apps)} app(s) x {len(configs)} config(s) on {nodes} nodes "
-        f"({args.preset} preset, seed {args.seed}, {jobs} job(s))"
+        f"({args.preset} preset, seed {args.seed}, {args.protocol} protocol, "
+        f"{jobs} job(s))"
     )
     document = run_bench(
         apps,
@@ -93,6 +101,7 @@ def main(argv: list[str] | None = None) -> int:
         verify=not args.no_verify,
         top_n=args.top_n,
         jobs=jobs,
+        protocol=args.protocol,
     )
     out_path = args.out or bench_filename()
     with open(out_path, "w") as handle:

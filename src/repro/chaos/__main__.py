@@ -18,6 +18,8 @@ import sys
 import time
 from pathlib import Path
 
+from repro.dsm.backend import BACKEND_NAMES
+
 from repro.chaos.search import (
     DEFAULT_APPS,
     ChaosConfig,
@@ -51,6 +53,7 @@ def _run_search(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         split_brain_bug=args.split_brain_bug,
         adaptive=args.adaptive,
+        protocol=args.protocol,
     )
     started = time.perf_counter()
     done = 0
@@ -112,6 +115,12 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--preset", default="small", help="app size preset")
     parser.add_argument("--num-nodes", type=int, default=4)
+    parser.add_argument(
+        "--protocol",
+        default="lrc",
+        choices=sorted(BACKEND_NAMES),
+        help="coherence backend every sample runs on (default lrc)",
+    )
     parser.add_argument(
         "--out",
         default="chaos-reproducers",

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.api.runtime import DsmRuntime, RunConfig
 from repro.apps import available_apps, make_app
+from repro.dsm.backend import BACKEND_NAMES
 from repro.errors import ConfigError, ProtocolError, SimulationError
 from repro.ft import FtConfig
 from repro.network.faults import FaultPlan
@@ -60,6 +61,11 @@ class ChaosConfig:
     num_nodes: int = 4
     preset: str = "small"
     jobs: int = 1
+    #: Coherence backend every sample runs on.  The four standing
+    #: invariants (sanitizer, liveness, determinism, verify) are
+    #: protocol-independent; the sanitizer checks the backend-specific
+    #: invariant set for whichever protocol is selected.
+    protocol: str = "lrc"
     #: TEST-ONLY: arm :attr:`FtConfig.split_brain_bug` in every sample,
     #: to demonstrate the search catches (and shrinks) a real protocol
     #: hole.  Never set outside the harness's own validation.
@@ -90,6 +96,10 @@ class ChaosConfig:
             raise ConfigError(f"jobs must be >= 1, got {self.jobs}")
         if self.max_events < 1:
             raise ConfigError(f"max_events must be >= 1, got {self.max_events}")
+        if self.protocol not in BACKEND_NAMES:
+            raise ConfigError(
+                f"unknown protocol {self.protocol!r} (choose from {sorted(BACKEND_NAMES)})"
+            )
 
 
 @dataclass(frozen=True)
@@ -110,6 +120,7 @@ class ChaosSample:
     split_brain_bug: bool = False
     max_events: int = 5_000_000
     adaptive: bool = False
+    protocol: str = "lrc"
 
 
 @dataclass
@@ -208,7 +219,9 @@ def baseline_walls(config: ChaosConfig) -> dict[str, float]:
     three small runs cost a fraction of the search itself)."""
     walls: dict[str, float] = {}
     for app_name in config.apps:
-        run = RunConfig(num_nodes=config.num_nodes, seed=config.seed)
+        run = RunConfig(
+            num_nodes=config.num_nodes, seed=config.seed, protocol=config.protocol
+        )
         report = DsmRuntime(run).execute(make_app(app_name, config.preset))
         walls[app_name] = report.wall_time_us
     return walls
@@ -235,6 +248,7 @@ def generate_samples(
                 split_brain_bug=config.split_brain_bug,
                 max_events=config.max_events,
                 adaptive=config.adaptive,
+                protocol=config.protocol,
             )
         )
     return samples
@@ -253,6 +267,7 @@ def _execute(sample: ChaosSample):
     config = RunConfig(
         num_nodes=sample.num_nodes,
         seed=sample.seed,
+        protocol=sample.protocol,
         fault_plan=FaultPlan.from_dict(sample.plan),
         sanitizer=True,
         # FT always on: stalls and give-ups park messages that only the
@@ -423,6 +438,7 @@ def reproducer_dict(result: SampleResult) -> dict:
         "split_brain_bug": sample.split_brain_bug,
         "max_events": sample.max_events,
         "adaptive": sample.adaptive,
+        "protocol": sample.protocol,
         "failures": list(result.failures),
         "error": result.error,
         # Round-trip through FaultPlan so the stored form is normalized
@@ -454,6 +470,7 @@ def load_reproducer(path: Path) -> ChaosSample:
             split_brain_bug=bool(data.get("split_brain_bug", False)),
             max_events=int(data.get("max_events", 5_000_000)),
             adaptive=bool(data.get("adaptive", False)),
+            protocol=str(data.get("protocol", "lrc")),
         )
     except KeyError as exc:
         raise ConfigError(f"reproducer missing field: {exc}") from exc

@@ -240,9 +240,12 @@ def _projections(pag: ProgramActivityGraph) -> tuple[dict[str, Fraction], bool]:
     measured = _longest_path(pag, _real_wire, _real_slice)
     scenarios = {
         "zero_latency_network": _longest_path(pag, lambda w: zero, _real_slice),
+        # Prefetch hides demand data movement: diff round trips under
+        # LRC, whole-page fetch legs under HLRC/SC.  Invalidations stay
+        # — no amount of prefetching removes an ownership transfer.
         "perfect_prefetch": _longest_path(
             pag,
-            lambda w: zero if w.category == "diff_rtt" else _real_wire(w),
+            lambda w: zero if w.category in ("diff_rtt", "page_fetch") else _real_wire(w),
             _real_slice,
         ),
         "zero_cost_switch": _longest_path(

@@ -68,6 +68,23 @@ WIRE_CATEGORY = {
     "lock_grant": "lock_wait",
     "barrier_arrive": "barrier_wait",
     "barrier_release": "barrier_wait",
+    # HLRC: whole-page fault round trips to the home, and the eager
+    # release-time flushes that feed it.
+    "page_request": "page_fetch",
+    "page_reply": "page_fetch",
+    "home_update": "home_update",
+    "home_update_ack": "home_update",
+    # SC: the ownership transaction's data-movement legs blame
+    # page_fetch; the invalidation round trips (and the write grant
+    # that completes them) get their own category — under SC they are
+    # the protocol's defining cost, not generic "network".
+    "sc_req": "page_fetch",
+    "sc_fetch": "page_fetch",
+    "sc_data": "page_fetch",
+    "sc_done": "page_fetch",
+    "sc_inval": "invalidation",
+    "sc_inval_ack": "invalidation",
+    "sc_grant": "invalidation",
 }
 
 

@@ -1,14 +1,18 @@
-"""The per-node DSM protocol engine (TreadMarks-style LRC).
+"""The per-node DSM protocol engine.
 
-``DsmNode`` owns the node's coherence state — vector clock, interval
-manager, write-notice log, diff store, per-page metadata — and exposes:
+``DsmNode`` is the protocol *host* for one node: it owns what every
+coherence protocol shares — the lock and barrier subsystems, the
+prefetch/FT hooks, message dispatch, and the fault counters — and
+delegates everything protocol-specific to a
+:class:`~repro.dsm.backend.CoherenceBackend` strategy selected by
+``RunConfig.protocol`` (``lrc`` / ``hlrc`` / ``sc``).
 
-- the *thread-facing* operations used by the scheduler
-  (``op_touch_page``, lock/barrier ops via the subsystems), and
-- the *message dispatch* for everything arriving from the network.
+:class:`LrcBackend`, defined here, is the default: TreadMarks-style
+lazy release consistency with vector clocks, intervals, write notices,
+twins and diffs.
 
-Design notes
-------------
+Design notes (LRC)
+------------------
 Diffs are created lazily, at request time.  Flushing a dirty page tags
 the diff as covering through the *open* interval (``vc.own + 1``): the
 write notice for those modifications will carry exactly that index when
@@ -24,6 +28,7 @@ from typing import TYPE_CHECKING, Generator, Optional
 
 import numpy as np
 
+from repro.dsm.backend import CoherenceBackend, make_backend
 from repro.dsm.barriers import BarrierSubsystem
 from repro.dsm.interval import DiffStore, IntervalManager, StoredDiff
 from repro.dsm.locks import LockSubsystem
@@ -40,55 +45,64 @@ from repro.sim import Event, spawn
 if TYPE_CHECKING:  # pragma: no cover
     from repro.prefetch.engine import PrefetchEngine
 
-__all__ = ["DsmNode"]
+__all__ = ["DsmNode", "LrcBackend"]
 
 
 class DsmNode:
-    """The DSM protocol state machine for one node."""
+    """The DSM protocol host for one node."""
 
-    def __init__(self, node: Node, num_nodes: int) -> None:
+    def __init__(self, node: Node, num_nodes: int, protocol: str = "lrc") -> None:
         self.node = node
         self.sim = node.sim
         self.node_id = node.node_id
         self.num_nodes = num_nodes
-        self.vc = VectorClock(num_nodes, owner=self.node_id)
-        self.intervals = IntervalManager(owner=self.node_id)
-        self.wn_log = WriteNoticeLog(num_nodes)
-        self.diff_store = DiffStore()
-        self.locks = LockSubsystem(self)
-        self.barriers = BarrierSubsystem(self)
-        self._coherence: dict[int, PageCoherence] = {}
-        #: pages flushed during the currently open interval (forces a
-        #: sub-interval on re-dirty).
-        self._flushed_in_open: set[int] = set()
-        #: outstanding diff request completion events, by request id.
-        self._pending_requests: dict[int, Event] = {}
-        #: in-progress flush per page (serializes concurrent handlers).
-        self._flush_events: dict[int, Event] = {}
-        self._next_request_id = 0
         #: optional prefetch engine (installed by the runtime when on).
         self.prefetch: Optional["PrefetchEngine"] = None
         #: optional fault-tolerance manager (installed by the runtime);
         #: receives heartbeat/membership messages and barrier-epoch
         #: checkpoint opportunities.
         self.ft = None
-        # statistics
+        # statistics (host-owned: monotone across rollbacks, and the
+        # fault counter names trace correlation ids).
         self.faults = 0
         self.diff_requests_served = 0
+        self.backend: CoherenceBackend = make_backend(protocol, self)
+        self.locks = LockSubsystem(self)
+        self.barriers = BarrierSubsystem(self)
         node.set_message_handler(self.dispatch)
+
+    @property
+    def protocol(self) -> str:
+        return self.backend.name
+
+    # -- protocol-state views (backend-owned; SC serves inert instances) ----
+
+    @property
+    def vc(self) -> VectorClock:
+        return self.backend.vc
+
+    @property
+    def intervals(self) -> IntervalManager:
+        return self.backend.intervals
+
+    @property
+    def wn_log(self) -> WriteNoticeLog:
+        return self.backend.wn_log
+
+    @property
+    def diff_store(self) -> DiffStore:
+        return self.backend.diff_store
 
     # -- small helpers -----------------------------------------------------
 
     def coherence(self, page_id: int) -> PageCoherence:
-        state = self._coherence.get(page_id)
-        if state is None:
-            state = PageCoherence(page_id, self.num_nodes)
-            self._coherence[page_id] = state
-        return state
+        return self.backend.coherence(page_id)
 
     def page_valid(self, page_id: int) -> bool:
-        state = self._coherence.get(page_id)
-        return state is None or state.valid
+        return self.backend.page_valid(page_id)
+
+    def page_writable(self, page_id: int) -> bool:
+        return self.backend.page_writable(page_id)
 
     def send(self, message: Message):
         """Generator: charge the send cost and inject the message."""
@@ -119,6 +133,141 @@ class DsmNode:
     # ``occupy_dsm`` is used heavily by the subsystems.
     def _occupy_dsm(self, duration: float):
         yield from self.node.occupy(duration, Category.DSM)
+
+    # -- delegated protocol surface ----------------------------------------
+
+    def close_interval_charged(self) -> Generator:
+        """The release action (protocol-specific)."""
+        return self.backend.close_interval_charged()
+
+    def apply_notices_charged(
+        self, notices: list[WriteNotice], advance_vc: bool = True
+    ) -> Generator:
+        """The acquire action (protocol-specific)."""
+        return self.backend.apply_notices_charged(notices, advance_vc)
+
+    def op_write_touch(self, page_id: int) -> Generator:
+        return self.backend.op_write_touch(page_id)
+
+    def ensure_valid(self, page_id: int, for_write: bool = False) -> Optional[Event]:
+        return self.backend.ensure_valid(page_id, for_write)
+
+    def flush_page_if_dirty(self, page_id: int) -> Generator:
+        return self.backend.flush_page_if_dirty(page_id)
+
+    def apply_stored_diffs(self, page_id: int, stored: list[StoredDiff]) -> Generator:
+        return self.backend.apply_stored_diffs(page_id, stored)
+
+    def reply_notices(
+        self, page_id: int, t_have: int, requester_vc: Optional[tuple[int, ...]] = None
+    ) -> list[WriteNotice]:
+        return self.backend.reply_notices(page_id, t_have, requester_vc)
+
+    # -- dispatch -------------------------------------------------------------------
+
+    def dispatch(self, msg: Message) -> Generator:
+        """Route an arriving message to its handler (runs as a process)."""
+        kind = msg.kind
+        if kind is MessageKind.LOCK_REQUEST:
+            yield from self.locks.handle_request(msg)
+        elif kind is MessageKind.LOCK_FORWARD:
+            yield from self.locks.handle_forward(msg)
+        elif kind is MessageKind.LOCK_GRANT:
+            yield from self.locks.handle_grant(msg)
+        elif kind is MessageKind.BARRIER_ARRIVE:
+            yield from self.barriers.handle_arrive(msg)
+        elif kind is MessageKind.BARRIER_RELEASE:
+            yield from self.barriers.handle_release(msg)
+        elif kind in (
+            MessageKind.HEARTBEAT,
+            MessageKind.FT_DOWN,
+            MessageKind.FT_UP,
+            MessageKind.FT_REJOIN,
+        ):
+            if self.ft is not None:
+                yield from self.ft.handle_message(self.node_id, msg)
+        elif kind.is_prefetch:
+            if self.prefetch is None:
+                raise ProtocolError("prefetch message with no prefetch engine installed")
+            yield from self.prefetch.dispatch(msg)
+        else:
+            # Coherence-protocol kinds (diff/page/invalidate traffic).
+            yield from self.backend.handle_message(msg)
+
+    # -- checkpoint / recovery ------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Deep-copy the node's full protocol state at a consistent cut.
+
+        Taken at a barrier cut (all threads cluster-wide blocked at the
+        barrier), so no fetch, flush, or coherence transaction can be in
+        flight; per-request bookkeeping is therefore not part of the
+        snapshot and is simply cleared on restore.  The backend
+        contributes the protocol-specific part; the host adds what every
+        protocol shares.  No mutable structure is shared with live state.
+        """
+        snap = self.backend.snapshot_state()
+        snap["protocol"] = self.backend.name
+        snap["locks"] = self.locks.snapshot_state()
+        snap["barriers"] = self.barriers.snapshot_state()
+        snap["pages"] = self.node.pages.snapshot_all()
+        return snap
+
+    def restore_state(self, snap: dict) -> None:
+        """Rewind to a :meth:`snapshot_state` cut (coordinated rollback)."""
+        self.backend.restore_state(snap)
+        self.locks.restore_state(snap["locks"])
+        self.barriers.restore_state(snap["barriers"])
+        self.node.pages.restore_all(snap["pages"])
+        # Counting stats (faults, requests served) are deliberately NOT
+        # rolled back: redone work is real work, and monotone counters
+        # keep trace correlation ids unique across the rollback.
+
+    # Convenience alias used by the lock/barrier subsystems.
+    def occupy_dsm(self, duration: float):
+        return self.node.occupy(duration, Category.DSM)
+
+
+class LrcBackend(CoherenceBackend):
+    """TreadMarks-style lazy release consistency (the default backend)."""
+
+    name = "lrc"
+    supports_diff_prefetch = True
+
+    def __init__(self, host: DsmNode) -> None:
+        super().__init__(host)
+        self.vc = VectorClock(self.num_nodes, owner=self.node_id)
+        self.intervals = IntervalManager(owner=self.node_id)
+        self.wn_log = WriteNoticeLog(self.num_nodes)
+        self.diff_store = DiffStore()
+        self._coherence: dict[int, PageCoherence] = {}
+        #: pages flushed during the currently open interval (forces a
+        #: sub-interval on re-dirty).
+        self._flushed_in_open: set[int] = set()
+        #: outstanding diff request completion events, by request id.
+        self._pending_requests: dict[int, Event] = {}
+        #: in-progress flush per page (serializes concurrent handlers).
+        self._flush_events: dict[int, Event] = {}
+        self._next_request_id = 0
+
+    # -- small helpers -----------------------------------------------------
+
+    def coherence(self, page_id: int) -> PageCoherence:
+        state = self._coherence.get(page_id)
+        if state is None:
+            state = PageCoherence(page_id, self.num_nodes)
+            self._coherence[page_id] = state
+        return state
+
+    def page_valid(self, page_id: int) -> bool:
+        state = self._coherence.get(page_id)
+        return state is None or state.valid
+
+    def page_writable(self, page_id: int) -> bool:
+        # Valid + dirty with a live twin that is not write-protected:
+        # exactly the store-readiness predicate the scheduler needs.
+        state = self.coherence(page_id)
+        return state.valid and state.dirty and not state.write_protected
 
     # -- consistency actions -------------------------------------------------
 
@@ -235,11 +384,13 @@ class DsmNode:
 
     # -- fault / fetch path ------------------------------------------------------
 
-    def ensure_valid(self, page_id: int) -> Optional[Event]:
+    def ensure_valid(self, page_id: int, for_write: bool = False) -> Optional[Event]:
         """Return None if the page is usable now, else a fetch event.
 
         All local threads faulting on the same page share one event
-        (request combining for remote memory accesses).
+        (request combining for remote memory accesses).  ``for_write``
+        is ignored: under LRC any valid page accepts stores once
+        :meth:`op_write_touch` has made a twin.
         """
         state = self.coherence(page_id)
         if state.valid:
@@ -258,14 +409,14 @@ class DsmNode:
 
     def _fetch(self, page_id: int, done: Event) -> Generator:
         """The fault handler: gather diffs until the page is valid."""
-        self.faults += 1
+        self.host.faults += 1
         costs = self.node.costs
         tr = self.sim.trace
         pf = self.sim.profile
         fault_started = self.sim.now
         if pf.enabled:
             pf.entity_add("page", page_id, "faults")
-        fault_id = f"n{self.node_id}:f{self.faults}"
+        fault_id = f"n{self.node_id}:f{self.host.faults}"
         if tr.enabled:
             tr.async_begin(
                 self.sim.now, "protocol", "page_fault", self.node_id, fault_id, page=page_id
@@ -537,7 +688,7 @@ class DsmNode:
         return notices
 
     def handle_diff_request(self, msg: Message) -> Generator:
-        self.diff_requests_served += 1
+        self.host.diff_requests_served += 1
         if self.sim.profile_on:
             pf = self.sim.profile
             pf.entity_add("page", msg.payload["page_id"], "diffs_served")
@@ -608,42 +759,19 @@ class DsmNode:
 
     # -- dispatch -------------------------------------------------------------------
 
-    def dispatch(self, msg: Message) -> Generator:
-        """Route an arriving message to its handler (runs as a process)."""
+    def handle_message(self, msg: Message) -> Generator:
         kind = msg.kind
         if kind is MessageKind.DIFF_REQUEST:
             yield from self.handle_diff_request(msg)
         elif kind is MessageKind.DIFF_REPLY:
             yield from self.handle_diff_reply(msg)
-        elif kind is MessageKind.LOCK_REQUEST:
-            yield from self.locks.handle_request(msg)
-        elif kind is MessageKind.LOCK_FORWARD:
-            yield from self.locks.handle_forward(msg)
-        elif kind is MessageKind.LOCK_GRANT:
-            yield from self.locks.handle_grant(msg)
-        elif kind is MessageKind.BARRIER_ARRIVE:
-            yield from self.barriers.handle_arrive(msg)
-        elif kind is MessageKind.BARRIER_RELEASE:
-            yield from self.barriers.handle_release(msg)
-        elif kind in (
-            MessageKind.HEARTBEAT,
-            MessageKind.FT_DOWN,
-            MessageKind.FT_UP,
-            MessageKind.FT_REJOIN,
-        ):
-            if self.ft is not None:
-                yield from self.ft.handle_message(self.node_id, msg)
-        elif kind.is_prefetch:
-            if self.prefetch is None:
-                raise ProtocolError("prefetch message with no prefetch engine installed")
-            yield from self.prefetch.dispatch(msg)
-        else:  # pragma: no cover - MessageKind is closed
-            raise ProtocolError(f"unhandled message kind {kind}")
+        else:
+            yield from super().handle_message(msg)
 
     # -- checkpoint / recovery ------------------------------------------------
 
     def snapshot_state(self) -> dict:
-        """Deep-copy the node's full protocol state at a consistent cut.
+        """Deep-copy the backend's LRC state at a consistent cut.
 
         Taken at a barrier cut (all threads cluster-wide blocked at the
         barrier), so no fetch, flush, or diff request can be in flight;
@@ -655,38 +783,56 @@ class DsmNode:
             "intervals": self.intervals.snapshot_state(),
             "wn_log": self.wn_log.snapshot_state(),
             "diff_store": self.diff_store.snapshot_state(),
-            "locks": self.locks.snapshot_state(),
-            "barriers": self.barriers.snapshot_state(),
             "coherence": {
                 pid: state.snapshot_state() for pid, state in self._coherence.items()
             },
             "flushed_in_open": set(self._flushed_in_open),
             "next_request_id": self._next_request_id,
-            "pages": self.node.pages.snapshot_all(),
         }
 
     def restore_state(self, snap: dict) -> None:
-        """Rewind to a :meth:`snapshot_state` cut (coordinated rollback)."""
         self.vc.restore(snap["vc"])
         self.intervals.restore_state(snap["intervals"])
         self.wn_log.restore_state(snap["wn_log"])
         self.diff_store.restore_state(snap["diff_store"])
-        self.locks.restore_state(snap["locks"])
-        self.barriers.restore_state(snap["barriers"])
         self._coherence = {
             pid: PageCoherence.from_snapshot(pid, self.num_nodes, page_snap)
             for pid, page_snap in snap["coherence"].items()
         }
         self._flushed_in_open = set(snap["flushed_in_open"])
         self._next_request_id = snap["next_request_id"]
-        self.node.pages.restore_all(snap["pages"])
-        # Counting stats (faults, requests served) are deliberately NOT
-        # rolled back: redone work is real work, and monotone counters
-        # keep trace correlation ids unique across the rollback.
         # Any in-flight request/flush belongs to the discarded execution.
         self._pending_requests.clear()
         self._flush_events.clear()
 
-    # Convenience alias used by the lock/barrier subsystems.
-    def occupy_dsm(self, duration: float):
-        return self.node.occupy(duration, Category.DSM)
+    # -- verification ---------------------------------------------------------
+
+    def global_page(self, runtime, page_id: int) -> np.ndarray:
+        """The authoritative final contents of a page.
+
+        Reconstructed by replaying every flushed diff — plus each node's
+        still-unflushed dirty modifications — in happened-before order,
+        starting from the demand-zero page.  This is exactly the value
+        any node would observe after synchronizing with everyone.
+        """
+        page = np.zeros(runtime.config.page_size, dtype=np.uint8)
+        deltas: list[StoredDiff] = []
+        for dsm in runtime.dsm_nodes:
+            backend = dsm.backend
+            deltas.extend(backend.diff_store.diffs_after(page_id, 0))
+            coherence = backend._coherence.get(page_id)
+            if coherence is not None and coherence.dirty and coherence.twin is not None:
+                virtual = make_diff(
+                    page_id, coherence.twin, dsm.node.pages.page(page_id)
+                )
+                deltas.append(
+                    StoredDiff(
+                        proc=dsm.node_id,
+                        covers_through=backend.vc[dsm.node_id] + 1,
+                        lamport=backend.intervals.lamport + 1,
+                        diff=virtual,
+                    )
+                )
+        for item in sorted(deltas, key=lambda s: (s.lamport, s.proc)):
+            apply_diff(page, item.diff)
+        return page

@@ -4,6 +4,7 @@ from repro.experiments.adaptive import adaptive_matrix
 from repro.experiments.crash import crash_matrix
 from repro.experiments.critpath import critpath_matrix
 from repro.experiments.figures import figure1, figure2, figure3, figure4, figure5
+from repro.experiments.protocol import protocol_matrix
 from repro.experiments.runner import CONFIG_LABELS, ExperimentRunner, parse_label
 from repro.experiments.tables import table1, table2
 
@@ -18,6 +19,7 @@ ALL_EXPERIMENTS = {
     "crash": crash_matrix,
     "critpath": critpath_matrix,
     "adaptive": adaptive_matrix,
+    "protocol": protocol_matrix,
 }
 
 __all__ = [
@@ -33,6 +35,7 @@ __all__ = [
     "figure4",
     "figure5",
     "parse_label",
+    "protocol_matrix",
     "table1",
     "table2",
 ]

@@ -40,6 +40,12 @@ def main(argv: list[str] | None = None) -> int:
         "the 'adaptive' id)",
     )
     parser.add_argument(
+        "--protocol",
+        action="store_true",
+        help="run the coherence-protocol comparison matrix, lrc vs hlrc "
+        "vs sc (shorthand for the 'protocol' id)",
+    )
+    parser.add_argument(
         "--crash-node",
         type=int,
         default=3,
@@ -110,6 +116,8 @@ def main(argv: list[str] | None = None) -> int:
         wanted.append("crash")
     if args.adaptive and "adaptive" not in wanted:
         wanted.append("adaptive")
+    if args.protocol and "protocol" not in wanted:
+        wanted.append("protocol")
     if args.critpath and not wanted:
         wanted.append("critpath")
     if not wanted:

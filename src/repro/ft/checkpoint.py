@@ -59,18 +59,35 @@ class NodeCheckpoint:
             self.size_bytes = self._measure()
 
     def _measure(self) -> int:
+        # Keyed with .get(): the snapshot layout is backend-specific.
+        # The LRC family contributes twins, lamport watermarks, diff
+        # archives and write-notice logs; the SC backend instead has
+        # per-page modes and directory entries; every backend has page
+        # contents and a vector clock (inert under SC).
         total = 0
         for arr in self.dsm["pages"].values():
             total += arr.nbytes
-        for snap in self.dsm["coherence"].values():
+        for snap in self.dsm.get("coherence", {}).values():
             if snap["twin"] is not None:
                 total += snap["twin"].nbytes
             if snap["byte_lamports"] is not None:
                 total += snap["byte_lamports"].nbytes
-        for diffs in self.dsm["diff_store"]["by_page"].values():
-            total += sum(d.diff.size_bytes for d in diffs)
-        for known in self.dsm["wn_log"]["by_proc"]:
-            total += WIRE_BYTES_PER_NOTICE * len(known)
+        diff_store = self.dsm.get("diff_store")
+        if diff_store is not None:
+            for diffs in diff_store["by_page"].values():
+                total += sum(d.diff.size_bytes for d in diffs)
+        wn_log = self.dsm.get("wn_log")
+        if wn_log is not None:
+            for known in wn_log["by_proc"]:
+                total += WIRE_BYTES_PER_NOTICE * len(known)
+        # SC: one byte per recorded page mode, one word per directory
+        # owner plus one per copyset member.
+        total += len(self.dsm.get("page_modes", ()))
+        for entry in self.dsm.get("directory", {}).values():
+            total += 4 + 4 * len(entry["copyset"])
+        # HLRC: the home's applied-vector per hosted page.
+        for covers in self.dsm.get("home_applied", {}).values():
+            total += 4 * len(covers)
         total += 4 * len(self.dsm["vc"])
         for _tid, values in self.thread_logs:
             total += sum(_value_bytes(v) for v in values)

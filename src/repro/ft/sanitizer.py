@@ -1,10 +1,19 @@
-"""Runtime protocol-invariant sanitizer for the LRC protocol.
+"""Runtime protocol-invariant sanitizer, gated per coherence backend.
 
 The sanitizer is a passive observer attached to the simulator
 (``sim.sanitizer``), mirroring the ``NULL_TRACER`` pattern: the default
 is :data:`NULL_SANITIZER` whose ``enabled`` is False, so un-sanitized
-runs pay one attribute check per hook site and nothing else.  When
-enabled it asserts, at every protocol transition:
+runs pay one attribute check per hook site and nothing else.
+
+Invariants are **protocol-gated**: the LRC family's assertions are
+meaningless under the SC-invalidate backend (no twins, diffs, intervals
+or vector clocks exist), and would raise false ``ProtocolError``s if an
+SC run ever tripped them.  They are not silently skipped either — under
+``sc`` any LRC-machinery hook firing at all IS the violation (the inert
+vector clock must never advance, no interval may ever close), and SC
+gets its own invariants in exchange.
+
+LRC / HLRC invariants (``protocol`` in ``{"lrc", "hlrc"}``):
 
 - **vector-clock monotonicity** — no component of any node's vector
   clock ever decreases;
@@ -17,6 +26,26 @@ enabled it asserts, at every protocol transition:
   tuple of every applied diff is globally unique per applying node;
 - **twin/diff lifecycle discipline** — a twin is never created over an
   existing twin, and a dirty page is never flushed without one.
+
+HLRC adds (``protocol == "hlrc"``):
+
+- **home routing** — a home update may only land on the page's home
+  node, and only the home ever serves a page fetch;
+- **home coverage monotonicity** — the applied-vector a home announces
+  for a page never decreases component-wise across serves.
+
+SC-invalidate invariants (``protocol == "sc"``):
+
+- **protocol isolation** — no LRC machinery (twins, diffs, intervals,
+  vector-clock advances, write notices) is ever active;
+- **transaction serialization** — the directory never starts a second
+  coherence transaction on a page while one is active;
+- **single writer** — when write access is granted, the granted node
+  holds the only valid copy cluster-wide (mirrored from install /
+  invalidate events);
+- **invalidation targeting** — an invalidation is only ever delivered
+  to a node that actually holds a copy (a miss means the directory's
+  copyset drifted from reality).
 
 Violations raise :class:`~repro.errors.ProtocolError` carrying a dump of
 the most recent protocol transitions for diagnosis.
@@ -40,18 +69,26 @@ _RING_CAPACITY = 64
 
 
 class ProtocolSanitizer:
-    """Checks LRC invariants at protocol transitions; see module docs."""
+    """Checks protocol invariants at transitions, gated per backend."""
 
     enabled = True
 
-    def __init__(self, num_nodes: int) -> None:
+    def __init__(self, num_nodes: int, protocol: str = "lrc") -> None:
         self.num_nodes = num_nodes
+        self.protocol = protocol
         #: Highest interval index each processor has *created* (closed).
         self._created: list[int] = [0] * num_nodes
         #: Keys of every diff application, per applying node.
         self._applied: set[tuple[int, int, int, int, int]] = set()
         #: Pages currently twinned, per node.
         self._twinned: set[tuple[int, int]] = set()
+        #: SC: mirror of which nodes hold a valid copy of each page,
+        #: maintained from install/invalidate events.
+        self._sc_copies: dict[int, set[int]] = {}
+        #: SC: pages with an active directory transaction (at manager).
+        self._sc_active: dict[int, tuple[int, str]] = {}
+        #: HLRC: per-(home, page) last served applied-vector.
+        self._served_covers: dict[tuple[int, int], tuple[int, ...]] = {}
         #: Recent transitions, newest last, for the diagnostic dump.
         self._ring: deque[str] = deque(maxlen=_RING_CAPACITY)
         self.checks = 0
@@ -76,10 +113,40 @@ class ProtocolSanitizer:
             f"  recent protocol transitions (oldest first):\n    {recent}"
         )
 
-    # -- hooks -----------------------------------------------------------
+    # -- protocol gating -------------------------------------------------
+
+    def _lrc_only(self, node_id: int, hook: str) -> None:
+        """LRC-machinery hooks must be dead under the SC backend."""
+        if self.protocol == "sc":
+            self._violate(
+                node_id,
+                "protocol isolation",
+                f"LRC machinery active under the sc backend ({hook})",
+            )
+
+    def _sc_only(self, node_id: int, hook: str) -> None:
+        if self.protocol != "sc":
+            self._violate(
+                node_id,
+                "protocol isolation",
+                f"SC directory machinery active under the {self.protocol} backend "
+                f"({hook})",
+            )
+
+    def _hlrc_only(self, node_id: int, hook: str) -> None:
+        if self.protocol != "hlrc":
+            self._violate(
+                node_id,
+                "protocol isolation",
+                f"home-based machinery active under the {self.protocol} backend "
+                f"({hook})",
+            )
+
+    # -- hooks (LRC family) ----------------------------------------------
 
     def on_vc_update(self, node_id: int, proc: int, old: int, new: int) -> None:
         self.checks += 1
+        self._lrc_only(node_id, "on_vc_update")
         self.note(node_id, "vc", f"proc {proc}: {old} -> {new}")
         if new < old:
             self._violate(
@@ -90,6 +157,7 @@ class ProtocolSanitizer:
 
     def on_interval_closed(self, node_id: int, index: int) -> None:
         self.checks += 1
+        self._lrc_only(node_id, "on_interval_closed")
         self.note(node_id, "interval", f"closed own interval {index}")
         expected = self._created[node_id] + 1
         if index != expected:
@@ -103,6 +171,7 @@ class ProtocolSanitizer:
 
     def on_write_notice(self, node_id: int, proc: int, interval_idx: int, page_id: int) -> None:
         self.checks += 1
+        self._lrc_only(node_id, "on_write_notice")
         self.note(
             node_id, "notice", f"page {page_id} proc {proc} interval {interval_idx}"
         )
@@ -118,6 +187,7 @@ class ProtocolSanitizer:
         self, node_id: int, page_id: int, proc: int, covers_through: int, lamport: int
     ) -> None:
         self.checks += 1
+        self._lrc_only(node_id, "on_diff_applied")
         key = (node_id, page_id, proc, covers_through, lamport)
         self.note(
             node_id,
@@ -135,6 +205,7 @@ class ProtocolSanitizer:
 
     def on_twin_created(self, node_id: int, page_id: int) -> None:
         self.checks += 1
+        self._lrc_only(node_id, "on_twin_created")
         key = (node_id, page_id)
         self.note(node_id, "twin", f"create twin for page {page_id}")
         if key in self._twinned:
@@ -147,6 +218,7 @@ class ProtocolSanitizer:
 
     def on_flush(self, node_id: int, page_id: int, had_twin: bool) -> None:
         self.checks += 1
+        self._lrc_only(node_id, "on_flush")
         key = (node_id, page_id)
         self.note(node_id, "flush", f"flush dirty page {page_id} (twin={had_twin})")
         if not had_twin:
@@ -161,6 +233,127 @@ class ProtocolSanitizer:
         self._twinned.discard((node_id, page_id))
         self.note(node_id, "twin", f"drop twin for page {page_id}")
 
+    # -- hooks (HLRC) ----------------------------------------------------
+
+    def on_home_update(self, node_id: int, page_id: int, home: int) -> None:
+        """A flushed diff arrived at ``node_id`` claiming ``home``."""
+        self.checks += 1
+        self._hlrc_only(node_id, "on_home_update")
+        self.note(node_id, "home", f"update for page {page_id} (home {home})")
+        if node_id != home:
+            self._violate(
+                node_id,
+                "home routing",
+                f"home update for page {page_id} landed on node {node_id}, "
+                f"but its home is {home}",
+            )
+
+    def on_page_served(
+        self, node_id: int, page_id: int, home: int, covers: tuple
+    ) -> None:
+        """The home served a whole-page fetch covering ``covers``."""
+        self.checks += 1
+        self._hlrc_only(node_id, "on_page_served")
+        self.note(node_id, "home", f"serve page {page_id} covers {covers}")
+        if node_id != home:
+            self._violate(
+                node_id,
+                "home routing",
+                f"page {page_id} served by node {node_id}, but its home is {home}",
+            )
+        covers = tuple(covers)
+        key = (node_id, page_id)
+        last = self._served_covers.get(key)
+        if last is not None and any(c < p for c, p in zip(covers, last)):
+            self._violate(
+                node_id,
+                "home coverage monotonicity",
+                f"page {page_id} served with coverage {covers}, "
+                f"below an earlier serve's {last}",
+            )
+        self._served_covers[key] = covers
+
+    # -- hooks (SC-invalidate) -------------------------------------------
+
+    def on_sc_txn_start(self, node_id: int, page_id: int, requester: int, mode: str) -> None:
+        """The directory admitted a coherence transaction on a page."""
+        self.checks += 1
+        self._sc_only(node_id, "on_sc_txn_start")
+        self.note(node_id, "sc", f"txn start page {page_id} {mode} for {requester}")
+        active = self._sc_active.get(page_id)
+        if active is not None:
+            self._violate(
+                node_id,
+                "transaction serialization",
+                f"page {page_id} transaction for node {requester} ({mode}) started "
+                f"while one for node {active[0]} ({active[1]}) is active",
+            )
+        self._sc_active[page_id] = (requester, mode)
+
+    def on_sc_txn_end(self, node_id: int, page_id: int) -> None:
+        self.checks += 1
+        self._sc_only(node_id, "on_sc_txn_end")
+        self.note(node_id, "sc", f"txn end page {page_id}")
+        self._sc_active.pop(page_id, None)
+
+    def _sc_copyset(self, page_id: int) -> set:
+        """The mirror's copyset for a page.
+
+        A page absent from the mirror has never diverged from the
+        all-SHARED initial state (every node boots with a zero-filled
+        replica of every page), so the default is *all nodes* — an
+        entry is materialized only once install/invalidate traffic
+        touches the page.
+        """
+        copies = self._sc_copies.get(page_id)
+        if copies is None:
+            copies = set(range(self.num_nodes))
+            self._sc_copies[page_id] = copies
+        return copies
+
+    def on_sc_install(self, node_id: int, page_id: int, mode: str) -> None:
+        """``node_id`` gained a valid copy (``read``/``write``)."""
+        self.checks += 1
+        self._sc_only(node_id, "on_sc_install")
+        self.note(node_id, "sc", f"install page {page_id} ({mode})")
+        copies = self._sc_copyset(page_id)
+        copies.add(node_id)
+        if mode == "write" and copies != {node_id}:
+            self._violate(
+                node_id,
+                "single writer",
+                f"write access to page {page_id} granted while copies remain "
+                f"on nodes {sorted(copies - {node_id})}",
+            )
+
+    def on_sc_invalidate(self, node_id: int, page_id: int) -> None:
+        """``node_id``'s copy of the page was invalidated."""
+        self.checks += 1
+        self._sc_only(node_id, "on_sc_invalidate")
+        self.note(node_id, "sc", f"invalidate page {page_id}")
+        copies = self._sc_copyset(page_id)
+        if node_id not in copies:
+            self._violate(
+                node_id,
+                "invalidation targeting",
+                f"invalidation of page {page_id} delivered to node {node_id}, "
+                f"which holds no copy (directory copyset drift)",
+            )
+        copies.discard(node_id)
+
+    def on_sc_restore(self, node_id: int, invalid_pages) -> None:
+        """Rebuild the copy mirror from one node's restored page modes.
+
+        Called by each node's backend restore after :meth:`on_rollback`
+        cleared the mirror.  Only *invalid* pages are reported: a page
+        can lose a node's copy only through an invalidation, which
+        materializes that node's page record — so any page a node does
+        not report invalid, it holds (possibly as the untouched default
+        replica), matching the mirror's absent-means-everyone default.
+        """
+        for page_id in invalid_pages:
+            self._sc_copyset(page_id).discard(node_id)
+
     # -- recovery --------------------------------------------------------
 
     def on_rollback(self, node_vcs: Optional[list] = None) -> None:
@@ -172,6 +365,9 @@ class ProtocolSanitizer:
         """
         self._applied.clear()
         self._twinned.clear()
+        self._sc_copies.clear()
+        self._sc_active.clear()
+        self._served_covers.clear()
         if node_vcs is not None:
             for proc in range(self.num_nodes):
                 self._created[proc] = node_vcs[proc][proc]

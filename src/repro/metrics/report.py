@@ -26,8 +26,8 @@ __all__ = ["RunReport"]
 #: (repro.telemetry) and the transport_health ``extremes`` watermarks.
 #: Older payloads are still readable (the sections are simply absent
 #: and the counters default to zero).
-_SCHEMA_VERSION = 5
-_COMPAT_VERSIONS = (1, 2, 3, 4, 5)
+_SCHEMA_VERSION = 6
+_COMPAT_VERSIONS = (1, 2, 3, 4, 5, 6)
 
 
 @dataclass
@@ -72,6 +72,9 @@ class RunReport:
     #: ``telemetry=`` on, else None.  Same contract as profile/critpath:
     #: not part of the core, reports are otherwise byte-identical.
     telemetry: Optional[dict] = None
+    #: Coherence protocol the run used (``RunConfig.protocol``).  v6+;
+    #: older payloads read back as the then-only protocol, ``lrc``.
+    protocol: str = "lrc"
 
     # -- aggregation ----------------------------------------------------------
 
@@ -138,6 +141,7 @@ class RunReport:
             "schema": _SCHEMA_VERSION,
             "app_name": self.app_name,
             "config_label": self.config_label,
+            "protocol": self.protocol,
             "num_nodes": self.num_nodes,
             "threads_per_node": self.threads_per_node,
             "wall_time_us": self.wall_time_us,
@@ -200,6 +204,7 @@ class RunReport:
             critpath=data.get("critpath"),  # absent in v1/v2 payloads
             transport_health=data.get("transport_health"),  # v4+
             telemetry=data.get("telemetry"),  # v5+
+            protocol=data.get("protocol", "lrc"),  # v6+
         )
 
     @classmethod

@@ -60,6 +60,26 @@ class MessageKind(str, Enum):
     #: Coordinator -> healed node: partition is over, here is the
     #: authoritative membership (see repro.ft partition handling).
     FT_REJOIN = "ft_rejoin"
+    #: Home-based LRC (repro.dsm.hlrc): whole-page fetch round trip to
+    #: the page's home, and the eager diff flush that feeds the home.
+    PAGE_REQUEST = "page_request"
+    PAGE_REPLY = "page_reply"
+    HOME_UPDATE = "home_update"
+    #: Home's confirmation that an update is applied: the releaser
+    #: blocks on it, so a barrier cut can never strand an un-applied
+    #: diff in flight (the checkpoint would lose it forever).
+    HOME_UPDATE_ACK = "home_update_ack"
+    #: SC single-writer invalidate (repro.dsm.sc): directory-serialized
+    #: ownership transactions — request to the page's manager, fetch
+    #: forwarded to the owner, whole-page data to the requester,
+    #: invalidation round trips, write grant, completion notice.
+    SC_REQ = "sc_req"
+    SC_FETCH = "sc_fetch"
+    SC_DATA = "sc_data"
+    SC_INVAL = "sc_inval"
+    SC_INVAL_ACK = "sc_inval_ack"
+    SC_GRANT = "sc_grant"
+    SC_DONE = "sc_done"
 
     @property
     def is_prefetch(self) -> bool:
@@ -98,6 +118,20 @@ _DEFAULT_PRIORITY = {
     MessageKind.FT_REJOIN: PRIORITY_NOTICE,
     MessageKind.PREFETCH_REQUEST: PRIORITY_PREFETCH,
     MessageKind.PREFETCH_REPLY: PRIORITY_PREFETCH,
+    # HLRC: a faulting thread stalls on the page round trip, and a home
+    # update unblocks parked fetches — all demand class.
+    MessageKind.PAGE_REQUEST: PRIORITY_DEMAND,
+    MessageKind.PAGE_REPLY: PRIORITY_DEMAND,
+    MessageKind.HOME_UPDATE: PRIORITY_DEMAND,
+    MessageKind.HOME_UPDATE_ACK: PRIORITY_DEMAND,
+    # SC: every kind sits on some thread's fault critical path.
+    MessageKind.SC_REQ: PRIORITY_DEMAND,
+    MessageKind.SC_FETCH: PRIORITY_DEMAND,
+    MessageKind.SC_DATA: PRIORITY_DEMAND,
+    MessageKind.SC_INVAL: PRIORITY_DEMAND,
+    MessageKind.SC_INVAL_ACK: PRIORITY_DEMAND,
+    MessageKind.SC_GRANT: PRIORITY_DEMAND,
+    MessageKind.SC_DONE: PRIORITY_DEMAND,
 }
 
 

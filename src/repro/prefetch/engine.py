@@ -151,6 +151,27 @@ class PrefetchEngine:
     def _prefetch_page(self, page_id: int) -> Generator:
         self.stats.issued += 1
         costs = self.dsm.node.costs
+        if not self.dsm.backend.supports_diff_prefetch:
+            # Page-mode prefetch (hlrc/sc): those protocols have no diff
+            # traffic to cache, so the only latency to hide is the whole
+            # fetch — start the protocol's own demand fetch *now* and
+            # let the later access find the page valid or the fetch
+            # already in flight (request combining).  The fetch runs the
+            # real coherence transaction, so the data is never stale and
+            # invalidations need no special casing; the cost is that an
+            # early-bound fetch counts in the fault statistics.
+            if self.dsm.page_valid(page_id):
+                self.stats.unnecessary += 1
+                yield from self.dsm.node.occupy(
+                    costs.prefetch_issue_local, Category.PREFETCH
+                )
+                return
+            self.stats.remote_pages += 1
+            yield from self.dsm.node.occupy(
+                costs.prefetch_issue_remote, Category.PREFETCH
+            )
+            self.dsm.ensure_valid(page_id)
+            return
         state = self.dsm.coherence(page_id)
         record = self._records.get(page_id)
         already_working = (

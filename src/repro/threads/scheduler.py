@@ -403,12 +403,14 @@ class NodeScheduler:
             thread.run_accum += chunk
             remaining -= chunk
 
-    def _ensure_pages(self, thread: DsmThread, addr: int, nbytes: int) -> Generator:
+    def _ensure_pages(
+        self, thread: DsmThread, addr: int, nbytes: int, write: bool = False
+    ) -> Generator:
         """Fault in every stale page of a region, in address order."""
         for page_id in self.node.pages.pages_in_range(addr, nbytes):
             guard = 0
             while True:
-                fetch = self.dsm.ensure_valid(page_id)
+                fetch = self.dsm.ensure_valid(page_id, write)
                 if fetch is None:
                     break
                 guard += 1
@@ -429,25 +431,21 @@ class NodeScheduler:
         data = np.ascontiguousarray(op.data).view(np.uint8).ravel()
         pages = self.node.pages.pages_in_range(op.addr, len(data))
         # The store must land while every page is verifiably writable
-        # (valid + dirty with a live twin).  Each touch may yield for
-        # the CPU, and during that yield a remote diff request can flush
-        # the page — clearing the dirty bit and dropping the twin — so
-        # the final check-and-store below runs with NO yields between a
+        # (the protocol's predicate: valid + dirty with a live twin
+        # under LRC, exclusively owned under SC).  Each touch may yield
+        # for the CPU, and during that yield a remote diff request can
+        # flush the page — or an invalidation strip ownership — so the
+        # final check-and-store below runs with NO yields between a
         # successful check and the write.
         guard = 0
         while True:
-            ready = all(
-                self.dsm.page_valid(page_id)
-                and self.dsm.coherence(page_id).dirty
-                and not self.dsm.coherence(page_id).write_protected
-                for page_id in pages
-            )
+            ready = all(self.dsm.page_writable(page_id) for page_id in pages)
             if ready:
                 break
             guard += 1
             if guard > 256:
                 raise ProgramError(f"write to {op.addr} cannot stabilize")
-            yield from self._ensure_pages(thread, op.addr, len(data))
+            yield from self._ensure_pages(thread, op.addr, len(data), write=True)
             for page_id in pages:
                 # A concurrent invalidation (e.g. a lock grant to another
                 # local thread) may strike while touching a neighbour;

@@ -147,3 +147,57 @@ def test_search_is_deterministic_across_jobs():
         return [(r.sample.index, r.failures, r.error) for r in results]
 
     assert run(1) == run(2)
+
+
+# -- coherence-protocol threading --------------------------------------------
+
+
+def test_config_rejects_unknown_protocol():
+    with pytest.raises(ConfigError):
+        make_config(protocol="mesi")
+
+
+def test_samples_inherit_the_config_protocol():
+    config = make_config(budget=4, protocol="hlrc")
+    for sample in generate_samples(config, walls=WALLS):
+        assert sample.protocol == "hlrc"
+
+
+@pytest.mark.parametrize("protocol", ["hlrc", "sc"])
+def test_clean_sample_passes_all_invariants_per_protocol(protocol):
+    """The four standing invariants (sanitizer, liveness, determinism,
+    verify) are protocol-independent; the sanitizer arm checks the
+    selected backend's own invariant set."""
+    sample = ChaosSample(
+        index=0,
+        app_name="SOR",
+        preset="small",
+        num_nodes=4,
+        seed=7,
+        plan={"drop_prob": 0.02},
+        protocol=protocol,
+    )
+    result = evaluate_sample(sample)
+    assert result.ok
+    assert result.failures == []
+
+
+def test_reproducer_round_trips_the_protocol(tmp_path):
+    sample = ChaosSample(
+        index=3,
+        app_name="SOR",
+        preset="small",
+        num_nodes=4,
+        seed=9,
+        plan={"drop_prob": 0.05},
+        protocol="sc",
+    )
+    result = evaluate_sample(sample)
+    path = write_reproducer(result, tmp_path / "r.json")
+    loaded = load_reproducer(path)
+    assert loaded.protocol == "sc"
+    # Pre-zoo reproducer files (no protocol key) read back as lrc.
+    data = json.loads(path.read_text())
+    del data["protocol"]
+    path.write_text(json.dumps(data))
+    assert load_reproducer(path).protocol == "lrc"

@@ -240,3 +240,48 @@ def test_offline_cli_errors(tmp_path, capsys):
     empty.write_text("")
     assert main([str(empty)]) == 2
     capsys.readouterr()
+
+
+# -- per-protocol blame ------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def protocol_runs():
+    """One SOR O run per coherence backend."""
+    return {
+        protocol: run_once("SOR", "O", protocol=protocol)
+        for protocol in ("lrc", "hlrc", "sc")
+    }
+
+
+@pytest.mark.parametrize("protocol", ["lrc", "hlrc", "sc"])
+def test_identity_holds_on_every_protocol(protocol_runs, protocol):
+    """Path length == wall clock is a property of the analyzer, not of
+    the LRC protocol it was first built against."""
+    _, report = protocol_runs[protocol]
+    section = report.critpath
+    assert section["identity_exact"] is True
+    assert section["path_us"] == report.wall_time_us
+    assert section["unattributed_us"] == 0.0
+    assert section["dp_identity_exact"] is True
+
+
+def test_sc_faults_are_blamed_not_dumped_in_network(protocol_runs):
+    """SC's coherence traffic gets named categories: ownership
+    transfers blame ``invalidation``, data movement ``page_fetch`` —
+    neither lands in the catch-all ``network`` bucket."""
+    _, report = protocol_runs["sc"]
+    blame = report.critpath["blame_us"]
+    assert blame.get("invalidation", 0.0) > 0.0
+    assert blame.get("page_fetch", 0.0) > 0.0
+    assert "diff_rtt" not in blame
+    # What's left in the catch-all is transport acks and membership —
+    # the protocol's own round trips dwarf it.
+    assert blame.get("network", 0.0) < blame["invalidation"] + blame["page_fetch"]
+
+
+def test_hlrc_blames_home_traffic(protocol_runs):
+    _, report = protocol_runs["hlrc"]
+    blame = report.critpath["blame_us"]
+    assert blame.get("page_fetch", 0.0) + blame.get("home_update", 0.0) > 0.0
+    assert "diff_rtt" not in blame

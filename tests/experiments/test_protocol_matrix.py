@@ -1,0 +1,62 @@
+"""The coherence-protocol comparison matrix at tiny scale: structure,
+mechanism signatures, and ``--jobs`` stability."""
+
+import json
+
+import pytest
+
+from repro.experiments import ExperimentRunner, protocol_matrix
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    runner = ExperimentRunner(num_nodes=2, preset="small", verify=True, jobs=2)
+    return protocol_matrix(runner, apps=["SOR", "WATER-NSQ"], configs=["O", "4T"])
+
+
+def test_matrix_structure(matrix):
+    text, data = matrix
+    assert "Coherence-protocol matrix" in text
+    assert set(data) == {"SOR", "WATER-NSQ"}
+    for by_config in data.values():
+        assert set(by_config) == {"O", "4T"}
+        for by_protocol in by_config.values():
+            assert set(by_protocol) == {"lrc", "hlrc", "sc"}
+            for entry in by_protocol.values():
+                assert entry["wall_time_us"] > 0
+                assert entry["verified"] is True
+            # "vs lrc" is normalized to the lrc cell of the same row.
+            assert by_protocol["lrc"]["vs_lrc"] == 1.0
+
+
+def test_matrix_shows_each_mechanism(matrix):
+    _, data = matrix
+    for by_config in data.values():
+        for by_protocol in by_config.values():
+            lrc, hlrc, sc = (
+                by_protocol["lrc"],
+                by_protocol["hlrc"],
+                by_protocol["sc"],
+            )
+            assert lrc["home_updates"] == lrc["invalidations"] == 0
+            assert hlrc["diff_requests"] == hlrc["invalidations"] == 0
+            assert sc["diff_requests"] == sc["home_updates"] == 0
+            assert sc["invalidations"] > 0
+
+
+def test_matrix_is_jobs_stable():
+    """Acceptance gate: identical output for any --jobs N."""
+    serial = protocol_matrix(
+        ExperimentRunner(num_nodes=2, preset="small", verify=True, jobs=1),
+        apps=["SOR"],
+        configs=["O"],
+    )
+    fanned = protocol_matrix(
+        ExperimentRunner(num_nodes=2, preset="small", verify=True, jobs=3),
+        apps=["SOR"],
+        configs=["O"],
+    )
+    assert serial[0] == fanned[0]
+    assert json.dumps(serial[1], sort_keys=True) == json.dumps(
+        fanned[1], sort_keys=True
+    )

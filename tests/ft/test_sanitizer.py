@@ -94,3 +94,103 @@ def test_sanitizer_catches_corrupted_diff_bookkeeping(monkeypatch):
     assert "recent protocol transitions" in message
     # The dump names the offending page/writer so the state is findable.
     assert "apply page" in message
+
+
+# -- per-protocol gating -----------------------------------------------------
+
+
+@pytest.fixture
+def sc_san():
+    return ProtocolSanitizer(num_nodes=4, protocol="sc")
+
+
+@pytest.fixture
+def hlrc_san():
+    return ProtocolSanitizer(num_nodes=4, protocol="hlrc")
+
+
+def test_lrc_machinery_is_a_violation_under_sc(sc_san):
+    """Not silently skipped: under sc, an LRC hook firing at all IS the
+    bug — the inert clock must never advance, no twin may ever exist."""
+    with pytest.raises(ProtocolError, match="protocol isolation"):
+        sc_san.on_vc_update(0, 0, 0, 1)
+    with pytest.raises(ProtocolError, match="protocol isolation"):
+        sc_san.on_interval_closed(0, 1)
+    with pytest.raises(ProtocolError, match="protocol isolation"):
+        sc_san.on_twin_created(0, 5)
+    with pytest.raises(ProtocolError, match="protocol isolation"):
+        sc_san.on_diff_applied(0, page_id=1, proc=1, covers_through=1, lamport=1)
+
+
+def test_sc_machinery_is_a_violation_under_lrc(san):
+    with pytest.raises(ProtocolError, match="protocol isolation"):
+        san.on_sc_txn_start(0, page_id=3, requester=1, mode="write")
+    with pytest.raises(ProtocolError, match="protocol isolation"):
+        san.on_sc_install(1, page_id=3, mode="read")
+
+
+def test_home_machinery_is_a_violation_under_lrc_and_sc(san, sc_san):
+    for checker in (san, sc_san):
+        with pytest.raises(ProtocolError, match="protocol isolation"):
+            checker.on_home_update(0, page_id=3, home=0)
+
+
+def test_hlrc_keeps_the_lrc_invariants(hlrc_san):
+    """HLRC is still an LRC: the whole LRC invariant set stays armed."""
+    hlrc_san.on_vc_update(1, 2, 5, 6)
+    with pytest.raises(ProtocolError, match="vector-clock monotonicity"):
+        hlrc_san.on_vc_update(1, 2, 6, 4)
+
+
+def test_hlrc_home_routing(hlrc_san):
+    hlrc_san.on_home_update(2, page_id=9, home=2)
+    with pytest.raises(ProtocolError, match="home routing"):
+        hlrc_san.on_home_update(1, page_id=9, home=2)
+
+
+def test_hlrc_home_coverage_monotonicity(hlrc_san):
+    hlrc_san.on_page_served(2, page_id=9, home=2, covers=(1, 2, 0, 0))
+    hlrc_san.on_page_served(2, page_id=9, home=2, covers=(1, 2, 1, 0))
+    with pytest.raises(ProtocolError, match="home coverage monotonicity"):
+        hlrc_san.on_page_served(2, page_id=9, home=2, covers=(1, 1, 1, 0))
+
+
+def test_sc_transaction_serialization(sc_san):
+    sc_san.on_sc_txn_start(0, page_id=3, requester=1, mode="write")
+    with pytest.raises(ProtocolError, match="transaction serialization"):
+        sc_san.on_sc_txn_start(0, page_id=3, requester=2, mode="read")
+    # A different page is a different transaction stream.
+    sc_san.on_sc_txn_start(0, page_id=4, requester=2, mode="read")
+    # Ending the transaction readmits the page.
+    sc_san.on_sc_txn_end(0, page_id=3)
+    sc_san.on_sc_txn_start(0, page_id=3, requester=2, mode="read")
+
+
+def test_sc_single_writer(sc_san):
+    # Pages boot SHARED everywhere: write access with three other
+    # copies still valid is the canonical violation.
+    with pytest.raises(ProtocolError, match="single writer"):
+        sc_san.on_sc_install(1, page_id=3, mode="write")
+    # After invalidating every other copy the same grant is legal.
+    for node in (0, 2, 3):
+        sc_san.on_sc_invalidate(node, page_id=5)
+    sc_san.on_sc_install(1, page_id=5, mode="write")
+
+
+def test_sc_invalidation_targeting(sc_san):
+    sc_san.on_sc_invalidate(2, page_id=7)
+    with pytest.raises(ProtocolError, match="invalidation targeting"):
+        sc_san.on_sc_invalidate(2, page_id=7)  # node 2 holds no copy now
+
+
+def test_sc_restore_rebuilds_the_copy_mirror(sc_san):
+    for node in (0, 2, 3):
+        sc_san.on_sc_invalidate(node, page_id=5)
+    sc_san.on_sc_install(1, page_id=5, mode="write")
+    sc_san.on_rollback(node_vcs=[[0] * 4] * 4)
+    # The checkpoint had node 1 as sole holder: everyone else reports
+    # page 5 invalid, node 1 reports nothing.
+    for node in (0, 2, 3):
+        sc_san.on_sc_restore(node, [5])
+    sc_san.on_sc_restore(1, [])
+    sc_san.on_sc_install(1, page_id=5, mode="write")  # still the sole holder

@@ -234,9 +234,9 @@ def test_telemetry_section_round_trips():
     assert "telemetry" in make_report().to_dict()
 
 
-def test_v2_document_reads_as_v5_with_absent_critpath():
+def test_v2_document_reads_as_v6_with_absent_critpath():
     """A v2 file (profile era, no critpath key) loads cleanly and
-    upgrades to a stable v5 document."""
+    upgrades to a stable v6 document."""
     import json
 
     data = make_report(profile={"version": 1}).to_dict()
@@ -249,18 +249,18 @@ def test_v2_document_reads_as_v5_with_absent_critpath():
     assert upgraded.transport_health is None
     assert upgraded.telemetry is None
     assert upgraded.profile == {"version": 1}
-    v5 = json.loads(upgraded.to_json())
-    assert v5["schema"] == 5
-    assert v5["critpath"] is None
-    assert v5["transport_health"] is None
-    assert v5["telemetry"] is None
-    assert RunReport.from_dict(v5).to_json() == upgraded.to_json()
+    v6 = json.loads(upgraded.to_json())
+    assert v6["schema"] == 6
+    assert v6["critpath"] is None
+    assert v6["transport_health"] is None
+    assert v6["telemetry"] is None
+    assert RunReport.from_dict(v6).to_json() == upgraded.to_json()
 
 
-def test_v3_document_reads_as_v5_with_absent_transport_health():
+def test_v3_document_reads_as_v6_with_absent_transport_health():
     """A v3 file (critpath era, no transport_health/telemetry keys, no
     paced/shed event counters) loads cleanly and upgrades to a stable
-    v5 document with the new counters defaulting to zero."""
+    v6 document with the new counters defaulting to zero."""
     import json
 
     data = make_report(critpath={"version": 1}).to_dict()
@@ -276,16 +276,16 @@ def test_v3_document_reads_as_v5_with_absent_transport_health():
     assert upgraded.critpath == {"version": 1}
     assert upgraded.events.messages_paced == 0
     assert upgraded.events.prefetch_shed == 0
-    v5 = json.loads(upgraded.to_json())
-    assert v5["schema"] == 5
-    assert v5["transport_health"] is None
-    assert RunReport.from_dict(v5).to_json() == upgraded.to_json()
+    v6 = json.loads(upgraded.to_json())
+    assert v6["schema"] == 6
+    assert v6["transport_health"] is None
+    assert RunReport.from_dict(v6).to_json() == upgraded.to_json()
 
 
-def test_v4_document_reads_as_v5_with_absent_telemetry():
+def test_v4_document_reads_as_v6_with_absent_telemetry():
     """A v4 file (adaptive-transport era, no telemetry key, no
     transport_health extremes) loads cleanly and upgrades to a stable
-    v5 document."""
+    v6 document."""
     import json
 
     health = {"per_node": {"0": {"unacked": 0}}, "cwnd_max": 64, "paced": 2}
@@ -295,14 +295,14 @@ def test_v4_document_reads_as_v5_with_absent_telemetry():
     upgraded = RunReport.from_json(json.dumps(data))
     assert upgraded.telemetry is None
     assert upgraded.transport_health == health
-    v5 = json.loads(upgraded.to_json())
-    assert v5["schema"] == 5
-    assert v5["telemetry"] is None
-    assert RunReport.from_dict(v5).to_json() == upgraded.to_json()
+    v6 = json.loads(upgraded.to_json())
+    assert v6["schema"] == 6
+    assert v6["telemetry"] is None
+    assert RunReport.from_dict(v6).to_json() == upgraded.to_json()
 
 
 def test_v1_document_round_trips_stably_through_json():
-    """v1 -> from_json -> to_json(v5) -> from_json is a fixed point:
+    """v1 -> from_json -> to_json(v6) -> from_json is a fixed point:
     the upgraded document re-loads to an identical report."""
     import json
 
@@ -319,11 +319,11 @@ def test_v1_document_round_trips_stably_through_json():
     v1_json = json.dumps(data)
 
     upgraded = RunReport.from_json(v1_json)
-    v5_json = upgraded.to_json()
-    assert json.loads(v5_json)["schema"] == 5
-    reloaded = RunReport.from_json(v5_json)
+    v6_json = upgraded.to_json()
+    assert json.loads(v6_json)["schema"] == 6
+    reloaded = RunReport.from_json(v6_json)
     assert reloaded.to_dict() == upgraded.to_dict()
-    assert reloaded.to_json() == v5_json
+    assert reloaded.to_json() == v6_json
     assert reloaded.profile is None
     assert reloaded.critpath is None
     assert reloaded.injected_faults == {"drop": 2}

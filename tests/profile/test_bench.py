@@ -93,3 +93,21 @@ def test_checked_in_baseline_matches_schema():
     assert baseline["schema"] == BENCH_SCHEMA
     assert {run["app"] for run in baseline["runs"]} == {"SOR", "FFT"}
     assert flatten(baseline)  # flattens without error
+
+
+def test_bench_records_the_protocol(tiny_bench):
+    assert tiny_bench["protocol"] == "lrc"
+    assert all(entry["protocol"] == "lrc" for entry in tiny_bench["runs"])
+
+
+def test_bench_on_another_protocol_compares_against_itself():
+    doc = run_bench(
+        ["sor"], ["O"], num_nodes=2, preset="small", top_n=3,
+        verbose=False, protocol="sc",
+    )
+    assert doc["protocol"] == "sc"
+    assert doc["runs"][0]["protocol"] == "sc"
+    import io
+
+    flat = flatten(doc)
+    assert compare(flat, dict(flat), tolerance=0.0, out=io.StringIO()) == 0
